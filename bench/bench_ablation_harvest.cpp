@@ -1,0 +1,94 @@
+// Ablation — best-effort harvesting headroom (§V-B1).
+//
+// "These flexible resources can be allocated to tasks with low
+// latency-critical tasks such as machine learning and graph computing,
+// thereby improving the resource utilization of the entire cloud
+// platform." The headroom a best-effort co-runner can harvest is the
+// capacity NOT allocated to games. VBP pins 90% of peak for every game's
+// lifetime; CoCG allocates per stage — the difference is the harvestable
+// pool.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "platform/cloud_platform.h"
+
+using namespace cocg;
+
+namespace {
+
+struct Harvest {
+  double gpu_s = 0.0;
+  double cpu_s = 0.0;
+  double throughput = 0.0;
+};
+
+// One Genshin session at a time on one GPU: every scheduler serves the
+// same workload, so the headroom differences are purely allocation policy
+// (comparing schedulers under their own admission would confuse idle
+// capacity from refused games with true headroom).
+Harvest run_variant(std::unique_ptr<platform::Scheduler> sched,
+                    std::uint64_t seed) {
+  platform::PlatformConfig pcfg;
+  pcfg.seed = seed;
+  platform::CloudPlatform cloud(pcfg, std::move(sched));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  cloud.enable_harvest_accounting(true);
+  static const auto& suite = bench::paper_suite_static();
+  cloud.add_source({&suite[2], 1, 8});  // Genshin Impact, solo
+  cloud.run(60 * 60 * 1000);
+  return Harvest{cloud.harvested_gpu_seconds(),
+                 cloud.harvested_cpu_seconds(), cloud.throughput()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation (§V-B1)", "best-effort harvestable headroom");
+
+  auto fresh = [] {
+    return core::train_suite(bench::paper_suite_static(),
+                             bench::bench_offline_config(4545));
+  };
+
+  TablePrinter table({"scheduler", "harvestable GPU-seconds",
+                      "harvestable CPU-seconds", "game throughput"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"scheduler", "gpu_s", "cpu_s", "throughput"});
+
+  {
+    core::VbpConfig peak_cfg;
+    peak_cfg.reserve_fraction = 1.0;
+    const auto peak = run_variant(
+        std::make_unique<core::VbpScheduler>(fresh(), peak_cfg), 4500);
+    const auto vbp =
+        run_variant(std::make_unique<core::VbpScheduler>(fresh()), 4500);
+    const auto gaugur =
+        run_variant(std::make_unique<core::GaugurScheduler>(fresh()), 4500);
+    const auto cocg =
+        run_variant(std::make_unique<core::CocgScheduler>(fresh()), 4500);
+    for (const auto& [name, h] :
+         std::vector<std::pair<std::string, Harvest>>{
+             {"peak reservation (paper's comparator)", peak},
+             {"VBP (0.9 peak)", vbp},
+             {"GAugur (fixed limit)", gaugur},
+             {"CoCG (per stage)", cocg}}) {
+      table.add_row({name, TablePrinter::fmt(h.gpu_s, 0),
+                     TablePrinter::fmt(h.cpu_s, 0),
+                     TablePrinter::fmt(h.throughput, 0)});
+      csv.push_back({name, TablePrinter::fmt(h.gpu_s, 1),
+                     TablePrinter::fmt(h.cpu_s, 1),
+                     TablePrinter::fmt(h.throughput, 1)});
+    }
+  }
+  table.print(std::cout);
+  bench::write_csv("ablation_harvest", csv);
+  std::cout << "\nExpected: for the SAME served workload, CoCG's"
+               " per-stage allocation leaves the most harvestable GPU"
+               " headroom — the §V-B1 'flexible resources' that can host"
+               " ML/graph best-effort work — with throughput unchanged.\n";
+  return 0;
+}

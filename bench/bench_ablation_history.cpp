@@ -1,0 +1,66 @@
+// Ablation — predictor feature set and history length.
+//
+// The stage predictor encodes the last H execution stages plus position,
+// game mode and hashed player identity (§IV-B). This ablation sweeps H and
+// toggles the mode/player features, reporting held-out accuracy per game.
+//
+// Expected: H = 1 suffices for chain-like games (Contra, DOTA2); the
+// mobile title needs player identity; mode resolves opening-stage
+// ambiguity everywhere.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/offline.h"
+
+using namespace cocg;
+
+namespace {
+
+double accuracy_with(const game::GameSpec& spec, core::EncoderConfig enc,
+                     std::uint64_t seed) {
+  core::OfflineConfig cfg = bench::bench_offline_config(seed);
+  cfg.corpus_runs = 90;
+  cfg.encoder = enc;
+  const auto tg = core::train_game(spec, cfg);
+  return tg.predictor->accuracy();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "predictor history length and feature set");
+
+  TablePrinter table({"game", "H=1", "H=3 (default)", "H=5", "no mode",
+                      "no player"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"game", "h1", "h3", "h5", "no_mode", "no_player"});
+
+  for (const auto& spec : bench::paper_suite_static()) {
+    core::EncoderConfig h1;
+    h1.history_len = 1;
+    core::EncoderConfig h3;  // default
+    core::EncoderConfig h5;
+    h5.history_len = 5;
+    core::EncoderConfig no_mode;
+    no_mode.mode_feature = false;
+    core::EncoderConfig no_player;
+    no_player.player_features = false;
+
+    const double a1 = accuracy_with(spec, h1, 51);
+    const double a3 = accuracy_with(spec, h3, 51);
+    const double a5 = accuracy_with(spec, h5, 51);
+    const double am = accuracy_with(spec, no_mode, 51);
+    const double ap = accuracy_with(spec, no_player, 51);
+    table.add_row({spec.name, TablePrinter::fmt_pct(100 * a1, 1),
+                   TablePrinter::fmt_pct(100 * a3, 1),
+                   TablePrinter::fmt_pct(100 * a5, 1),
+                   TablePrinter::fmt_pct(100 * am, 1),
+                   TablePrinter::fmt_pct(100 * ap, 1)});
+    csv.push_back({spec.name, TablePrinter::fmt(a1, 4),
+                   TablePrinter::fmt(a3, 4), TablePrinter::fmt(a5, 4),
+                   TablePrinter::fmt(am, 4), TablePrinter::fmt(ap, 4)});
+  }
+  table.print(std::cout);
+  bench::write_csv("ablation_history", csv);
+  return 0;
+}

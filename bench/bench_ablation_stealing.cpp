@@ -1,0 +1,101 @@
+// Ablation — loading-time stealing (the regulator, §IV-C2).
+//
+// "Extend loading time" is CoCG's peak-staggering mechanism. This ablation
+// runs the Genshin+DOTA2 co-location with the regulator's stealing
+// enabled, disabled (max_steal_ms = 0) and unbounded, and reports the
+// fraction of ticks over the 95% limit, QoS violations, and throughput.
+//
+// Expected: disabling stealing raises over-limit time and FPS loss;
+// unbounded stealing trades loading-time extension for execution QoS.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cocg_scheduler.h"
+#include "platform/cloud_platform.h"
+
+using namespace cocg;
+
+namespace {
+
+struct Outcome {
+  double throughput = 0.0;
+  double over_limit_frac = 0.0;
+  double qos_violation_s = 0.0;
+  double loading_extension_s = 0.0;
+};
+
+Outcome run_variant(DurationMs max_steal, std::uint64_t seed) {
+  auto models = core::train_suite(bench::paper_suite_static(),
+                                  bench::bench_offline_config(4343));
+  core::CocgConfig cfg;
+  cfg.regulator.max_steal_ms = max_steal;
+
+  platform::PlatformConfig pcfg;
+  pcfg.seed = seed;
+  platform::CloudPlatform cloud(
+      pcfg, std::make_unique<core::CocgScheduler>(std::move(models), cfg));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  cloud.enable_utilization_recording(true);
+  static const auto& suite = bench::paper_suite_static();
+  cloud.add_source({&suite[2], 1, 8});  // Genshin Impact
+  cloud.add_source({&suite[0], 1, 8});  // DOTA2
+  cloud.run(60 * 60 * 1000);
+
+  Outcome out;
+  out.throughput = cloud.throughput();
+  std::size_t over = 0;
+  for (const auto& up : cloud.utilization_log()) {
+    if (up.max_dim_fraction > 0.95) ++over;
+  }
+  out.over_limit_frac =
+      cloud.utilization_log().empty()
+          ? 0.0
+          : static_cast<double>(over) /
+                static_cast<double>(cloud.utilization_log().size());
+  for (const auto& run : cloud.completed_runs()) {
+    out.qos_violation_s += ms_to_sec(run.qos_violation_ms);
+    out.loading_extension_s += ms_to_sec(run.loading_extension_ms);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation", "loading-time stealing (regulator)");
+
+  TablePrinter table({"variant", "throughput", "over-95% ticks",
+                      "QoS violations (s)", "loading stolen (s)"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back(
+      {"variant", "throughput", "over_frac", "qos_s", "stolen_s"});
+  const std::vector<std::pair<std::string, DurationMs>> variants = {
+      {"stealing off", 0},
+      {"bounded 30s (paper-like)", 30000},
+      {"unbounded", 10LL * 60 * 1000}};
+  const std::vector<std::uint64_t> seeds = {888, 889, 890, 891};
+  for (const auto& [name, steal] : variants) {
+    Outcome sum;
+    for (const auto seed : seeds) {
+      const auto out = run_variant(steal, seed);
+      sum.throughput += out.throughput;
+      sum.over_limit_frac += out.over_limit_frac;
+      sum.qos_violation_s += out.qos_violation_s;
+      sum.loading_extension_s += out.loading_extension_s;
+    }
+    const double n = static_cast<double>(seeds.size());
+    table.add_row({name, TablePrinter::fmt(sum.throughput / n, 0),
+                   TablePrinter::fmt_pct(100 * sum.over_limit_frac / n, 1),
+                   TablePrinter::fmt(sum.qos_violation_s / n, 0),
+                   TablePrinter::fmt(sum.loading_extension_s / n, 0)});
+    csv.push_back({name, TablePrinter::fmt(sum.throughput / n, 1),
+                   TablePrinter::fmt(sum.over_limit_frac / n, 4),
+                   TablePrinter::fmt(sum.qos_violation_s / n, 1),
+                   TablePrinter::fmt(sum.loading_extension_s / n, 1)});
+  }
+  table.print(std::cout);
+  bench::write_csv("ablation_stealing", csv);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Fig. 11 — "Throughput of games co-location."
+//
+// The paper's main result: two-hour co-location runs of three game pairs
+// (DOTA2+Devil May Cry, CSGO+Genshin Impact, Genshin Impact+Contra) under
+// VBP, GAugur and CoCG; throughput T = Σ N_i·S_i (Eq. 2). Paper reference
+// points: CoCG is the only scheme that co-locates the heavy DOTA2+DMC
+// pair; short Genshin runs slot between CSGO peaks; all three schemes do
+// well on the light pair; CoCG's aggregate throughput is +23.7%.
+#include <functional>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "platform/cloud_platform.h"
+
+using namespace cocg;
+
+namespace {
+
+const std::vector<game::GameSpec>& suite() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+const game::GameSpec* spec_of(const std::string& name) {
+  for (const auto& g : suite()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+struct PairResult {
+  double throughput = 0.0;
+  int runs_a = 0;
+  int runs_b = 0;
+  double qos_violation_s = 0.0;
+  double qos_loss_frac = 0.0;  ///< violation time / delivered game-time
+};
+
+PairResult run_pair(std::unique_ptr<platform::Scheduler> sched,
+                    const std::string& a, const std::string& b,
+                    DurationMs duration, std::uint64_t seed) {
+  platform::PlatformConfig cfg;
+  cfg.seed = seed;
+  platform::CloudPlatform cloud(cfg, std::move(sched));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  const auto* ga = spec_of(a);
+  const auto* gb = spec_of(b);
+  cloud.add_source({ga, ga->short_game ? 2 : 1, 8});
+  cloud.add_source({gb, gb->short_game ? 2 : 1, 8});
+  cloud.run(duration);
+
+  PairResult res;
+  res.throughput = cloud.throughput();
+  for (const auto& run : cloud.completed_runs()) {
+    if (run.game == a) ++res.runs_a;
+    if (run.game == b) ++res.runs_b;
+    res.qos_violation_s += ms_to_sec(run.qos_violation_ms);
+  }
+  res.qos_loss_frac =
+      res.throughput > 0 ? res.qos_violation_s / res.throughput : 0.0;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 11", "co-location throughput, 3 pairs x 3 schedulers");
+
+  const DurationMs two_hours = 2LL * 60 * 60 * 1000;
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"DOTA2", "Devil May Cry"},
+      {"CSGO", "Genshin Impact"},
+      {"Genshin Impact", "Contra"}};
+
+  using Maker = std::function<std::unique_ptr<platform::Scheduler>()>;
+  auto fresh_models = [] {
+    return core::train_suite(suite(), bench::bench_offline_config(1111));
+  };
+  // §V-A's three measurement schemes plus VBP: the "modest way" (GAugur-
+  // style fixed allocation), the stage-aware-but-reactive "improved
+  // version", and CoCG's predictive scheme.
+  const std::vector<std::pair<std::string, Maker>> schemes = {
+      {"VBP",
+       [&] { return std::make_unique<core::VbpScheduler>(fresh_models()); }},
+      {"GAugur",
+       [&] {
+         return std::make_unique<core::GaugurScheduler>(fresh_models());
+       }},
+      {"Improved",
+       [&] {
+         return std::make_unique<core::ImprovedScheduler>(fresh_models());
+       }},
+      {"CoCG",
+       [&] {
+         return std::make_unique<core::CocgScheduler>(fresh_models());
+       }}};
+
+  TablePrinter table({"pair", "scheduler", "T (game-seconds)", "runs A",
+                      "runs B", "QoS loss"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"pair", "scheduler", "throughput", "runs_a", "runs_b",
+                 "qos_violation_s", "qos_loss_frac"});
+
+  std::map<std::string, double> totals, worst_loss;
+  for (const auto& [a, b] : pairs) {
+    for (const auto& [name, make] : schemes) {
+      const auto res = run_pair(make(), a, b, two_hours, 1200);
+      totals[name] += res.throughput;
+      worst_loss[name] = std::max(worst_loss[name], res.qos_loss_frac);
+      table.add_row({a + " + " + b, name,
+                     TablePrinter::fmt(res.throughput, 0),
+                     std::to_string(res.runs_a), std::to_string(res.runs_b),
+                     TablePrinter::fmt_pct(100 * res.qos_loss_frac, 1)});
+      csv.push_back({a + "+" + b, name,
+                     TablePrinter::fmt(res.throughput, 1),
+                     std::to_string(res.runs_a), std::to_string(res.runs_b),
+                     TablePrinter::fmt(res.qos_violation_s, 1),
+                     TablePrinter::fmt(res.qos_loss_frac, 4)});
+    }
+  }
+  table.print(std::cout);
+
+  // Headline comparison against baselines that respect the §IV-D budget
+  // (performance degradation under ~5% of the time). The reactive
+  // "Improved" scheme buys throughput with 20-40% degraded time — the
+  // paper's argument for prediction.
+  double best_baseline = 0.0;
+  for (const auto& [name, make] : schemes) {
+    if (name == "CoCG") continue;
+    if (worst_loss[name] <= 0.08) {
+      best_baseline = std::max(best_baseline, totals[name]);
+    }
+  }
+  const double improvement =
+      best_baseline > 0 ? 100.0 * (totals["CoCG"] / best_baseline - 1.0)
+                        : 0.0;
+  TablePrinter summary({"scheduler", "total T", "worst QoS loss",
+                        "vs best QoS-compliant baseline"});
+  for (const auto& [name, make] : schemes) {
+    summary.add_row({name, TablePrinter::fmt(totals[name], 0),
+                     TablePrinter::fmt_pct(100 * worst_loss[name], 1),
+                     name == "CoCG"
+                         ? "+" + TablePrinter::fmt(improvement, 1) + "%"
+                         : (worst_loss[name] <= 0.08 ? "-" : "excluded")});
+  }
+  summary.print(std::cout);
+  bench::write_csv("fig11_throughput", csv);
+  std::cout << "\nPaper: CoCG's throughput is 23.7% higher than the"
+               " baselines; only CoCG co-locates DOTA2 + Devil May Cry.\n";
+  return 0;
+}

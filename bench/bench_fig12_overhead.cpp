@@ -1,0 +1,77 @@
+// Fig. 12 — "Overhead of Scheduling."
+//
+// The paper compares, per game, the average loading-stage duration against
+// the time the predictor needs to produce the next-stage prediction +
+// resource plan: prediction (3–13 s there, dominated by their measurement
+// pipeline) is fully covered by loading (5–30 s), so scheduling hides
+// inside loading. We report the same two series: measured loading
+// durations from profiling, and the *simulated-system* prediction latency —
+// the 5-second detection interval that gates a decision plus the measured
+// wall-clock inference cost of the ML model (microseconds; also reported).
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/offline.h"
+
+using namespace cocg;
+
+int main() {
+  bench::banner("Fig. 12", "loading time vs prediction time per game");
+
+  auto models = core::train_suite(bench::paper_suite_static(),
+                                  bench::bench_offline_config(1212));
+
+  TablePrinter table({"game", "mean loading (s)", "max loading (s)",
+                      "detection+predict (s)", "model inference (us)",
+                      "covered?"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"game", "mean_loading_s", "max_loading_s",
+                 "decision_latency_s", "inference_us"});
+
+  for (const auto& [name, tg] : models) {
+    const auto& profile = *tg.profile;
+    double mean_loading_s = 0.0, max_loading_s = 0.0;
+    if (profile.loading_stage_type >= 0) {
+      const auto& lt = profile.stage_type(profile.loading_stage_type);
+      mean_loading_s = ms_to_sec(lt.mean_duration_ms);
+      max_loading_s = ms_to_sec(lt.max_duration_ms);
+    }
+
+    // Wall-clock inference latency of predict_next (averaged).
+    std::vector<int> hist;
+    const auto t0 = std::chrono::steady_clock::now();
+    constexpr int kReps = 2000;
+    int sink = 0;
+    for (int i = 0; i < kReps; ++i) {
+      sink += tg.predictor->predict_next(hist, 1 + i % 8, i % 2);
+    }
+    // Defeat dead-code elimination without deprecated volatile compound
+    // assignment.
+    asm volatile("" : : "r"(sink) : "memory");
+    const auto t1 = std::chrono::steady_clock::now();
+    const double infer_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count() / kReps;
+
+    // End-to-end decision latency in simulated time: one detection window
+    // (the 5 s sampling interval) + inference (negligible).
+    const double decision_s = 5.0 + infer_us * 1e-6;
+
+    table.add_row({name, TablePrinter::fmt(mean_loading_s, 1),
+                   TablePrinter::fmt(max_loading_s, 1),
+                   TablePrinter::fmt(decision_s, 2),
+                   TablePrinter::fmt(infer_us, 1),
+                   decision_s <= mean_loading_s ? "yes" : "NO"});
+    csv.push_back({name, TablePrinter::fmt(mean_loading_s, 2),
+                   TablePrinter::fmt(max_loading_s, 2),
+                   TablePrinter::fmt(decision_s, 3),
+                   TablePrinter::fmt(infer_us, 2)});
+  }
+  table.print(std::cout);
+  bench::write_csv("fig12_overhead", csv);
+  std::cout << "\nPaper: predicting takes 3-13 s, loading 5-30 s — the"
+               " prediction is covered by the loading stage, so scheduling"
+               " overhead is hidden. The same holds here: one 5 s detection"
+               " window plus sub-millisecond inference.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Fig. 13 — "FPS of Co-location Games."
+//
+// QoS under co-location: the fraction of each game's best-achievable FPS
+// it retains while co-located, CoCG vs GAugur. Paper reference points:
+// CoCG reaches 78% of best FPS vs GAugur's 43%; the frame-locked titles
+// (Genshin, DMC) stay above the 30-FPS floor under CoCG; the uncapped
+// titles (CSGO, DOTA2) exceed 60 FPS.
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "platform/cloud_platform.h"
+
+using namespace cocg;
+
+namespace {
+
+const std::vector<game::GameSpec>& suite() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+const game::GameSpec* spec_of(const std::string& name) {
+  for (const auto& g : suite()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+struct FpsStats {
+  double mean_ratio = 0.0;  ///< realized / achievable FPS
+  double mean_fps = 0.0;
+  int runs = 0;
+};
+
+/// Run the four figure games co-located (two per GPU view on a 2-GPU
+/// server) and collect per-game FPS statistics.
+std::map<std::string, FpsStats> run_colocation(
+    std::unique_ptr<platform::Scheduler> sched, std::uint64_t seed) {
+  platform::PlatformConfig cfg;
+  cfg.seed = seed;
+  platform::CloudPlatform cloud(cfg, std::move(sched));
+  cloud.add_server(hw::ServerSpec{});  // 2 GPUs: two co-location views
+  for (const char* name :
+       {"Genshin Impact", "DOTA2", "CSGO", "Devil May Cry"}) {
+    cloud.add_source({spec_of(name), 1, 8});
+  }
+  cloud.run(60 * 60 * 1000);
+
+  std::map<std::string, FpsStats> out;
+  std::map<std::string, double> ratio_sum, fps_sum;
+  for (const auto& run : cloud.completed_runs()) {
+    auto& st = out[run.game];
+    ++st.runs;
+    ratio_sum[run.game] += run.mean_fps_ratio;
+    fps_sum[run.game] += run.mean_fps;
+  }
+  // Include still-running sessions so slow baselines still report data.
+  for (SessionId sid : cloud.session_ids()) {
+    const auto& truth = cloud.session_truth(sid);
+    auto& st = out[truth.spec().name];
+    ++st.runs;
+    ratio_sum[truth.spec().name] += truth.mean_fps_ratio();
+    fps_sum[truth.spec().name] += truth.mean_fps();
+  }
+  for (auto& [name, st] : out) {
+    st.mean_ratio = ratio_sum[name] / std::max(1, st.runs);
+    st.mean_fps = fps_sum[name] / std::max(1, st.runs);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig. 13", "FPS of co-located games, CoCG vs GAugur");
+
+  auto fresh_models = [] {
+    return core::train_suite(suite(), bench::bench_offline_config(1313));
+  };
+  const auto cocg = run_colocation(
+      std::make_unique<core::CocgScheduler>(fresh_models()), 1300);
+  // GAugur as published admits only pairs whose fixed limits fit — it
+  // protects FPS by refusing co-location (the throughput cost shows in
+  // Fig. 11). The paper's 43%-of-best figure reflects its interference
+  // mispredictions placing games onto limits far below their peaks; the
+  // "aggressive" variant reproduces that regime.
+  const auto gaugur = run_colocation(
+      std::make_unique<core::GaugurScheduler>(fresh_models()), 1300);
+  core::GaugurConfig aggressive;
+  aggressive.gap_share = 0.15;
+  aggressive.capacity_limit = 1.25;
+  const auto gaugur_aggr = run_colocation(
+      std::make_unique<core::GaugurScheduler>(fresh_models(), aggressive),
+      1300);
+
+  TablePrinter table({"game", "CoCG % of best", "CoCG FPS",
+                      "GAugur % of best", "GAugur-aggr % of best",
+                      "GAugur-aggr FPS"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"game", "cocg_ratio", "cocg_fps", "gaugur_ratio",
+                 "gaugur_aggr_ratio", "gaugur_aggr_fps"});
+
+  double cocg_sum = 0, gaugur_sum = 0, aggr_sum = 0;
+  int n = 0;
+  for (const char* name :
+       {"Genshin Impact", "DOTA2", "CSGO", "Devil May Cry"}) {
+    const auto ci = cocg.count(name) ? cocg.at(name) : FpsStats{};
+    const auto gi = gaugur.count(name) ? gaugur.at(name) : FpsStats{};
+    const auto ai = gaugur_aggr.count(name) ? gaugur_aggr.at(name)
+                                            : FpsStats{};
+    table.add_row({name, TablePrinter::fmt_pct(100 * ci.mean_ratio, 1),
+                   TablePrinter::fmt(ci.mean_fps, 1),
+                   gi.runs ? TablePrinter::fmt_pct(100 * gi.mean_ratio, 1)
+                           : "n/a",
+                   ai.runs ? TablePrinter::fmt_pct(100 * ai.mean_ratio, 1)
+                           : "n/a",
+                   ai.runs ? TablePrinter::fmt(ai.mean_fps, 1) : "-"});
+    csv.push_back({name, TablePrinter::fmt(ci.mean_ratio, 4),
+                   TablePrinter::fmt(ci.mean_fps, 2),
+                   TablePrinter::fmt(gi.mean_ratio, 4),
+                   TablePrinter::fmt(ai.mean_ratio, 4),
+                   TablePrinter::fmt(ai.mean_fps, 2)});
+    cocg_sum += ci.mean_ratio;
+    if (gi.runs) gaugur_sum += gi.mean_ratio;
+    if (ai.runs) aggr_sum += ai.mean_ratio;
+    ++n;
+  }
+  table.add_row({"MEAN", TablePrinter::fmt_pct(100 * cocg_sum / n, 1), "-",
+                 TablePrinter::fmt_pct(100 * gaugur_sum / n, 1),
+                 TablePrinter::fmt_pct(100 * aggr_sum / n, 1), "-"});
+  table.print(std::cout);
+  bench::write_csv("fig13_fps_qos", csv);
+  std::cout << "\nPaper: CoCG sustains 78% of best-case FPS vs 43% for"
+               " GAugur; locked titles stay above 30 FPS, uncapped titles"
+               " above 60 FPS.\n";
+  return 0;
+}

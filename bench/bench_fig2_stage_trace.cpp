@@ -1,0 +1,60 @@
+// Fig. 2 — "The resource utilization of different game stages."
+//
+// The paper shows a Honkai: Star Rail trace with eight stages: main-world
+// walking, instance fighting and NPC interaction separated by loading
+// stages whose signature is high CPU + near-idle GPU (Observations 1-3).
+// We regenerate the series from the Honkai workload model: per-5-second
+// CPU/GPU utilization plus the ground-truth stage boundaries.
+#include <iostream>
+
+#include "bench_util.h"
+#include "game/tracegen.h"
+
+using namespace cocg;
+
+int main() {
+  bench::banner("Fig. 2", "per-stage resource utilization of one run");
+
+  const auto spec = game::make_honkai();
+  const auto trace = game::profile_run(spec, 0, 1, 20240);
+  const auto slices = trace.to_frame_slices();
+
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"t_s", "cpu_pct", "gpu_pct", "stage_type", "loading"});
+
+  // Console rendering: one row per stage with its mean utilization.
+  TablePrinter table(
+      {"stage #", "kind", "start (s)", "end (s)", "mean CPU%", "mean GPU%"});
+  int stage_no = 0;
+  std::size_t i = 0;
+  while (i < slices.size()) {
+    const int st = slices[i].true_stage_type;
+    ResourceVector acc;
+    std::size_t n = 0;
+    const TimeMs start = slices[i].start;
+    bool loading = slices[i].true_loading;
+    while (i < slices.size() && slices[i].true_stage_type == st) {
+      acc += slices[i].mean_usage;
+      csv.push_back({TablePrinter::fmt(ms_to_sec(slices[i].start), 0),
+                     TablePrinter::fmt(slices[i].mean_usage.cpu()),
+                     TablePrinter::fmt(slices[i].mean_usage.gpu()),
+                     std::to_string(st),
+                     slices[i].true_loading ? "1" : "0"});
+      ++n;
+      ++i;
+    }
+    acc *= 1.0 / static_cast<double>(n);
+    table.add_row({std::to_string(++stage_no),
+                   loading ? "loading" : "execution",
+                   TablePrinter::fmt(ms_to_sec(start), 0),
+                   TablePrinter::fmt(ms_to_sec(slices[i - 1].end), 0),
+                   TablePrinter::fmt(acc.cpu(), 1),
+                   TablePrinter::fmt(acc.gpu(), 1)});
+  }
+  table.print(std::cout);
+  bench::write_csv("fig2_stage_trace", csv);
+  std::cout << "\nExpected shape (Observations 1-3): loading stages show the"
+               " highest CPU with near-idle GPU; execution stages differ"
+               " clearly from each other in CPU/GPU draw.\n";
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 5 — "Stage types of CSGO game by clustering."
+//
+// Cluster CSGO's 5-second frames (K = 4, the Fig. 14 choice), then print
+// the cluster centroids and the stage types that emerge as cluster
+// combinations (§IV-A2). Paper reference: CSGO's scripts exercise 4 stage
+// types (match) and 3 (training map); combinations stay well below 2^N.
+#include "clustering_report.h"
+#include "game/library.h"
+
+using namespace cocg;
+
+int main() {
+  bench::banner("Fig. 5", "CSGO frame clustering and stage types");
+  bench::report_game_clustering(game::make_csgo(), 4,
+                                "fig5_csgo_clustering");
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fig. 6 — "Stage types of Devil May Cry game by clustering."
+//
+// Same analysis as Fig. 5 for the console title: K = 6 clusters (Fig. 14),
+// stage types from script 1 (2 types) through script 3 (6 types).
+#include "clustering_report.h"
+#include "game/library.h"
+
+using namespace cocg;
+
+int main() {
+  bench::banner("Fig. 6", "Devil May Cry frame clustering and stage types");
+  bench::report_game_clustering(game::make_devil_may_cry(), 6,
+                                "fig6_dmc_clustering");
+  return 0;
+}

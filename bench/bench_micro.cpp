@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and the ML substrate: event-queue churn, whole-server contention
+// resolution, session ticking, K-means fitting, tree training and the
+// stage predictor's online inference.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "game/plan.h"
+#include "game/session.h"
+#include "hw/contention.h"
+#include "hw/server.h"
+#include "ml/kmeans.h"
+#include "ml/tree.h"
+#include "sim/engine.h"
+
+namespace cocg {
+namespace {
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule((i * 7919) % 1000, [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ResolveServer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hw::ServerSpec spec;
+  std::vector<hw::PinnedDraw> draws;
+  for (int i = 0; i < n; ++i) {
+    hw::PinnedDraw d;
+    d.draw.sid = SessionId{static_cast<std::uint64_t>(i)};
+    d.draw.demand = ResourceVector{30, 40, 2000, 2000};
+    d.draw.allocation = spec.per_gpu_capacity();
+    d.gpu_index = i % spec.num_gpus;
+    draws.push_back(d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::resolve_server(spec, draws));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ResolveServer)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SessionFullRun(benchmark::State& state) {
+  static const game::GameSpec spec = game::make_genshin();
+  for (auto _ : state) {
+    Rng rng(42);
+    auto plan = game::generate_plan(spec, 0, 1, rng);
+    game::GameSession s(SessionId{1}, &spec, 0, std::move(plan), rng.fork());
+    TimeMs now = 0;
+    s.begin(now);
+    while (!s.finished()) {
+      s.tick(now, s.demand());
+      now += 1000;
+    }
+    benchmark::DoNotOptimize(s.mean_fps());
+  }
+}
+BENCHMARK(BM_SessionFullRun);
+
+void BM_KMeansFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<ml::Point> pts;
+  for (int b = 0; b < 5; ++b) {
+    for (int i = 0; i < 200; ++i) {
+      pts.push_back({b * 3.0 + rng.normal(0, 0.2),
+                     b * 2.0 + rng.normal(0, 0.2), rng.normal(0, 0.2),
+                     rng.normal(0, 0.2)});
+    }
+  }
+  ml::KMeansConfig cfg;
+  cfg.k = 5;
+  for (auto _ : state) {
+    Rng fit(13);
+    benchmark::DoNotOptimize(ml::KMeans::fit(pts, cfg, fit));
+  }
+  state.SetItemsProcessed(state.iterations() * pts.size());
+}
+BENCHMARK(BM_KMeansFit);
+
+void BM_TreeFit(benchmark::State& state) {
+  Rng rng(9);
+  ml::Dataset d({"a", "b", "c"});
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10),
+                 c = rng.uniform(0, 10);
+    d.add({a, b, c}, (a + b > 10.0 ? 1 : 0) + (c > 5.0 ? 1 : 0));
+  }
+  for (auto _ : state) {
+    ml::DecisionTreeClassifier tree;
+    tree.fit(d);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.SetItemsProcessed(state.iterations() * d.size());
+}
+BENCHMARK(BM_TreeFit);
+
+void BM_PredictorInference(benchmark::State& state) {
+  static const std::vector<game::GameSpec> suite = {game::make_dota2()};
+  static const core::TrainedGame tg = [] {
+    core::OfflineConfig cfg;
+    cfg.profiling_runs = 8;
+    cfg.corpus_runs = 30;
+    return core::train_game(suite[0], cfg);
+  }();
+  std::vector<int> hist{1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.predictor->predict_next(hist, 3, 0));
+  }
+}
+BENCHMARK(BM_PredictorInference);
+
+void BM_OfflineTrainGame(benchmark::State& state) {
+  static const game::GameSpec spec = game::make_contra();
+  for (auto _ : state) {
+    core::OfflineConfig cfg;
+    cfg.profiling_runs = 6;
+    cfg.corpus_runs = 12;
+    benchmark::DoNotOptimize(core::train_game(spec, cfg));
+  }
+}
+BENCHMARK(BM_OfflineTrainGame);
+
+}  // namespace
+}  // namespace cocg
+
+BENCHMARK_MAIN();

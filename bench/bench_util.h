@@ -1,0 +1,54 @@
+// Shared helpers for the experiment-regeneration binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation section: it runs the experiment on the simulated platform and
+// prints the same rows/series the paper reports, plus a CSV next to the
+// binary for plotting.
+#pragma once
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.h"
+#include "core/offline.h"
+#include "game/library.h"
+
+namespace cocg::bench {
+
+/// Print a standard experiment banner.
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::cout << "==================================================\n"
+            << experiment << " — " << what << "\n"
+            << "==================================================\n";
+}
+
+/// The five paper games with static storage — TrainedGame::spec points
+/// into this, so benches must train against it, never a temporary.
+inline const std::vector<game::GameSpec>& paper_suite_static() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+/// Offline training configuration shared by the benches (heavier than the
+/// unit tests: more runs → tighter profiles).
+inline core::OfflineConfig bench_offline_config(std::uint64_t seed = 2024) {
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = 14;
+  cfg.corpus_runs = 80;
+  cfg.players = 12;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Write a CSV beside the binary; returns the path written.
+inline std::string write_csv(const std::string& name,
+                             const std::vector<std::vector<std::string>>& rows) {
+  const std::string path = name + ".csv";
+  CsvWriter w(path);
+  for (const auto& r : rows) w.write_row(r);
+  std::cout << "[csv] " << path << "\n";
+  return path;
+}
+
+}  // namespace cocg::bench

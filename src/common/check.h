@@ -1,0 +1,50 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines'
+// Expects/Ensures. Violations throw cocg::ContractError so tests can assert
+// on them; they are never compiled out because the simulator is not on a
+// nanosecond-critical path.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cocg {
+
+/// Thrown when a COCG_EXPECTS / COCG_ENSURES / COCG_CHECK condition fails.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace cocg
+
+#define COCG_CHECK_IMPL(kind, cond, msg)                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::cocg::detail::contract_fail(kind, #cond, __FILE__, __LINE__,     \
+                                    (msg));                              \
+    }                                                                    \
+  } while (false)
+
+/// Precondition check (argument validation at API boundaries).
+#define COCG_EXPECTS(cond) COCG_CHECK_IMPL("Precondition", cond, "")
+#define COCG_EXPECTS_MSG(cond, msg) COCG_CHECK_IMPL("Precondition", cond, msg)
+
+/// Postcondition check.
+#define COCG_ENSURES(cond) COCG_CHECK_IMPL("Postcondition", cond, "")
+
+/// General internal-invariant check.
+#define COCG_CHECK(cond) COCG_CHECK_IMPL("Check", cond, "")
+#define COCG_CHECK_MSG(cond, msg) COCG_CHECK_IMPL("Check", cond, msg)

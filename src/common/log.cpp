@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace cocg {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::cerr << '[' << log_level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace cocg

@@ -1,0 +1,35 @@
+// Minimal leveled logger. Thread-safe sink; off by default in tests/benches.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cocg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line (used by the COCG_LOG macro; callable directly too).
+void log_message(LogLevel level, const std::string& msg);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace cocg
+
+#define COCG_LOG(level, expr)                                     \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::cocg::log_level())) {                  \
+      std::ostringstream cocg_log_os_;                            \
+      cocg_log_os_ << expr;                                       \
+      ::cocg::log_message(level, cocg_log_os_.str());             \
+    }                                                             \
+  } while (false)
+
+#define COCG_DEBUG(expr) COCG_LOG(::cocg::LogLevel::kDebug, expr)
+#define COCG_INFO(expr) COCG_LOG(::cocg::LogLevel::kInfo, expr)
+#define COCG_WARN(expr) COCG_LOG(::cocg::LogLevel::kWarn, expr)
+#define COCG_ERROR(expr) COCG_LOG(::cocg::LogLevel::kError, expr)

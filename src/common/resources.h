@@ -1,0 +1,92 @@
+// Multi-dimensional resource vectors — the currency of CoCG.
+//
+// The paper tracks CPU utilization, GPU utilization, GPU memory and system
+// RAM per 5-second frame slice (§IV-A, Fig. 2). ResourceVector carries those
+// four dimensions; all profiler clustering, predictor features and scheduler
+// capacity checks operate on it.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace cocg {
+
+/// Index of each dimension inside a ResourceVector.
+enum class Dim : std::size_t {
+  kCpuPct = 0,   ///< CPU utilization, percent of the whole server (0..100).
+  kGpuPct = 1,   ///< GPU utilization, percent of one GPU device (0..100).
+  kGpuMemMb = 2, ///< GPU memory, MB.
+  kRamMb = 3,    ///< System RAM, MB.
+};
+
+inline constexpr std::size_t kNumDims = 4;
+
+inline constexpr std::array<const char*, kNumDims> kDimNames = {
+    "cpu_pct", "gpu_pct", "gpu_mem_mb", "ram_mb"};
+
+/// A point in resource space. Plain value type; all ops are element-wise.
+struct ResourceVector {
+  std::array<double, kNumDims> v{};
+
+  constexpr ResourceVector() = default;
+  constexpr ResourceVector(double cpu, double gpu, double gpu_mem, double ram)
+      : v{cpu, gpu, gpu_mem, ram} {}
+
+  constexpr double cpu() const { return v[0]; }
+  constexpr double gpu() const { return v[1]; }
+  constexpr double gpu_mem() const { return v[2]; }
+  constexpr double ram() const { return v[3]; }
+
+  constexpr double& operator[](Dim d) { return v[static_cast<std::size_t>(d)]; }
+  constexpr double operator[](Dim d) const {
+    return v[static_cast<std::size_t>(d)];
+  }
+  constexpr double& at(std::size_t i) { return v[i]; }
+  constexpr double at(std::size_t i) const { return v[i]; }
+
+  ResourceVector& operator+=(const ResourceVector& o);
+  ResourceVector& operator-=(const ResourceVector& o);
+  ResourceVector& operator*=(double s);
+
+  /// True iff every dimension of *this is <= the matching dimension of cap.
+  bool fits_within(const ResourceVector& cap) const;
+
+  /// True iff every dimension is >= 0.
+  bool non_negative() const;
+
+  /// Element-wise max / min.
+  static ResourceVector max(const ResourceVector& a, const ResourceVector& b);
+  static ResourceVector min(const ResourceVector& a, const ResourceVector& b);
+
+  /// Element-wise clamp of every dimension to [0, hi-dim].
+  ResourceVector clamped_to(const ResourceVector& hi) const;
+
+  /// Euclidean distance in normalized space (each dim divided by scale-dim).
+  /// Used by the profiler's K-means so that MB dims don't dominate % dims.
+  double distance(const ResourceVector& o, const ResourceVector& scale) const;
+
+  /// Squared Euclidean distance with the same normalization.
+  double distance_sq(const ResourceVector& o,
+                     const ResourceVector& scale) const;
+
+  /// The tightest bottleneck ratio available/demand over dims with demand>0;
+  /// >= 1 means fully satisfied. Used by the FPS degradation model.
+  double satisfaction_ratio(const ResourceVector& supplied) const;
+
+  std::string str() const;
+};
+
+ResourceVector operator+(ResourceVector a, const ResourceVector& b);
+ResourceVector operator-(ResourceVector a, const ResourceVector& b);
+ResourceVector operator*(ResourceVector a, double s);
+ResourceVector operator*(double s, ResourceVector a);
+bool operator==(const ResourceVector& a, const ResourceVector& b);
+std::ostream& operator<<(std::ostream& os, const ResourceVector& r);
+
+/// Default normalization scale: 100% CPU, 100% GPU, 8 GB VRAM, 8 GB RAM.
+/// (Matches the paper's testbed: GTX-2080-class 8 GB GPU and 8 GB RAM.)
+ResourceVector default_norm_scale();
+
+}  // namespace cocg

@@ -1,0 +1,106 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace cocg {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // xoshiro state must not be all-zero; splitmix64 never emits four zeros
+  // from distinct states, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 top bits → double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  COCG_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  COCG_EXPECTS(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Lemire-style rejection-free-enough bounded draw (debiased by rejection).
+  const std::uint64_t threshold = (~span + 1) % span;  // (2^64 - span) % span
+  std::uint64_t r;
+  do {
+    r = next_u64();
+  } while (r < threshold);
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double ang = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = mag * std::sin(ang);
+  have_cached_normal_ = true;
+  return mag * std::cos(ang);
+}
+
+double Rng::normal(double mean, double stddev) {
+  COCG_EXPECTS(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double mean) {
+  COCG_EXPECTS(mean > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -mean * std::log(u);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  COCG_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    COCG_EXPECTS_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  COCG_EXPECTS_MSG(total > 0.0, "at least one weight must be positive");
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace cocg

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (user influence, measurement
+// noise, arrival processes, ML subsampling) draws from an explicitly seeded
+// Rng so that experiments are bit-reproducible. We implement xoshiro256**
+// seeded via splitmix64 — the standard recommendation of its authors — and
+// expose the distributions the simulator needs without pulling in <random>'s
+// implementation-defined (hence non-portable) distribution outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cocg {
+
+/// splitmix64 — used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed'c0c6'2024ULL);
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double normal();
+
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Index drawn proportionally to non-negative weights (at least one > 0).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Uniformly shuffle [first, last) like std::shuffle.
+  template <class It>
+  void shuffle(It first, It last) {
+    const auto n = last - first;
+    for (auto i = n - 1; i > 0; --i) {
+      const auto j = static_cast<decltype(i)>(uniform_int(0, i));
+      using std::swap;
+      swap(first[i], first[j]);
+    }
+  }
+
+  /// Derive an independent child generator (stable given call order).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace cocg

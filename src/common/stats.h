@@ -1,0 +1,80 @@
+// Small statistics toolkit used by the profiler, QoS accounting and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cocg {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator); 0 if n<2.
+  double stddev() const;
+  double min() const;  ///< Requires !empty().
+  double max() const;  ///< Requires !empty().
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation (0 for n < 2).
+double stddev_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+/// Does not mutate its argument.
+double percentile(std::vector<double> xs, double p);
+
+/// Sum of squared deviations from the mean (SSE of a 1-cluster fit).
+double sse_about_mean(const std::vector<double>& xs);
+
+/// Exponential moving average helper.
+class Ema {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit Ema(double alpha);
+
+  double update(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const;
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace cocg

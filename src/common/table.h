@@ -1,0 +1,56 @@
+// Console table / CSV emission for benchmark harnesses.
+//
+// Every bench binary prints the rows/series the corresponding paper table or
+// figure reports; TablePrinter renders aligned ASCII tables, CsvWriter dumps
+// the same data machine-readably next to the binary.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cocg {
+
+/// Column-aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Add one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double x, int precision = 2);
+  static std::string fmt_pct(double x, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV writer (quotes cells containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Escape a single CSV cell (exposed for testing).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace cocg

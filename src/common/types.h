@@ -1,0 +1,65 @@
+// Fundamental identifier and time types shared by all CoCG modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cocg {
+
+/// Simulated time in milliseconds since simulation start.
+using TimeMs = std::int64_t;
+
+/// Duration in milliseconds.
+using DurationMs = std::int64_t;
+
+inline constexpr TimeMs kTimeNever = std::numeric_limits<TimeMs>::max();
+
+/// One second / one telemetry frame slice (the paper samples at 5 s).
+inline constexpr DurationMs kMsPerSec = 1000;
+inline constexpr DurationMs kFrameSliceMs = 5 * kMsPerSec;
+
+constexpr double ms_to_sec(DurationMs ms) {
+  return static_cast<double>(ms) / 1000.0;
+}
+constexpr DurationMs sec_to_ms(double sec) {
+  return static_cast<DurationMs>(sec * 1000.0);
+}
+
+/// Strongly-typed id helper: distinct tag types prevent mixing id spaces.
+template <class Tag>
+struct Id {
+  std::uint64_t value = kInvalid;
+
+  static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+struct SessionTag {};
+struct ServerTag {};
+struct GameTag {};
+struct RequestTag {};
+
+using SessionId = Id<SessionTag>;
+using ServerId = Id<ServerTag>;
+using GameId = Id<GameTag>;
+using RequestId = Id<RequestTag>;
+
+}  // namespace cocg
+
+// std::hash specializations so ids can key unordered containers.
+#include <functional>
+namespace std {
+template <class Tag>
+struct hash<cocg::Id<Tag>> {
+  size_t operator()(cocg::Id<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,89 @@
+// CocgScheduler — the paper's complete system (Fig. 3) as a pluggable
+// platform::Scheduler.
+//
+//  * admission — Distributor (Algorithm 1) over per-GPU capacity views,
+//    fed by the hosted sessions' monitors and the candidate's predictor;
+//  * 5-second control loop — per-session OnlineMonitor updates (Fig. 8),
+//    allocation = stage peak + redundancy (Eq. 1), Regulator stealing
+//    loading time when a view is over the limit;
+//  * replacing-model fallback — persistent prediction errors rotate the
+//    game's model DTC → RF → GBDT (§IV-B2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/distributor.h"
+#include "core/offline.h"
+#include "core/online_monitor.h"
+#include "core/regulator.h"
+#include "platform/scheduler.h"
+
+namespace cocg::core {
+
+struct CocgConfig {
+  DistributorConfig distributor;
+  RegulatorConfig regulator;
+  MonitorConfig monitor;
+  /// Consecutive prediction errors before the game's model is replaced.
+  int replace_model_after = 5;
+  /// Telemetry samples aggregated per detection (the paper's 5 s at 1 Hz).
+  std::size_t detection_window = 5;
+  std::uint64_t seed = 7;
+};
+
+class CocgScheduler final : public platform::Scheduler {
+ public:
+  /// `models`: one TrainedGame per game name (train_suite output).
+  CocgScheduler(std::map<std::string, TrainedGame> models,
+                CocgConfig cfg = {});
+
+  std::string name() const override { return "CoCG"; }
+
+  std::optional<platform::Placement> admit(
+      platform::PlatformView& view, const platform::GameRequest& req) override;
+
+  void control(platform::PlatformView& view) override;
+
+  void on_session_start(platform::PlatformView& view, SessionId sid) override;
+  void on_session_end(platform::PlatformView& view, SessionId sid) override;
+
+  /// Introspection for tests/benches.
+  const TrainedGame& model(const std::string& game) const;
+  int model_replacements() const { return model_replacements_; }
+  int total_callbacks() const;
+
+ private:
+  struct SessionState {
+    std::unique_ptr<OnlineMonitor> monitor;
+    std::string game;
+    std::uint64_t player_id = 0;
+    std::size_t script_idx = 0;
+    std::size_t samples_consumed = 0;
+    DurationMs stolen_ms = 0;
+    bool held = false;
+    int outcomes_reported = 0;  ///< hits+misses already fed to the predictor
+  };
+
+  /// Capacity of one GPU view with the CPU/RAM pools reduced by sessions
+  /// pinned to the server's other GPUs.
+  ResourceVector view_capacity(const platform::PlatformView& view,
+                               ServerId server, int gpu) const;
+  SessionOutlook outlook_for(const SessionState& st, TimeMs now) const;
+  CandidateOutlook candidate_outlook(const TrainedGame& tg,
+                                     std::uint64_t player_id,
+                                     std::size_t script_idx) const;
+  void update_monitor(platform::PlatformView& view, SessionId sid,
+                      SessionState& st, bool view_saturated);
+
+  std::map<std::string, TrainedGame> models_;
+  CocgConfig cfg_;
+  Distributor distributor_;
+  Regulator regulator_;
+  std::map<SessionId, SessionState> state_;
+  Rng rng_;
+  int model_replacements_ = 0;
+};
+
+}  // namespace cocg::core

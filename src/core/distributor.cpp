@@ -1,0 +1,66 @@
+#include "core/distributor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cocg::core {
+
+AdmitDecision Distributor::decide(
+    const ResourceVector& capacity, const std::vector<SessionOutlook>& hosted,
+    const CandidateOutlook& candidate) const {
+  COCG_EXPECTS(cfg_.horizon >= 1);
+  const ResourceVector limit = capacity * cfg_.capacity_limit;
+
+  // Empty server: admissible when the candidate alone fits outright.
+  if (hosted.empty()) {
+    if (candidate.peak.fits_within(capacity)) return {true, "empty server"};
+    return {false, "candidate alone exceeds capacity"};
+  }
+
+  // Instantaneous feasibility at the moment of admission: hosted sessions
+  // at their current-stage peaks plus the candidate's opening loading draw.
+  // Loading CPU is elastic (it stretches), so it is discounted.
+  ResourceVector opening = candidate.opening;
+  opening[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
+  ResourceVector now_total = opening;
+  for (const auto& h : hosted) {
+    ResourceVector cur = h.current_peak;
+    if (h.in_loading) cur[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
+    now_total += cur;
+  }
+  const bool now_ok = now_total.fits_within(limit);
+
+  // §IV-C2 "distinguish game length": a short game slots into the gap when
+  // the hosted sessions' current stages leave instantaneous room for its
+  // whole peak — by prediction, the next hosted peak is at least one stage
+  // transition away.
+  if (cfg_.short_game_fastpath && candidate.short_game) {
+    ResourceVector with_peak = candidate.peak;
+    for (const auto& h : hosted) {
+      ResourceVector cur = h.current_peak;
+      if (h.in_loading) cur[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
+      with_peak += cur;
+    }
+    if (with_peak.fits_within(limit)) {
+      return {true, "short-game gap insertion"};
+    }
+  }
+
+  if (!now_ok) {
+    return {false, "current combined consumption exceeds limit"};
+  }
+
+  // Algorithm 1's forward scan, reduced: combined time-weighted expected
+  // demand over the prediction horizon must stay under the limit. Peaks
+  // that interleave above it are the regulator's job; sustained expected
+  // oversubscription is not admissible.
+  ResourceVector expected_total = candidate.expected;
+  for (const auto& h : hosted) expected_total += h.expected;
+  if (!expected_total.fits_within(limit)) {
+    return {false, "expected combined consumption exceeds limit"};
+  }
+  return {true, "complementary fit"};
+}
+
+}  // namespace cocg::core

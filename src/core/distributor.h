@@ -1,0 +1,85 @@
+// Game distributor — Algorithm 1 (§IV-C1).
+//
+// Decides whether a pending game can join a server that is already running
+// games. Interpretation of Algorithm 1's quantities, calibrated against the
+// paper's own co-location outcomes (Fig. 9 admits Genshin+DOTA2, Fig. 11
+// admits DOTA2+DMC under CoCG only, and inserts short Genshin runs between
+// CSGO peaks):
+//
+//  * per-task forward scan (lines 10–24): each hosted session's monitor
+//    yields its predicted stage sequence; we reduce it to a time-weighted
+//    *expected* demand vector (stage mean demand × catalog mean duration,
+//    loading stages' CPU discounted — loading is elastic, it stretches
+//    rather than contends);
+//  * admission (line 18's M + Consumption_Si ≤ Total): the sum of hosted
+//    expected demands plus the candidate's expected demand must stay under
+//    the capacity limit, and the instant of admission must not be
+//    oversubscribed (hosted current-stage peaks + the candidate's opening
+//    loading draw);
+//  * "distinguish game length" (§IV-C2): a short game may additionally be
+//    slotted in whenever the hosted sessions' *current* stages leave
+//    instantaneous room for its whole peak — the gap before the next
+//    predicted peak is the insertion window, residual overlap is §IV-D's
+//    bounded, compensated degradation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/resources.h"
+#include "common/types.h"
+
+namespace cocg::core {
+
+/// Forward view of one hosted session.
+struct SessionOutlook {
+  ResourceVector current_peak;  ///< current stage's peak demand
+  ResourceVector expected;      ///< time-weighted expected demand (horizon)
+  bool in_loading = false;
+  /// Expected time until the current stage ends (catalog mean − elapsed).
+  DurationMs expected_remaining_ms = 0;
+};
+
+/// Forward view of the admission candidate.
+struct CandidateOutlook {
+  ResourceVector opening;   ///< initialization-loading draw
+  ResourceVector peak;      ///< max predicted stage peak (with redundancy)
+  ResourceVector expected;  ///< time-weighted expected demand
+  bool short_game = false;
+  DurationMs expected_duration_ms = 0;
+};
+
+struct DistributorConfig {
+  int horizon = 4;               ///< Algorithm 1's Total.iteration
+  /// Admission headroom: expected combined demand must stay under this
+  /// fraction of capacity. Slightly tighter than the regulator's 95%
+  /// utilization bound so residual peak interleaving stays within §IV-D's
+  /// 5%-of-time degradation budget.
+  double capacity_limit = 0.90;
+  /// Loading stages stretch instead of contending: their CPU draw counts
+  /// at this factor in instantaneous checks.
+  double loading_cpu_elasticity = 0.5;
+  bool short_game_fastpath = true;  ///< §IV-C2 gap insertion
+};
+
+struct AdmitDecision {
+  bool admit = false;
+  std::string reason;
+};
+
+class Distributor {
+ public:
+  explicit Distributor(DistributorConfig cfg = {}) : cfg_(cfg) {}
+
+  /// One capacity view (a single GPU's view of a server).
+  AdmitDecision decide(const ResourceVector& capacity,
+                       const std::vector<SessionOutlook>& hosted,
+                       const CandidateOutlook& candidate) const;
+
+  const DistributorConfig& config() const { return cfg_; }
+
+ private:
+  DistributorConfig cfg_;
+};
+
+}  // namespace cocg::core

@@ -1,0 +1,58 @@
+#include "core/features.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cocg::core {
+
+FeatureEncoder::FeatureEncoder(EncoderConfig cfg, int num_types)
+    : cfg_(cfg), num_types_(num_types) {
+  COCG_EXPECTS(cfg.history_len >= 1);
+  COCG_EXPECTS(num_types >= 1);
+}
+
+void player_hash_floats(std::uint64_t player_id, double& h0, double& h1) {
+  SplitMix64 sm(player_id ^ 0xc0c6'1234'5678ULL);
+  h0 = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+  h1 = static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string> FeatureEncoder::feature_names() const {
+  std::vector<std::string> names;
+  for (int h = 0; h < cfg_.history_len; ++h) {
+    names.push_back("hist_" + std::to_string(h));  // hist_0 = most recent
+  }
+  names.push_back("position");
+  if (cfg_.mode_feature) names.push_back("mode");
+  if (cfg_.player_features) {
+    names.push_back("player_h0");
+    names.push_back("player_h1");
+  }
+  return names;
+}
+
+ml::FeatureRow FeatureEncoder::encode(const std::vector<int>& exec_history,
+                                      std::uint64_t player_id,
+                                      std::size_t mode) const {
+  ml::FeatureRow row;
+  row.reserve(static_cast<std::size_t>(cfg_.history_len) + 3);
+  // hist_0 is the most recent execution stage; pad with num_types_.
+  for (int h = 0; h < cfg_.history_len; ++h) {
+    const auto pos = static_cast<std::ptrdiff_t>(exec_history.size()) - 1 - h;
+    row.push_back(pos >= 0
+                      ? static_cast<double>(
+                            exec_history[static_cast<std::size_t>(pos)])
+                      : static_cast<double>(num_types_));
+  }
+  row.push_back(static_cast<double>(exec_history.size()));
+  if (cfg_.mode_feature) row.push_back(static_cast<double>(mode));
+  if (cfg_.player_features) {
+    double h0 = 0.0, h1 = 0.0;
+    player_hash_floats(player_id, h0, h1);
+    row.push_back(h0);
+    row.push_back(h1);
+  }
+  return row;
+}
+
+}  // namespace cocg::core

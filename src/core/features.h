@@ -1,0 +1,50 @@
+// Feature encoding for the stage predictor (§IV-B).
+//
+// Input: the history of *execution* stage types a run has visited so far
+// (loading stages are the prediction trigger, not part of the history),
+// the run's position, and the player identity (hashed to two stable floats
+// so tree models can isolate player cohorts — the mobile/MOBA quadrants'
+// "user influence").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace cocg::core {
+
+struct EncoderConfig {
+  int history_len = 3;          ///< how many trailing stages to encode
+  bool player_features = true;  ///< include hashed player identity
+  /// Include the launched game mode (Table I script) — the platform's
+  /// launcher knows which mode/level a player started.
+  bool mode_feature = true;
+};
+
+class FeatureEncoder {
+ public:
+  /// `num_types`: stage-type catalog size; the padding id for "no history"
+  /// is num_types itself.
+  FeatureEncoder(EncoderConfig cfg, int num_types);
+
+  std::vector<std::string> feature_names() const;
+
+  /// Encode the tail of `exec_history` (may be shorter than history_len)
+  /// plus position = number of execution stages completed so far.
+  ml::FeatureRow encode(const std::vector<int>& exec_history,
+                        std::uint64_t player_id, std::size_t mode) const;
+
+  int num_types() const { return num_types_; }
+  const EncoderConfig& config() const { return cfg_; }
+
+ private:
+  EncoderConfig cfg_;
+  int num_types_;
+};
+
+/// Stable 2-float hash of a player id in [0, 1).
+void player_hash_floats(std::uint64_t player_id, double& h0, double& h1);
+
+}  // namespace cocg::core

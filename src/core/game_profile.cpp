@@ -1,0 +1,69 @@
+#include "core/game_profile.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cocg::core {
+
+const StageTypeInfo& GameProfile::stage_type(int id) const {
+  COCG_EXPECTS(id >= 0 && id < num_stage_types());
+  return stage_types[static_cast<std::size_t>(id)];
+}
+
+const ClusterInfo& GameProfile::cluster(int id) const {
+  COCG_EXPECTS(id >= 0 && id < num_clusters());
+  return clusters[static_cast<std::size_t>(id)];
+}
+
+int GameProfile::match_cluster(const ResourceVector& usage) const {
+  COCG_EXPECTS(!clusters.empty());
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (const auto& c : clusters) {
+    const double d = usage.distance_sq(c.centroid, norm_scale);
+    if (d < best_d) {
+      best_d = d;
+      best = c.id;
+    }
+  }
+  return best;
+}
+
+int GameProfile::match_stage_signature(
+    const std::vector<int>& sorted_clusters) const {
+  for (const auto& st : stage_types) {
+    if (st.clusters == sorted_clusters) return st.id;
+  }
+  return -1;
+}
+
+double GameProfile::stage_distance(int stage_type_id,
+                                   const ResourceVector& usage) const {
+  const auto& st = stage_type(stage_type_id);
+  double best = std::numeric_limits<double>::max();
+  for (int c : st.clusters) {
+    best = std::min(best, usage.distance(cluster(c).centroid, norm_scale));
+  }
+  return best;
+}
+
+int GameProfile::match_execution_stage_for_cluster(int cluster) const {
+  int best = -1;
+  std::size_t best_size = std::numeric_limits<std::size_t>::max();
+  for (const auto& st : stage_types) {
+    if (st.loading) continue;
+    if (std::find(st.clusters.begin(), st.clusters.end(), cluster) ==
+        st.clusters.end()) {
+      continue;
+    }
+    if (st.clusters.size() < best_size) {
+      best_size = st.clusters.size();
+      best = st.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace cocg::core

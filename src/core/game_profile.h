@@ -1,0 +1,65 @@
+// The artifact of offline profiling: a game's cluster set + stage catalog.
+//
+// Built once per game from laboratory traces (§IV-A; "contention feature
+// profiling and model training only need to be performed once"). The online
+// system matches live 5-second frames against this profile.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/resources.h"
+#include "common/types.h"
+
+namespace cocg::core {
+
+/// One discovered frame cluster (centroid in resource space).
+struct ClusterInfo {
+  int id = -1;
+  ResourceVector centroid;
+  std::size_t frames = 0;  ///< frames assigned during profiling
+  bool loading = false;    ///< carries the loading signature
+};
+
+/// One discovered stage type: a combination of clusters (§IV-A2).
+struct StageTypeInfo {
+  int id = -1;
+  std::vector<int> clusters;  ///< sorted unique member cluster ids
+  bool loading = false;
+  ResourceVector peak_demand;  ///< max over member centroids
+  ResourceVector mean_demand;
+  DurationMs mean_duration_ms = 0;
+  DurationMs max_duration_ms = 0;
+  std::size_t occurrences = 0;
+};
+
+/// A profiled game.
+struct GameProfile {
+  std::string game_name;
+  ResourceVector norm_scale;  ///< normalization used for all distances
+  std::vector<ClusterInfo> clusters;
+  std::vector<StageTypeInfo> stage_types;
+  int loading_stage_type = -1;  ///< catalog id of the loading stage type
+  ResourceVector peak_demand;   ///< max over execution stage peaks (M)
+
+  const StageTypeInfo& stage_type(int id) const;
+  const ClusterInfo& cluster(int id) const;
+  int num_clusters() const { return static_cast<int>(clusters.size()); }
+  int num_stage_types() const { return static_cast<int>(stage_types.size()); }
+
+  /// Nearest cluster to a usage vector (normalized distance).
+  int match_cluster(const ResourceVector& usage) const;
+
+  /// Stage type whose signature equals the given sorted cluster set;
+  /// -1 when unseen.
+  int match_stage_signature(const std::vector<int>& sorted_clusters) const;
+
+  /// Distance from `usage` to the nearest member-centroid of a stage type.
+  double stage_distance(int stage_type_id, const ResourceVector& usage) const;
+
+  /// Most specific execution stage type whose signature contains `cluster`
+  /// (smallest signature wins); -1 when none does.
+  int match_execution_stage_for_cluster(int cluster) const;
+};
+
+}  // namespace cocg::core

@@ -1,0 +1,85 @@
+#include "core/offline.h"
+
+#include "common/check.h"
+#include "game/tracegen.h"
+
+namespace cocg::core {
+
+TrainedGame train_game(const game::GameSpec& spec, const OfflineConfig& cfg) {
+  COCG_EXPECTS(cfg.profiling_runs >= 1);
+  COCG_EXPECTS(cfg.corpus_runs >= 0);
+  COCG_EXPECTS(cfg.players >= 1);
+  Rng rng(cfg.seed ^ spec.id.value);
+
+  TrainedGame out;
+  out.spec = &spec;
+
+  // 1. Laboratory profiling runs → traces.
+  std::vector<telemetry::Trace> traces;
+  std::vector<std::uint64_t> trace_players;
+  std::vector<std::size_t> trace_scripts;
+  traces.reserve(static_cast<std::size_t>(cfg.profiling_runs));
+  for (int r = 0; r < cfg.profiling_runs; ++r) {
+    const auto script = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.scripts.size()) - 1));
+    const auto player =
+        static_cast<std::uint64_t>(rng.uniform_int(1, cfg.players));
+    traces.push_back(
+        game::profile_run(spec, script, player, rng.next_u64()));
+    trace_players.push_back(player);
+    trace_scripts.push_back(script);
+  }
+  DurationMs dur_sum = 0;
+  for (const auto& t : traces) dur_sum += t.end_time() - t.start_time();
+  out.mean_run_duration_ms = dur_sum / static_cast<DurationMs>(traces.size());
+
+  // 2. Cluster + segment + catalog.
+  ProfilerConfig prof_cfg = cfg.profiler;
+  if (cfg.operator_k && prof_cfg.forced_k == 0) {
+    prof_cfg.forced_k = spec.num_clusters();
+  }
+  FrameProfiler profiler(prof_cfg);
+  auto prof_out = profiler.profile(spec.name, traces, rng);
+  out.profile = std::make_shared<GameProfile>(std::move(prof_out.profile));
+  out.sse_by_k = std::move(prof_out.sse_by_k);
+  out.chosen_k = prof_out.chosen_k;
+
+  // 3. Predictor corpus: the profiling runs' sequences plus bulk runs
+  //    re-segmented against the fixed profile.
+  std::vector<TrainingRun> corpus;
+  for (std::size_t t = 0; t < prof_out.stage_sequences.size(); ++t) {
+    corpus.push_back(TrainingRun{prof_out.stage_sequences[t],
+                                 trace_players[t], trace_scripts[t]});
+  }
+  for (int r = 0; r < cfg.corpus_runs; ++r) {
+    const auto script = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.scripts.size()) - 1));
+    const auto player =
+        static_cast<std::uint64_t>(rng.uniform_int(1, cfg.players));
+    const auto trace =
+        game::profile_run(spec, script, player, rng.next_u64());
+    corpus.push_back(TrainingRun{infer_stage_sequence(*out.profile, trace),
+                                 player, script});
+  }
+
+  // 4. Train the stage predictor with category-aware sample selection.
+  PredictorConfig pcfg;
+  pcfg.model = cfg.model;
+  pcfg.encoder = cfg.encoder;
+  pcfg.train_fraction = cfg.train_fraction;
+  pcfg.category = spec.category;
+  out.predictor = std::make_unique<StagePredictor>(out.profile.get(), pcfg);
+  out.predictor->train(corpus, rng);
+  return out;
+}
+
+std::map<std::string, TrainedGame> train_suite(
+    const std::vector<game::GameSpec>& suite, const OfflineConfig& cfg) {
+  std::map<std::string, TrainedGame> out;
+  for (const auto& spec : suite) {
+    out.emplace(spec.name, train_game(spec, cfg));
+  }
+  return out;
+}
+
+}  // namespace cocg::core

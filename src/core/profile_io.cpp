@@ -1,0 +1,154 @@
+#include "core/profile_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cocg::core {
+
+namespace {
+
+constexpr const char* kMagic = "cocg-profile-v1";
+
+void write_vector(std::ostream& os, const ResourceVector& v) {
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    os << (i ? " " : "") << v.at(i);
+  }
+}
+
+ResourceVector read_vector(std::istringstream& is, const std::string& ctx) {
+  ResourceVector v;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    if (!(is >> v.at(i))) {
+      throw std::runtime_error("profile parse error in " + ctx);
+    }
+  }
+  return v;
+}
+
+std::istringstream expect_line(std::istream& is, const std::string& key) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("profile truncated before '" + key + "'");
+  }
+  if (line.rfind(key, 0) != 0) {
+    throw std::runtime_error("profile expected '" + key + "', got '" +
+                             line + "'");
+  }
+  return std::istringstream(line.substr(key.size()));
+}
+
+}  // namespace
+
+void write_profile(const GameProfile& profile, std::ostream& os) {
+  os << kMagic << '\n';
+  os << "game " << profile.game_name << '\n';
+  os << "norm_scale ";
+  write_vector(os, profile.norm_scale);
+  os << '\n';
+  os << "peak_demand ";
+  write_vector(os, profile.peak_demand);
+  os << '\n';
+  os << "loading_stage_type " << profile.loading_stage_type << '\n';
+  os << "clusters " << profile.clusters.size() << '\n';
+  for (const auto& c : profile.clusters) {
+    os << "cluster " << c.id << ' ' << c.frames << ' ' << (c.loading ? 1 : 0)
+       << ' ';
+    write_vector(os, c.centroid);
+    os << '\n';
+  }
+  os << "stage_types " << profile.stage_types.size() << '\n';
+  for (const auto& st : profile.stage_types) {
+    os << "stage " << st.id << ' ' << (st.loading ? 1 : 0) << ' '
+       << st.mean_duration_ms << ' ' << st.max_duration_ms << ' '
+       << st.occurrences << ' ' << st.clusters.size();
+    for (int c : st.clusters) os << ' ' << c;
+    os << ' ';
+    write_vector(os, st.peak_demand);
+    os << ' ';
+    write_vector(os, st.mean_demand);
+    os << '\n';
+  }
+}
+
+void save_profile(const GameProfile& profile, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("save_profile: cannot open " + path);
+  write_profile(profile, out);
+  if (!out) throw std::runtime_error("save_profile: write failed " + path);
+}
+
+GameProfile read_profile(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    throw std::runtime_error("profile: bad magic");
+  }
+  GameProfile p;
+  {
+    auto ls = expect_line(is, "game ");
+    std::getline(ls, p.game_name);
+  }
+  {
+    auto ls = expect_line(is, "norm_scale ");
+    p.norm_scale = read_vector(ls, "norm_scale");
+  }
+  {
+    auto ls = expect_line(is, "peak_demand ");
+    p.peak_demand = read_vector(ls, "peak_demand");
+  }
+  {
+    auto ls = expect_line(is, "loading_stage_type ");
+    ls >> p.loading_stage_type;
+  }
+  std::size_t n_clusters = 0;
+  {
+    auto ls = expect_line(is, "clusters ");
+    ls >> n_clusters;
+  }
+  for (std::size_t i = 0; i < n_clusters; ++i) {
+    auto ls = expect_line(is, "cluster ");
+    ClusterInfo c;
+    int loading = 0;
+    if (!(ls >> c.id >> c.frames >> loading)) {
+      throw std::runtime_error("profile parse error in cluster");
+    }
+    c.loading = loading != 0;
+    c.centroid = read_vector(ls, "cluster centroid");
+    p.clusters.push_back(c);
+  }
+  std::size_t n_stages = 0;
+  {
+    auto ls = expect_line(is, "stage_types ");
+    ls >> n_stages;
+  }
+  for (std::size_t i = 0; i < n_stages; ++i) {
+    auto ls = expect_line(is, "stage ");
+    StageTypeInfo st;
+    int loading = 0;
+    std::size_t n_members = 0;
+    if (!(ls >> st.id >> loading >> st.mean_duration_ms >>
+          st.max_duration_ms >> st.occurrences >> n_members)) {
+      throw std::runtime_error("profile parse error in stage");
+    }
+    st.loading = loading != 0;
+    for (std::size_t m = 0; m < n_members; ++m) {
+      int c = 0;
+      if (!(ls >> c)) {
+        throw std::runtime_error("profile parse error in stage members");
+      }
+      st.clusters.push_back(c);
+    }
+    st.peak_demand = read_vector(ls, "stage peak");
+    st.mean_demand = read_vector(ls, "stage mean");
+    p.stage_types.push_back(st);
+  }
+  return p;
+}
+
+GameProfile load_profile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_profile: cannot open " + path);
+  return read_profile(in);
+}
+
+}  // namespace cocg::core

@@ -1,0 +1,24 @@
+// GameProfile persistence.
+//
+// Profiling and training "only need to be performed once" (§IV-B1) — the
+// artifacts must therefore outlive the process. Profiles serialize to a
+// line-oriented text format (versioned, human-diffable) so operators can
+// ship them alongside game images and load them on any scheduler node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/game_profile.h"
+
+namespace cocg::core {
+
+/// Serialize a profile. Throws std::runtime_error on I/O failure.
+void save_profile(const GameProfile& profile, const std::string& path);
+void write_profile(const GameProfile& profile, std::ostream& os);
+
+/// Deserialize. Throws std::runtime_error on I/O or format errors.
+GameProfile load_profile(const std::string& path);
+GameProfile read_profile(std::istream& is);
+
+}  // namespace cocg::core

@@ -1,0 +1,39 @@
+#include "core/regulator.h"
+
+#include "common/check.h"
+
+namespace cocg::core {
+
+std::vector<RegulatorAction> Regulator::resolve(
+    const ResourceVector& capacity,
+    const std::vector<SessionPressure>& sessions) const {
+  const ResourceVector limit = capacity * cfg_.capacity_limit;
+
+  std::vector<RegulatorAction> actions;
+  actions.reserve(sessions.size());
+  ResourceVector total;
+  for (const auto& s : sessions) {
+    actions.push_back(RegulatorAction{s.sid, false, s.wanted});
+    total += s.wanted;
+  }
+  if (total.fits_within(limit)) return actions;  // no pressure: release all
+
+  // Steal from loading sessions, in order, until the view fits.
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& s = sessions[i];
+    if (!s.in_loading) continue;
+    if (s.stolen_ms >= cfg_.max_steal_ms) continue;  // budget exhausted
+    const ResourceVector throttled =
+        s.loading_demand * cfg_.held_loading_frac;
+    total -= actions[i].allocation;
+    total += throttled;
+    actions[i].hold = true;
+    actions[i].allocation = throttled;
+    if (total.fits_within(limit)) return actions;
+  }
+  // Still over: nothing more the regulator may legally steal; contention
+  // resolution will squeeze proportionally (§IV-D's bounded degradation).
+  return actions;
+}
+
+}  // namespace cocg::core

@@ -1,0 +1,169 @@
+#include "core/stage_predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+
+namespace cocg::core {
+
+StagePredictor::StagePredictor(const GameProfile* profile,
+                               PredictorConfig cfg)
+    : profile_(profile),
+      cfg_(cfg),
+      encoder_(cfg.encoder, profile ? profile->num_stage_types() : 1) {
+  COCG_EXPECTS(profile != nullptr);
+  COCG_EXPECTS(cfg.train_fraction > 0.0 && cfg.train_fraction < 1.0);
+}
+
+std::vector<int> StagePredictor::exec_only(const std::vector<int>& seq) const {
+  std::vector<int> out;
+  out.reserve(seq.size());
+  for (int st : seq) {
+    if (st >= 0 && st < profile_->num_stage_types() &&
+        !profile_->stage_type(st).loading) {
+      out.push_back(st);
+    }
+  }
+  return out;
+}
+
+ml::Dataset StagePredictor::build_dataset(
+    const std::vector<TrainingRun>& runs) const {
+  ml::Dataset data(encoder_.feature_names());
+  for (const auto& run : runs) {
+    const auto exec = exec_only(run.stage_seq);
+    // Pairs (history prefix → next stage); the empty-history pair teaches
+    // the opening stage.
+    for (std::size_t i = 0; i + 1 <= exec.size(); ++i) {
+      std::vector<int> hist(exec.begin(),
+                            exec.begin() + static_cast<std::ptrdiff_t>(i));
+      data.add(encoder_.encode(hist, run.player_id, run.script_idx),
+               exec[i]);
+    }
+  }
+  return data;
+}
+
+void StagePredictor::train(const std::vector<TrainingRun>& runs, Rng& rng) {
+  COCG_EXPECTS_MSG(!runs.empty(), "training needs at least one run");
+  corpus_ = runs;
+  fit_active(rng);
+}
+
+void StagePredictor::fit_active(Rng& rng) {
+  const ml::Dataset all = build_dataset(corpus_);
+  COCG_CHECK_MSG(!all.empty(), "corpus produced no training pairs");
+
+  // Pooled model with held-out accuracy (the paper's 75/25 split).
+  auto [train, test] = all.split(cfg_.train_fraction, rng);
+  if (train.empty() || test.empty()) {
+    train = all;
+    test = all;
+  }
+  pooled_ = ml::make_classifier(cfg_.model);
+  pooled_->fit(train, rng);
+  std::vector<int> pred;
+  pred.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(pooled_->predict(test.x(i)));
+  }
+  accuracy_ = ml::accuracy(test.labels(), pred);
+
+  // Refit the pooled model on everything for online use.
+  pooled_ = ml::make_classifier(cfg_.model);
+  pooled_->fit(all, rng);
+
+  // Mobile quadrant: personal models for players with enough history
+  // (§IV-B1 "finely establish a training set for each individual player").
+  per_player_.clear();
+  if (cfg_.category == game::GameCategory::kMobile) {
+    std::map<std::uint64_t, std::vector<TrainingRun>> by_player;
+    for (const auto& run : corpus_) by_player[run.player_id].push_back(run);
+    for (const auto& [pid, runs] : by_player) {
+      if (runs.size() < cfg_.min_player_runs) continue;
+      const ml::Dataset pd = build_dataset(runs);
+      if (pd.empty()) continue;
+      auto model = ml::make_classifier(cfg_.model);
+      model->fit(pd, rng);
+      per_player_[pid] = std::move(model);
+    }
+  }
+}
+
+int StagePredictor::predict_next(const std::vector<int>& exec_history,
+                                 std::uint64_t player_id,
+                                 std::size_t mode) const {
+  COCG_EXPECTS_MSG(trained(), "predict before train");
+  const auto row = encoder_.encode(exec_history, player_id, mode);
+  auto it = per_player_.find(player_id);
+  if (it != per_player_.end()) return it->second->predict(row);
+  return pooled_->predict(row);
+}
+
+std::vector<int> StagePredictor::predict_sequence(
+    const std::vector<int>& exec_history, std::uint64_t player_id,
+    std::size_t mode, int n) const {
+  COCG_EXPECTS(n >= 0);
+  std::vector<int> hist = exec_history;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int next = predict_next(hist, player_id, mode);
+    out.push_back(next);
+    hist.push_back(next);
+  }
+  return out;
+}
+
+void StagePredictor::record_outcome(bool hit) {
+  constexpr double kAlpha = 0.05;  // slow EMA: tens of outcomes to move P
+  if (online_n_ == 0) online_acc_ = accuracy_;
+  online_acc_ = kAlpha * (hit ? 1.0 : 0.0) + (1.0 - kAlpha) * online_acc_;
+  ++online_n_;
+}
+
+double StagePredictor::online_accuracy() const {
+  return online_n_ == 0 ? accuracy_ : online_acc_;
+}
+
+ResourceVector StagePredictor::redundancy() const {
+  // S = (1 − P) × M — Eq. 1, with M the game's peak consumption. P is the
+  // offline held-out accuracy refined by live outcomes once any exist.
+  return (1.0 - online_accuracy()) * profile_->peak_demand;
+}
+
+void StagePredictor::replace_model(Rng& rng) {
+  switch (cfg_.model) {
+    case ml::ModelKind::kDtc: cfg_.model = ml::ModelKind::kRf; break;
+    case ml::ModelKind::kRf: cfg_.model = ml::ModelKind::kGbdt; break;
+    case ml::ModelKind::kGbdt: cfg_.model = ml::ModelKind::kDtc; break;
+  }
+  if (!corpus_.empty()) fit_active(rng);
+}
+
+void StagePredictor::rebind_profile(const GameProfile* profile) {
+  COCG_EXPECTS(profile != nullptr);
+  COCG_EXPECTS_MSG(
+      profile->num_stage_types() == profile_->num_stage_types(),
+      "rebind requires an identical stage-type catalog");
+  profile_ = profile;
+}
+
+double StagePredictor::evaluate_model(ml::ModelKind kind, Rng& rng) const {
+  COCG_EXPECTS(!corpus_.empty());
+  const ml::Dataset all = build_dataset(corpus_);
+  auto [train, test] = all.split(cfg_.train_fraction, rng);
+  if (train.empty() || test.empty()) return 1.0;
+  auto model = ml::make_classifier(kind);
+  model->fit(train, rng);
+
+  std::vector<int> pred;
+  pred.reserve(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred.push_back(model->predict(test.x(i)));
+  }
+  return ml::accuracy(test.labels(), pred);
+}
+
+}  // namespace cocg::core

@@ -1,0 +1,114 @@
+// ML-based stage predictor (§IV-B).
+//
+// Offline: builds (history → next execution stage) training pairs from
+// profiled stage sequences, selecting samples per the Fig. 7 game-category
+// quadrant (web: pool everything; mobile: per-player datasets; console:
+// whole-process pooling; MMORPG/MOBA: cohort pooling with player features).
+// Trains one of DTC / RF / GBDT; held-out accuracy P feeds the redundancy
+// rule S = (1 − P) × M (Eq. 1).
+//
+// Online: predict_next() returns the execution stage expected after the
+// current loading stage; replace_model() hot-swaps the algorithm when
+// errors persist (the "replacing model" fallback, §IV-B2).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/resources.h"
+#include "common/rng.h"
+#include "core/features.h"
+#include "core/game_profile.h"
+#include "game/spec.h"
+#include "ml/classifier.h"
+
+namespace cocg::core {
+
+struct PredictorConfig {
+  ml::ModelKind model = ml::ModelKind::kDtc;
+  EncoderConfig encoder;
+  double train_fraction = 0.75;  ///< §V-D2: 75/25 split
+  game::GameCategory category = game::GameCategory::kWeb;
+  /// Minimum runs a player needs for a personal model (mobile quadrant);
+  /// thinner players fall back to the pooled model.
+  std::size_t min_player_runs = 3;
+};
+
+/// One realized run used for training.
+struct TrainingRun {
+  std::vector<int> stage_seq;  ///< catalog stage types, loading included
+  std::uint64_t player_id = 0;
+  std::size_t script_idx = 0;  ///< launched mode (Table I script)
+};
+
+class StagePredictor {
+ public:
+  /// `profile` must outlive the predictor.
+  StagePredictor(const GameProfile* profile, PredictorConfig cfg);
+
+  /// Train on realized runs; keeps the corpus so replace_model can retrain.
+  void train(const std::vector<TrainingRun>& runs, Rng& rng);
+
+  bool trained() const { return pooled_ != nullptr; }
+
+  /// Predict the next execution stage type given the execution-stage
+  /// history of a running session.
+  int predict_next(const std::vector<int>& exec_history,
+                   std::uint64_t player_id, std::size_t mode) const;
+
+  /// Iterated prediction of the next `n` execution stages (Algorithm 1's
+  /// forward scan).
+  std::vector<int> predict_sequence(const std::vector<int>& exec_history,
+                                    std::uint64_t player_id, std::size_t mode,
+                                    int n) const;
+
+  /// Held-out accuracy P of the pooled model (Fig. 15; Eq. 1's P).
+  double accuracy() const { return accuracy_; }
+
+  /// Online outcome feedback (extension beyond the paper): loading-exit
+  /// prediction hits/misses observed in production refine P, so Eq. 1's
+  /// redundancy adapts when live behaviour drifts from the training
+  /// corpus. Blended as an EMA over outcomes, seeded by the offline P.
+  void record_outcome(bool hit);
+  double online_accuracy() const;
+  std::size_t online_outcomes() const { return online_n_; }
+
+  /// Redundancy S = (1 − P) × M applied to an allocation (Eq. 1).
+  ResourceVector redundancy() const;
+
+  ml::ModelKind model_kind() const { return cfg_.model; }
+
+  /// Swap to the next algorithm in {DTC, RF, GBDT} and retrain (§IV-B2).
+  void replace_model(Rng& rng);
+
+  /// Evaluate a specific model kind on this predictor's corpus without
+  /// changing the active model (Fig. 15 sweeps).
+  double evaluate_model(ml::ModelKind kind, Rng& rng) const;
+
+  const FeatureEncoder& encoder() const { return encoder_; }
+
+  /// Re-point the predictor at a migrated profile (§IV-D): the catalog
+  /// (stage-type ids and count) must be identical — only the resource
+  /// amounts may differ. Used when a trained bundle moves to another SKU.
+  void rebind_profile(const GameProfile* profile);
+
+ private:
+  /// Strip loading stages: prediction operates on execution stages.
+  std::vector<int> exec_only(const std::vector<int>& seq) const;
+  ml::Dataset build_dataset(const std::vector<TrainingRun>& runs) const;
+  void fit_active(Rng& rng);
+
+  const GameProfile* profile_;
+  PredictorConfig cfg_;
+  FeatureEncoder encoder_;
+  std::vector<TrainingRun> corpus_;
+
+  std::unique_ptr<ml::Classifier> pooled_;
+  std::map<std::uint64_t, std::unique_ptr<ml::Classifier>> per_player_;
+  double accuracy_ = 0.0;
+  double online_acc_ = 0.0;
+  std::size_t online_n_ = 0;
+};
+
+}  // namespace cocg::core

@@ -1,0 +1,371 @@
+#include "game/library.h"
+
+#include "common/check.h"
+
+namespace cocg::game {
+
+namespace {
+
+// Jitter proportional to the centroid keeps noise realistic across clusters.
+ResourceVector jitter_for(const ResourceVector& centroid, double rel = 0.05) {
+  ResourceVector j = centroid * rel;
+  // Floors so even tiny clusters wiggle visibly.
+  j[Dim::kCpuPct] = std::max(j[Dim::kCpuPct], 0.5);
+  j[Dim::kGpuPct] = std::max(j[Dim::kGpuPct], 0.5);
+  j[Dim::kGpuMemMb] = std::max(j[Dim::kGpuMemMb], 10.0);
+  j[Dim::kRamMb] = std::max(j[Dim::kRamMb], 10.0);
+  return j;
+}
+
+FrameClusterSpec cluster(int id, std::string name, ResourceVector centroid,
+                         double fps_base) {
+  FrameClusterSpec c;
+  c.id = id;
+  c.name = std::move(name);
+  c.centroid = centroid;
+  c.jitter = jitter_for(centroid);
+  c.fps_base = fps_base;
+  return c;
+}
+
+StageTypeSpec loading_stage(int id, double nominal_lo_s, double nominal_hi_s,
+                            int cluster_id) {
+  StageTypeSpec st;
+  st.id = id;
+  st.name = "Loading";
+  st.kind = StageKind::kLoading;
+  st.clusters = {cluster_id};
+  st.min_dwell_ms = sec_to_ms(nominal_lo_s);
+  st.max_dwell_ms = sec_to_ms(nominal_hi_s);
+  st.shuffle_clusters = false;
+  return st;
+}
+
+StageTypeSpec exec_stage(int id, std::string name, std::vector<int> clusters,
+                         double lo_s, double hi_s, bool shuffle = true) {
+  StageTypeSpec st;
+  st.id = id;
+  st.name = std::move(name);
+  st.kind = StageKind::kExecution;
+  st.clusters = std::move(clusters);
+  st.min_dwell_ms = sec_to_ms(lo_s);
+  st.max_dwell_ms = sec_to_ms(hi_s);
+  st.shuffle_clusters = shuffle;
+  return st;
+}
+
+}  // namespace
+
+GameSpec make_contra() {
+  GameSpec g;
+  g.id = GameId{4};
+  g.name = "Contra";
+  g.category = GameCategory::kWeb;
+  g.fps_cap = 60.0;
+  g.short_game = true;
+
+  // Fig. 14: 2 clusters — "the loading and the running".
+  g.clusters = {
+      cluster(0, "loading", {35, 3, 300, 800}, 0.0),
+      cluster(1, "running", {18, 22, 500, 900}, 60.0),
+  };
+  g.stage_types = {
+      loading_stage(0, 5, 8, 0),
+      exec_stage(1, "Level", {1}, 110, 180, false),
+  };
+  g.loading_stage_type = 0;
+
+  // Table I: three scripts — first level / first two / first three.
+  for (int levels = 1; levels <= 3; ++levels) {
+    ScriptSpec s;
+    s.name = "script " + std::to_string(levels);
+    s.description = "first " + std::to_string(levels) +
+                    (levels == 1 ? " level" : " levels");
+    for (int l = 0; l < levels; ++l) {
+      s.segments.push_back(ScriptSegment{1, 1, 1, 0.0});
+    }
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+GameSpec make_csgo() {
+  GameSpec g;
+  g.id = GameId{1};
+  g.name = "CSGO";
+  g.category = GameCategory::kMoba;  // complex stages + high user influence
+  g.fps_cap = 0.0;                   // uncapped (§V-C2)
+  g.short_game = false;
+
+  // Fig. 14: 4 clusters.
+  g.clusters = {
+      cluster(0, "loading", {60, 8, 1500, 2500}, 0.0),
+      cluster(1, "buy/warmup", {33, 38, 2200, 3000}, 200.0),
+      cluster(2, "combat", {46, 62, 2400, 3000}, 160.0),
+      cluster(3, "training-map", {24, 50, 1500, 2200}, 220.0),
+  };
+  g.stage_types = {
+      loading_stage(0, 8, 16, 0),
+      exec_stage(1, "BuyPhase", {1}, 20, 40),
+      exec_stage(2, "RoundCombat", {2}, 90, 150),
+      exec_stage(3, "Training", {3}, 420, 560),
+      exec_stage(4, "Overtime", {2, 3}, 120, 200),
+  };
+  g.loading_stage_type = 0;
+
+  {
+    // Table I script 1: a match with 9 bots → 4 stage types
+    // (loading, buy, combat, overtime).
+    ScriptSpec s;
+    s.name = "script 1";
+    s.description = "conducting a match with 9 bots";
+    s.segments = {
+        ScriptSegment{1, 1, 1, 0.0},
+        ScriptSegment{2, 6, 10, 0.0},  // user-influenced round count
+        ScriptSegment{4, 1, 1, 0.2},   // overtime happens for most runs
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  {
+    // Table I script 2: moving in the training map without shooting
+    // → 3 stage types (loading, buy, training).
+    ScriptSpec s;
+    s.name = "script 2";
+    s.description = "moving in the training map without shooting";
+    s.segments = {
+        ScriptSegment{1, 1, 1, 0.0},
+        ScriptSegment{3, 1, 1, 0.0},
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+GameSpec make_dota2() {
+  GameSpec g;
+  g.id = GameId{0};
+  g.name = "DOTA2";
+  g.category = GameCategory::kMoba;
+  g.fps_cap = 0.0;  // uncapped
+  g.short_game = false;
+
+  // Fig. 14: 5 clusters. GPU peak ≈43% (Fig. 9).
+  g.clusters = {
+      cluster(0, "loading", {65, 7, 1800, 2600}, 0.0),
+      cluster(1, "laning", {34, 18, 2200, 2900}, 150.0),
+      cluster(2, "teamfight", {50, 43, 2700, 3400}, 120.0),
+      cluster(3, "push", {41, 30, 3200, 2700}, 130.0),
+      cluster(4, "arcade-td", {27, 14, 1500, 2200}, 160.0),
+  };
+  g.stage_types = {
+      loading_stage(0, 12, 25, 0),
+      exec_stage(1, "Laning", {1}, 300, 480),
+      exec_stage(2, "Fights", {2, 3}, 500, 900),
+      exec_stage(3, "TowerDefense", {4}, 400, 650),
+      exec_stage(4, "TDFinale", {4, 2}, 150, 260),
+  };
+  g.loading_stage_type = 0;
+
+  {
+    // Table I script 1: match with 9 bots → 3 stage types.
+    ScriptSpec s;
+    s.name = "script 1";
+    s.description = "conducting a match with 9 bots";
+    s.segments = {
+        ScriptSegment{1, 1, 1, 0.0},
+        ScriptSegment{2, 2, 3, 0.0},
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  {
+    // Table I script 2: tower-defense arcade game → 3 stage types.
+    ScriptSpec s;
+    s.name = "script 2";
+    s.description = "playing a tower defense game in the arcade";
+    s.segments = {
+        ScriptSegment{3, 1, 1, 0.0},
+        ScriptSegment{4, 1, 1, 0.0},
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+GameSpec make_genshin() {
+  GameSpec g;
+  g.id = GameId{2};
+  g.name = "Genshin Impact";
+  g.category = GameCategory::kMobile;
+  g.fps_cap = 60.0;  // manufacturer-locked (§V-C2)
+  g.short_game = true;
+
+  // Fig. 14: 4 clusters. Battle peak ≈78% GPU (Fig. 9), allocation study
+  // Fig. 10 reports ≈65% max overall demand.
+  g.clusters = {
+      cluster(0, "loading", {58, 6, 2000, 2800}, 0.0),
+      cluster(1, "run/explore", {35, 48, 2600, 3200}, 60.0),
+      cluster(2, "battle", {50, 78, 3000, 3400}, 60.0),
+      cluster(3, "fly", {30, 40, 2500, 3100}, 60.0),
+  };
+  g.stage_types = {
+      loading_stage(0, 10, 22, 0),
+      exec_stage(1, "Run", {1}, 150, 260),
+      exec_stage(2, "Battle", {2}, 120, 220),
+      exec_stage(3, "Fly", {3}, 90, 170),
+      exec_stage(4, "Domain", {2, 1}, 140, 240),
+  };
+  g.loading_stage_type = 0;
+
+  // Table I: three scripts = the same three tasks in different orders,
+  // 5 stage types each. Daily-task players additionally reorder by their
+  // own preference (player_order).
+  const std::vector<std::vector<int>> orders = {
+      {1, 2, 3}, {3, 2, 1}, {2, 1, 3}};
+  const std::vector<std::string> descs = {
+      "run + battle + fly", "fly + battle + run", "battle + run + fly"};
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    ScriptSpec s;
+    s.name = "script " + std::to_string(i + 1);
+    s.description = descs[i];
+    for (int st : orders[i]) {
+      s.segments.push_back(ScriptSegment{st, 1, 1, 0.0});
+    }
+    s.segments.push_back(ScriptSegment{4, 1, 1, 0.0});  // daily domain
+    s.player_order = true;
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+GameSpec make_devil_may_cry() {
+  GameSpec g;
+  g.id = GameId{3};
+  g.name = "Devil May Cry";
+  g.category = GameCategory::kConsole;
+  g.fps_cap = 60.0;  // manufacturer-locked (§V-C2)
+  g.short_game = false;
+
+  // Fig. 14: 6 clusters. Heavy console title: big peaks so DOTA2+DMC peak
+  // sums exceed one server (Fig. 11's hard pair).
+  g.clusters = {
+      cluster(0, "loading", {62, 8, 2400, 3000}, 0.0),
+      cluster(1, "explore", {38, 52, 2800, 3300}, 60.0),
+      cluster(2, "combat", {52, 70, 3000, 3400}, 60.0),
+      cluster(3, "cutscene", {24, 34, 2400, 3000}, 60.0),
+      cluster(4, "boss", {60, 76, 3800, 4100}, 60.0),
+      cluster(5, "menu", {15, 12, 1200, 2400}, 60.0),
+  };
+  g.stage_types = {
+      loading_stage(0, 15, 30, 0),
+      exec_stage(1, "Level1Mix", {1, 2}, 500, 800),
+      exec_stage(2, "Explore", {1}, 240, 420),
+      exec_stage(3, "Combat", {2}, 200, 360),
+      exec_stage(4, "Cutscene", {3}, 60, 120, false),
+      exec_stage(5, "BossFight", {4, 2}, 180, 320),
+      exec_stage(6, "Menu", {5}, 40, 90, false),
+  };
+  g.loading_stage_type = 0;
+
+  {
+    // Table I script 1: first level, simple mode → 2 stage types.
+    ScriptSpec s;
+    s.name = "script 1";
+    s.description = "first level in simple mode";
+    s.segments = {ScriptSegment{1, 1, 1, 0.0}};
+    g.scripts.push_back(std::move(s));
+  }
+  {
+    // Table I script 2: second level → 4 stage types.
+    ScriptSpec s;
+    s.name = "script 2";
+    s.description = "second level in simple mode";
+    s.segments = {
+        ScriptSegment{2, 1, 1, 0.0},
+        ScriptSegment{3, 1, 2, 0.0},
+        ScriptSegment{4, 1, 1, 0.3},  // some players skip the cutscene
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  {
+    // Table I script 3: third level → 6 stage types.
+    ScriptSpec s;
+    s.name = "script 3";
+    s.description = "third level in simple mode";
+    s.segments = {
+        ScriptSegment{2, 1, 1, 0.0},
+        ScriptSegment{3, 1, 2, 0.0},
+        ScriptSegment{4, 1, 1, 0.3},
+        ScriptSegment{5, 1, 1, 0.0},
+        ScriptSegment{6, 1, 1, 0.4},
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+GameSpec make_honkai() {
+  GameSpec g;
+  g.id = GameId{5};
+  g.name = "Honkai: Star Rail";
+  g.category = GameCategory::kMobile;
+  g.fps_cap = 60.0;
+  g.short_game = false;
+
+  // Fig. 2's three main scenes: walking the main world (mid GPU),
+  // fighting in instance zones (peak GPU), interacting with NPCs (low
+  // GPU), plus the loading interface (high CPU, black screen).
+  g.clusters = {
+      cluster(0, "loading", {60, 6, 2200, 2900}, 0.0),
+      cluster(1, "main-world", {38, 52, 2800, 3300}, 60.0),
+      cluster(2, "instance-fight", {52, 74, 3200, 3600}, 60.0),
+      cluster(3, "npc-dialogue", {22, 28, 2400, 3000}, 60.0),
+  };
+  // Open-world: long execution stages (§III) with loading between.
+  g.stage_types = {
+      loading_stage(0, 12, 25, 0),
+      exec_stage(1, "MainWorld", {1}, 360, 600),
+      exec_stage(2, "InstanceZone", {2}, 240, 420),
+      exec_stage(3, "NpcInteraction", {3}, 120, 240, false),
+  };
+  g.loading_stage_type = 0;
+
+  {
+    // The Fig. 2 play-through: world → fight → NPC, long dwells.
+    ScriptSpec s;
+    s.name = "script 1";
+    s.description = "main world + instance zone + NPC interaction";
+    s.segments = {
+        ScriptSegment{1, 1, 1, 0.0},
+        ScriptSegment{2, 1, 1, 0.0},
+        ScriptSegment{3, 1, 1, 0.0},
+    };
+    s.player_order = true;  // daily players order tasks their own way
+    g.scripts.push_back(std::move(s));
+  }
+  {
+    ScriptSpec s;
+    s.name = "script 2";
+    s.description = "two instance zones back to back";
+    s.segments = {
+        ScriptSegment{2, 2, 2, 0.0},
+        ScriptSegment{3, 1, 1, 0.3},
+    };
+    g.scripts.push_back(std::move(s));
+  }
+  return g;
+}
+
+std::vector<GameSpec> paper_suite() {
+  return {make_dota2(), make_csgo(), make_genshin(), make_devil_may_cry(),
+          make_contra()};
+}
+
+GameSpec game_by_name(const std::string& name) {
+  for (auto& g : paper_suite()) {
+    if (g.name == name) return g;
+  }
+  COCG_CHECK_MSG(false, "unknown game: " + name);
+  return {};  // unreachable
+}
+
+}  // namespace cocg::game

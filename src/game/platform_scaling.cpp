@@ -1,0 +1,32 @@
+#include "game/platform_scaling.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cocg::game {
+
+GameSpec scale_for_platform(const GameSpec& spec, double cpu_perf,
+                            double gpu_perf) {
+  COCG_EXPECTS(cpu_perf > 0.0);
+  COCG_EXPECTS(gpu_perf > 0.0);
+  GameSpec out = spec;
+  for (auto& c : out.clusters) {
+    c.centroid[Dim::kCpuPct] =
+        std::min(100.0, c.centroid[Dim::kCpuPct] / cpu_perf);
+    c.centroid[Dim::kGpuPct] =
+        std::min(100.0, c.centroid[Dim::kGpuPct] / gpu_perf);
+    c.jitter[Dim::kCpuPct] /= cpu_perf;
+    c.jitter[Dim::kGpuPct] /= gpu_perf;
+    // Uncapped titles render as fast as the GPU allows.
+    if (spec.fps_cap <= 0.0) c.fps_base *= gpu_perf;
+  }
+  return out;
+}
+
+GameSpec scale_for_platform(const GameSpec& spec,
+                            const hw::ServerSpec& sku) {
+  return scale_for_platform(spec, sku.cpu_perf, sku.gpu_perf);
+}
+
+}  // namespace cocg::game

@@ -1,0 +1,27 @@
+// Platform scaling of game workloads (§IV-D).
+//
+// The same game on different hardware keeps its stage structure — only its
+// resource draw changes: utilization scales inversely with the SKU's
+// compute capability (a GTX-1080-class GPU runs the same scene at ~1.8×
+// the utilization of a 2080), while working-set sizes (VRAM/RAM) stay
+// fixed. scale_for_platform() produces the GameSpec describing how a title
+// behaves on a different SKU, used to validate profile migration.
+#pragma once
+
+#include "game/spec.h"
+#include "hw/server.h"
+
+namespace cocg::game {
+
+/// Rescale `spec`'s resource draws for a platform with the given relative
+/// compute capabilities (1.0 = the baseline testbed). CPU% and GPU% divide
+/// by the respective perf factor (clamped to 100%); memory dims are
+/// unchanged; uncapped titles render faster on stronger GPUs (fps_base
+/// scales with gpu_perf).
+GameSpec scale_for_platform(const GameSpec& spec, double cpu_perf,
+                            double gpu_perf);
+
+/// Convenience overload reading the factors from a ServerSpec.
+GameSpec scale_for_platform(const GameSpec& spec, const hw::ServerSpec& sku);
+
+}  // namespace cocg::game

@@ -1,0 +1,183 @@
+#include "game/session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cocg::game {
+
+GameSession::GameSession(SessionId id, const GameSpec* spec,
+                         std::size_t script_idx,
+                         std::vector<PlannedStage> plan, Rng rng,
+                         SessionConfig cfg)
+    : id_(id),
+      spec_(spec),
+      script_idx_(script_idx),
+      plan_(std::move(plan)),
+      rng_(rng),
+      cfg_(cfg) {
+  COCG_EXPECTS(spec != nullptr);
+  COCG_EXPECTS(script_idx < spec->scripts.size());
+  COCG_EXPECTS_MSG(!plan_.empty(), "plan must contain at least one stage");
+  COCG_EXPECTS(cfg_.tick_ms > 0);
+  for (const auto& ps : plan_) {
+    COCG_EXPECTS(ps.stage_type >= 0 &&
+                 ps.stage_type < spec->num_stage_types());
+    COCG_EXPECTS(!ps.cluster_order.empty());
+    if (spec->stage_type(ps.stage_type).kind == StageKind::kLoading) {
+      // Tick-quantized nominal: a fully-supplied loading stage completes on
+      // the ceil(dwell/tick)-th tick, which must not count as "extension".
+      const DurationMs ticks =
+          (ps.planned_dwell_ms + cfg_.tick_ms - 1) / cfg_.tick_ms;
+      nominal_loading_ms_ += ticks * cfg_.tick_ms;
+    }
+  }
+}
+
+void GameSession::begin(TimeMs now) {
+  COCG_EXPECTS_MSG(!started_, "session already started");
+  started_ = true;
+  start_time_ = now;
+  enter_stage(0);
+}
+
+void GameSession::enter_stage(std::size_t idx) {
+  COCG_CHECK(idx < plan_.size());
+  stage_idx_ = idx;
+  stage_elapsed_ms_ = 0;
+  loading_progress_ms_ = 0;
+  stage_history_.push_back(plan_[idx].stage_type);
+  pending_demand_ = noisy_demand(active_cluster());
+}
+
+const FrameClusterSpec& GameSession::active_cluster() const {
+  const PlannedStage& ps = plan_[stage_idx_];
+  const StageTypeSpec& st = spec_->stage_type(ps.stage_type);
+  if (st.kind == StageKind::kLoading || ps.cluster_order.size() == 1) {
+    return spec_->cluster(ps.cluster_order[0]);
+  }
+  // Multi-cluster execution stage: each cluster owns an equal slice of the
+  // planned dwell, visited in the plan's concrete order.
+  const DurationMs share = std::max<DurationMs>(
+      1, ps.planned_dwell_ms / static_cast<DurationMs>(
+                                   ps.cluster_order.size()));
+  auto pos = static_cast<std::size_t>(stage_elapsed_ms_ / share);
+  pos = std::min(pos, ps.cluster_order.size() - 1);
+  return spec_->cluster(ps.cluster_order[pos]);
+}
+
+ResourceVector GameSession::noisy_demand(const FrameClusterSpec& c) const {
+  ResourceVector d = c.centroid;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    d.at(i) = std::max(0.0, d.at(i) + rng_.normal(0.0, c.jitter.at(i)));
+  }
+  if (spike_ticks_left_ > 0) d *= cfg_.spike_factor;
+  return d;
+}
+
+ResourceVector GameSession::demand() const {
+  COCG_EXPECTS(started_ && !finished_);
+  return pending_demand_;
+}
+
+StageKind GameSession::stage_kind() const {
+  COCG_EXPECTS(started_);
+  if (finished_) return StageKind::kLoading;  // post-shutdown
+  return spec_->stage_type(plan_[stage_idx_].stage_type).kind;
+}
+
+int GameSession::stage_type() const {
+  COCG_EXPECTS(started_);
+  if (finished_) return -1;
+  return plan_[stage_idx_].stage_type;
+}
+
+int GameSession::current_cluster() const {
+  COCG_EXPECTS(started_);
+  if (finished_) return -1;
+  return active_cluster().id;
+}
+
+double GameSession::achievable_fps() const {
+  COCG_EXPECTS(started_ && !finished_);
+  const double base = active_cluster().fps_base;
+  if (spec_->fps_cap > 0.0) return std::min(base, spec_->fps_cap);
+  return base;
+}
+
+void GameSession::tick(TimeMs now, const ResourceVector& supplied) {
+  COCG_EXPECTS(started_ && !finished_);
+  const DurationMs dt = cfg_.tick_ms;
+  const PlannedStage& ps = plan_[stage_idx_];
+  const StageTypeSpec& st = spec_->stage_type(ps.stage_type);
+
+  const double sat =
+      std::clamp(pending_demand_.satisfaction_ratio(supplied), 0.0, 1.0);
+
+  elapsed_ms_ += dt;
+  stage_elapsed_ms_ += dt;
+
+  bool advance = false;
+  if (st.kind == StageKind::kLoading) {
+    loading_ms_ += dt;
+    last_fps_ = 0.0;  // black screen while loading
+    if (!loading_hold_) {
+      // Loading is CPU/IO-bound: progress rate follows the CPU dimension.
+      const double cpu_need = pending_demand_[Dim::kCpuPct];
+      const double cpu_got = supplied[Dim::kCpuPct];
+      const double rate =
+          cpu_need <= 0.0 ? 1.0 : std::clamp(cpu_got / cpu_need, 0.0, 1.0);
+      loading_progress_ms_ += static_cast<DurationMs>(
+          rate * static_cast<double>(dt));
+      if (loading_progress_ms_ >= ps.planned_dwell_ms) advance = true;
+    }
+  } else {
+    execution_ms_ += dt;
+    const double achievable = achievable_fps();
+    const double realized =
+        achievable * std::pow(sat, cfg_.fps_exponent);
+    last_fps_ = realized;
+    fps_sum_ += realized;
+    fps_ratio_sum_ += achievable > 0.0 ? realized / achievable : 1.0;
+    ++fps_samples_;
+    if (realized < cfg_.qos_fps_floor) qos_violation_ms_ += dt;
+    // Execution advances in wall time: user influence fixed the dwell.
+    if (stage_elapsed_ms_ >= ps.planned_dwell_ms) advance = true;
+
+    // Transient demand fluctuation bookkeeping.
+    if (spike_ticks_left_ > 0) {
+      --spike_ticks_left_;
+    } else if (rng_.chance(cfg_.spike_prob)) {
+      spike_ticks_left_ = static_cast<int>(
+          rng_.uniform_int(cfg_.spike_min_ticks, cfg_.spike_max_ticks));
+    }
+  }
+
+  if (advance) {
+    if (stage_idx_ + 1 >= plan_.size()) {
+      finished_ = true;
+      end_time_ = now + dt;
+      return;
+    }
+    enter_stage(stage_idx_ + 1);
+  } else {
+    pending_demand_ = noisy_demand(active_cluster());
+  }
+}
+
+DurationMs GameSession::loading_extension_ms() const {
+  return std::max<DurationMs>(0, loading_ms_ - nominal_loading_ms_);
+}
+
+double GameSession::mean_fps_ratio() const {
+  if (fps_samples_ == 0) return 1.0;
+  return fps_ratio_sum_ / static_cast<double>(fps_samples_);
+}
+
+double GameSession::mean_fps() const {
+  if (fps_samples_ == 0) return 0.0;
+  return fps_sum_ / static_cast<double>(fps_samples_);
+}
+
+}  // namespace cocg::game

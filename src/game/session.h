@@ -1,0 +1,134 @@
+// GameSession: the runtime stage machine of one running cloud game.
+//
+// Driven at a 1-second tick by the platform. Each tick the session states a
+// demand; the hardware (via the ContentionModel) states what it supplied;
+// the session then advances:
+//  * execution stages progress in wall time regardless of supply — players
+//    keep playing, they just see a degraded frame rate;
+//  * loading stages progress in *work* terms: starving the loading stage
+//    stretches it (Observation 4 / the regulator's time-stealing knob).
+//
+// FPS model: realized = achievable × satisfaction^fps_exponent, where
+// achievable = min(fps_cap, cluster.fps_base). QoS accounting tracks ticks
+// with realized FPS below the 30-frame floor (§V-C2).
+#pragma once
+
+#include <vector>
+
+#include "common/resources.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "game/plan.h"
+#include "game/spec.h"
+
+namespace cocg::game {
+
+struct SessionConfig {
+  DurationMs tick_ms = 1000;
+  double fps_exponent = 1.5;
+  double qos_fps_floor = 30.0;
+  /// Per-tick probability of a transient demand fluctuation (the "sudden
+  /// event" Fig. 9/10 discuss); the spike lasts spike_min..max ticks and
+  /// multiplies demand by spike_factor.
+  double spike_prob = 0.002;
+  int spike_min_ticks = 3;
+  int spike_max_ticks = 8;
+  double spike_factor = 1.35;
+};
+
+class GameSession {
+ public:
+  /// `spec` must outlive the session.
+  GameSession(SessionId id, const GameSpec* spec, std::size_t script_idx,
+              std::vector<PlannedStage> plan, Rng rng,
+              SessionConfig cfg = {});
+
+  SessionId id() const { return id_; }
+  const GameSpec& spec() const { return *spec_; }
+  std::size_t script_index() const { return script_idx_; }
+
+  /// Start the run at simulated time `now`.
+  void begin(TimeMs now);
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+
+  /// Demand for the upcoming tick. Requires started() && !finished().
+  ResourceVector demand() const;
+
+  /// Advance one tick given what the hardware supplied.
+  void tick(TimeMs now, const ResourceVector& supplied);
+
+  // --- current state (requires started()) ---
+  StageKind stage_kind() const;
+  int stage_type() const;       ///< -1 once finished
+  int current_cluster() const;  ///< -1 during/after the final stage end
+  std::size_t stage_index() const { return stage_idx_; }
+  std::size_t plan_size() const { return plan_.size(); }
+  const std::vector<PlannedStage>& plan() const { return plan_; }
+  double last_fps() const { return last_fps_; }
+  /// Achievable FPS of the current cluster under full supply.
+  double achievable_fps() const;
+
+  /// Stage types realized so far (completed stages + current).
+  const std::vector<int>& stage_history() const { return stage_history_; }
+
+  // --- regulator hooks ---
+  /// Freeze loading progress: while held, the loading stage consumes its
+  /// demand but makes no progress (the regulator "extends loading time").
+  /// No effect during execution stages.
+  void set_loading_hold(bool hold) { loading_hold_ = hold; }
+  bool loading_hold() const { return loading_hold_; }
+
+  // --- lifetime & QoS accounting ---
+  TimeMs start_time() const { return start_time_; }
+  TimeMs end_time() const { return end_time_; }  ///< valid when finished()
+  DurationMs elapsed_ms() const { return elapsed_ms_; }
+  DurationMs execution_ms() const { return execution_ms_; }
+  DurationMs loading_ms() const { return loading_ms_; }
+  /// Loading time beyond the plan's nominal loading total (stretch).
+  DurationMs loading_extension_ms() const;
+  /// Execution ticks with realized FPS below the QoS floor.
+  DurationMs qos_violation_ms() const { return qos_violation_ms_; }
+  /// Mean of realized/achievable FPS over execution ticks (Fig. 13 metric).
+  double mean_fps_ratio() const;
+  double mean_fps() const;
+
+ private:
+  void enter_stage(std::size_t idx);
+  const FrameClusterSpec& active_cluster() const;
+  ResourceVector noisy_demand(const FrameClusterSpec& c) const;
+
+  SessionId id_;
+  const GameSpec* spec_;
+  std::size_t script_idx_;
+  std::vector<PlannedStage> plan_;
+  mutable Rng rng_;
+  SessionConfig cfg_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  TimeMs start_time_ = 0;
+  TimeMs end_time_ = 0;
+
+  std::size_t stage_idx_ = 0;
+  DurationMs stage_elapsed_ms_ = 0;   ///< wall time in current stage
+  DurationMs loading_progress_ms_ = 0;
+  std::vector<int> stage_history_;
+  ResourceVector pending_demand_;  ///< demand quoted for the next tick
+  bool loading_hold_ = false;
+
+  int spike_ticks_left_ = 0;
+
+  double last_fps_ = 0.0;
+  DurationMs elapsed_ms_ = 0;
+  DurationMs execution_ms_ = 0;
+  DurationMs loading_ms_ = 0;
+  DurationMs nominal_loading_ms_ = 0;
+  DurationMs qos_violation_ms_ = 0;
+  double fps_ratio_sum_ = 0.0;
+  double fps_sum_ = 0.0;
+  std::size_t fps_samples_ = 0;
+};
+
+}  // namespace cocg::game

@@ -1,0 +1,68 @@
+#include "game/spec.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace cocg::game {
+
+const char* category_name(GameCategory c) {
+  switch (c) {
+    case GameCategory::kWeb: return "web";
+    case GameCategory::kMobile: return "mobile";
+    case GameCategory::kConsole: return "console";
+    case GameCategory::kMoba: return "mmorpg/moba";
+  }
+  return "?";
+}
+
+const FrameClusterSpec& GameSpec::cluster(int id) const {
+  COCG_EXPECTS(id >= 0 && id < num_clusters());
+  COCG_EXPECTS_MSG(clusters[static_cast<std::size_t>(id)].id == id,
+                   "cluster ids must equal their index");
+  return clusters[static_cast<std::size_t>(id)];
+}
+
+const StageTypeSpec& GameSpec::stage_type(int id) const {
+  COCG_EXPECTS(id >= 0 && id < num_stage_types());
+  COCG_EXPECTS_MSG(stage_types[static_cast<std::size_t>(id)].id == id,
+                   "stage-type ids must equal their index");
+  return stage_types[static_cast<std::size_t>(id)];
+}
+
+ResourceVector GameSpec::peak_demand() const {
+  ResourceVector peak;
+  for (const auto& st : stage_types) {
+    if (st.kind != StageKind::kExecution) continue;
+    for (int c : st.clusters) {
+      peak = ResourceVector::max(peak, cluster(c).centroid);
+    }
+  }
+  return peak;
+}
+
+ResourceVector GameSpec::mean_execution_demand() const {
+  ResourceVector acc;
+  int n = 0;
+  for (const auto& st : stage_types) {
+    if (st.kind != StageKind::kExecution) continue;
+    for (int c : st.clusters) {
+      acc += cluster(c).centroid;
+      ++n;
+    }
+  }
+  if (n == 0) return acc;
+  return acc * (1.0 / n);
+}
+
+int GameSpec::script_stage_type_count(std::size_t script_idx) const {
+  COCG_EXPECTS(script_idx < scripts.size());
+  std::set<int> types;
+  types.insert(loading_stage_type);
+  for (const auto& seg : scripts[script_idx].segments) {
+    types.insert(seg.stage_type);
+  }
+  return static_cast<int>(types.size());
+}
+
+}  // namespace cocg::game

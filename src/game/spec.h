@@ -1,0 +1,113 @@
+// Static description of a cloud game: frame clusters, stage types, scripts.
+//
+// Terminology follows §IV-A of the paper exactly:
+//  * frame cluster — a point in resource space; "the amount of resources
+//    consumed in a certain 5-second slice";
+//  * stage — a contiguous period of gameplay; *loading* stages separate
+//    *execution* stages;
+//  * stage type — a combination of frame clusters (most stages are one
+//    cluster; complex stages mix several, e.g. a three-boss secret realm);
+//  * script — an automated play-through (Table I) that fixes which stages a
+//    run visits, modulated by user influence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/resources.h"
+#include "common/types.h"
+
+namespace cocg::game {
+
+/// Fig. 7's quadrants: user influence (vertical) x stage complexity
+/// (horizontal). Drives training-set selection in the predictor.
+enum class GameCategory {
+  kWeb,      ///< simple stages, low user influence (Contra)
+  kMobile,   ///< simple stages, high user influence (Genshin Impact)
+  kConsole,  ///< complex stages, low user influence (Devil May Cry)
+  kMoba,     ///< complex stages, high user influence (DOTA2, CSGO)
+};
+
+const char* category_name(GameCategory c);
+
+enum class StageKind { kLoading, kExecution };
+
+/// One frame cluster: nominal resource draw and rendering capability.
+struct FrameClusterSpec {
+  int id = -1;
+  std::string name;
+  ResourceVector centroid;  ///< mean demand while emitting this cluster
+  ResourceVector jitter;    ///< per-dimension stddev of tick-level noise
+  double fps_base = 60.0;   ///< FPS achieved at full resource supply
+};
+
+/// One stage type: a combination of clusters plus dwell behaviour.
+struct StageTypeSpec {
+  int id = -1;
+  std::string name;
+  StageKind kind = StageKind::kExecution;
+  /// Cluster ids visited within the stage. Loading stages have exactly one.
+  /// Multi-cluster execution stages visit each cluster once; the order is
+  /// user-influenced (the paper's three-boss example).
+  std::vector<int> clusters;
+  /// Nominal total dwell range (ms). For loading stages this is the time at
+  /// FULL resource supply; starving the loading stage stretches it.
+  DurationMs min_dwell_ms = 5000;
+  DurationMs max_dwell_ms = 10000;
+  /// Shuffle multi-cluster visit order per run (user influence).
+  bool shuffle_clusters = true;
+};
+
+/// One segment of a script: an execution stage type, possibly repeated a
+/// user-influenced number of times (MOBA rounds/fights).
+struct ScriptSegment {
+  int stage_type = -1;
+  int min_repeat = 1;
+  int max_repeat = 1;
+  /// Probability the player skips this segment entirely (console players
+  /// skipping cutscenes / optional menus).
+  double skip_prob = 0.0;
+};
+
+/// An automated play-through (Table I).
+struct ScriptSpec {
+  std::string name;
+  std::string description;
+  std::vector<ScriptSegment> segments;
+  /// Mobile-game user influence: players complete the same tasks in their
+  /// own preferred order (§IV-B1 "the order in which tasks are completed
+  /// may vary greatly among different players").
+  bool player_order = false;
+};
+
+/// A full game description.
+struct GameSpec {
+  GameId id;
+  std::string name;
+  GameCategory category = GameCategory::kWeb;
+  std::vector<FrameClusterSpec> clusters;
+  std::vector<StageTypeSpec> stage_types;
+  int loading_stage_type = 0;  ///< id of the canonical loading stage type
+  std::vector<ScriptSpec> scripts;
+  double fps_cap = 60.0;  ///< 0 == uncapped (CSGO, DOTA2)
+  /// Whether operators advertise this as a short game (the regulator's
+  /// "distinguish game length" strategy, §IV-C2).
+  bool short_game = false;
+
+  const FrameClusterSpec& cluster(int id) const;
+  const StageTypeSpec& stage_type(int id) const;
+  int num_clusters() const { return static_cast<int>(clusters.size()); }
+  int num_stage_types() const { return static_cast<int>(stage_types.size()); }
+
+  /// Peak demand M over all execution clusters (used by redundancy
+  /// allocation S = (1-P)·M and by the VBP baseline's reservation).
+  ResourceVector peak_demand() const;
+
+  /// Mean demand over execution clusters (rough "typical" draw).
+  ResourceVector mean_execution_demand() const;
+
+  /// Count of distinct stage types a script's expansion can visit.
+  int script_stage_type_count(std::size_t script_idx) const;
+};
+
+}  // namespace cocg::game

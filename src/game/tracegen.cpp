@@ -1,0 +1,70 @@
+#include "game/tracegen.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "game/plan.h"
+#include "game/session.h"
+
+namespace cocg::game {
+
+telemetry::Trace profile_run(const GameSpec& spec, std::size_t script_idx,
+                             std::uint64_t player_id, std::uint64_t seed,
+                             const TraceGenConfig& cfg) {
+  COCG_EXPECTS(script_idx < spec.scripts.size());
+  COCG_EXPECTS(cfg.sample_period_ms > 0);
+  Rng rng(seed);
+  auto plan = generate_plan(spec, script_idx, player_id, rng);
+  GameSession session(SessionId{player_id}, &spec, script_idx,
+                      std::move(plan), rng.fork());
+  Rng noise = rng.fork();
+
+  telemetry::Trace trace(spec.name + "/" + spec.scripts[script_idx].name);
+  TimeMs now = 0;
+  session.begin(now);
+  while (!session.finished()) {
+    const ResourceVector demand = session.demand();
+
+    telemetry::MetricSample s;
+    s.t = now;
+    // Full supply: consumption equals demand, plus probe measurement noise.
+    s.usage = demand;
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      s.usage.at(i) = std::max(
+          0.0, s.usage.at(i) *
+                   (1.0 + noise.normal(0.0, cfg.measurement_noise_rel)));
+    }
+    s.true_stage_type = session.stage_type();
+    s.true_loading = session.stage_kind() == StageKind::kLoading;
+    s.true_cluster = session.current_cluster();
+
+    session.tick(now, demand);
+    s.fps = session.last_fps();
+    trace.add(s);
+    now += cfg.sample_period_ms;
+  }
+  return trace;
+}
+
+std::vector<RunRecord> generate_corpus(const GameSpec& spec, int n_runs,
+                                       int n_players, std::uint64_t seed) {
+  COCG_EXPECTS(n_runs > 0);
+  COCG_EXPECTS(n_players > 0);
+  COCG_EXPECTS(!spec.scripts.empty());
+  Rng rng(seed);
+  std::vector<RunRecord> out;
+  out.reserve(static_cast<std::size_t>(n_runs));
+  for (int r = 0; r < n_runs; ++r) {
+    RunRecord rec;
+    rec.script_idx = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.scripts.size()) - 1));
+    rec.player_id = static_cast<std::uint64_t>(
+        rng.uniform_int(1, n_players));
+    auto plan = generate_plan(spec, rec.script_idx, rec.player_id, rng);
+    rec.stage_seq = plan_stage_types(plan);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace cocg::game

@@ -1,0 +1,43 @@
+// Offline profiling-run generation.
+//
+// The paper trains CoCG on (a) traces collected from repeated laboratory
+// runs and (b) Alibaba-cloud player logs (§V-D2). We reproduce both as
+// synthetic generators: full-supply solo runs recorded as telemetry traces
+// (the profiler's clustering input) and bulk stage-sequence corpora (the
+// predictor's training input).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "game/spec.h"
+#include "telemetry/trace.h"
+
+namespace cocg::game {
+
+struct TraceGenConfig {
+  DurationMs sample_period_ms = 1000;
+  /// Relative stddev of measurement noise added by the (simulated) probe.
+  double measurement_noise_rel = 0.02;
+};
+
+/// Run one scripted play-through standalone on an idle server (demand fully
+/// supplied) and record its telemetry trace.
+telemetry::Trace profile_run(const GameSpec& spec, std::size_t script_idx,
+                             std::uint64_t player_id, std::uint64_t seed,
+                             const TraceGenConfig& cfg = {});
+
+/// One realized play-through's stage-type sequence.
+struct RunRecord {
+  std::size_t script_idx = 0;
+  std::uint64_t player_id = 0;
+  std::vector<int> stage_seq;
+};
+
+/// Generate `n_runs` play-throughs across `n_players` players with scripts
+/// chosen uniformly ("when a game is assigned, it randomly selects one from
+/// the scripts", §V-B2).
+std::vector<RunRecord> generate_corpus(const GameSpec& spec, int n_runs,
+                                       int n_players, std::uint64_t seed);
+
+}  // namespace cocg::game

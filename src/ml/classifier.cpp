@@ -1,0 +1,37 @@
+#include "ml/classifier.h"
+
+namespace cocg::ml {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDtc: return "DTC";
+    case ModelKind::kRf: return "RF";
+    case ModelKind::kGbdt: return "GBDT";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> make_classifier(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDtc: {
+      // A single CART of moderate depth — enough for script/stage logic,
+      // not enough to memorize every player's personal task order.
+      TreeConfig cfg;
+      cfg.max_depth = 8;
+      return std::make_unique<DtcModel>(cfg);
+    }
+    case ModelKind::kRf:
+      return std::make_unique<RfModel>(RandomForestConfig{});
+    case ModelKind::kGbdt: {
+      // Deeper iteration: the paper notes GBDT "requires more in-depth
+      // iteration" and stays accurate on complex titles.
+      GbdtConfig cfg;
+      cfg.n_rounds = 80;
+      cfg.tree.max_depth = 6;
+      return std::make_unique<GbdtModel>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace cocg::ml

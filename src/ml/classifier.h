@@ -1,0 +1,90 @@
+// Uniform classifier interface over DTC / RF / GBDT.
+//
+// The stage predictor's "replacing model" fallback (§IV-B2) swaps between
+// the three algorithms at runtime, so they share this small polymorphic
+// facade. Adapters are header-only thin wrappers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml/tree.h"
+
+namespace cocg::ml {
+
+enum class ModelKind { kDtc, kRf, kGbdt };
+
+const char* model_kind_name(ModelKind kind);
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& data, Rng& rng) = 0;
+  virtual int predict(const FeatureRow& x) const = 0;
+  virtual std::vector<double> predict_proba(const FeatureRow& x) const = 0;
+  virtual bool trained() const = 0;
+  virtual ModelKind kind() const = 0;
+
+  std::vector<int> predict_all(const std::vector<FeatureRow>& xs) const {
+    std::vector<int> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs) out.push_back(predict(x));
+    return out;
+  }
+};
+
+class DtcModel final : public Classifier {
+ public:
+  explicit DtcModel(TreeConfig cfg = {}) : impl_(cfg) {}
+  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
+  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
+  std::vector<double> predict_proba(const FeatureRow& x) const override {
+    return impl_.predict_proba(x);
+  }
+  bool trained() const override { return impl_.trained(); }
+  ModelKind kind() const override { return ModelKind::kDtc; }
+
+ private:
+  DecisionTreeClassifier impl_;
+};
+
+class RfModel final : public Classifier {
+ public:
+  explicit RfModel(RandomForestConfig cfg = {}) : impl_(cfg) {}
+  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
+  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
+  std::vector<double> predict_proba(const FeatureRow& x) const override {
+    return impl_.predict_proba(x);
+  }
+  bool trained() const override { return impl_.trained(); }
+  ModelKind kind() const override { return ModelKind::kRf; }
+
+ private:
+  RandomForestClassifier impl_;
+};
+
+class GbdtModel final : public Classifier {
+ public:
+  explicit GbdtModel(GbdtConfig cfg = {}) : impl_(cfg) {}
+  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
+  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
+  std::vector<double> predict_proba(const FeatureRow& x) const override {
+    return impl_.predict_proba(x);
+  }
+  bool trained() const override { return impl_.trained(); }
+  ModelKind kind() const override { return ModelKind::kGbdt; }
+
+ private:
+  GbdtClassifier impl_;
+};
+
+/// Factory with default configurations tuned for stage prediction.
+std::unique_ptr<Classifier> make_classifier(ModelKind kind);
+
+}  // namespace cocg::ml

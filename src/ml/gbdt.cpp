@@ -1,0 +1,133 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+
+namespace {
+
+void softmax_inplace(std::vector<double>& scores) {
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (auto& s : scores) {
+    s = std::exp(s - mx);
+    total += s;
+  }
+  for (auto& s : scores) s /= total;
+}
+
+}  // namespace
+
+void GbdtClassifier::fit(const Dataset& data, Rng& rng) {
+  COCG_EXPECTS(!data.empty());
+  COCG_EXPECTS(cfg_.n_rounds >= 1);
+  COCG_EXPECTS(cfg_.learning_rate > 0.0 && cfg_.learning_rate <= 1.0);
+  COCG_EXPECTS(cfg_.subsample > 0.0 && cfg_.subsample <= 1.0);
+
+  num_classes_ = data.num_classes();
+  const auto k = static_cast<std::size_t>(num_classes_);
+  const std::size_t n = data.size();
+  trees_.clear();
+
+  // Base score = log class prior (with Laplace smoothing).
+  std::vector<double> prior(k, 1.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    prior[static_cast<std::size_t>(data.y(i))] += 1.0;
+  }
+  base_score_.assign(k, 0.0);
+  const double total = static_cast<double>(n) + static_cast<double>(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    base_score_[c] = std::log(prior[c] / total);
+  }
+
+  // Current raw scores per row per class.
+  std::vector<std::vector<double>> score(n, base_score_);
+
+  for (int round = 0; round < cfg_.n_rounds; ++round) {
+    // Row subsample for this round.
+    std::vector<std::size_t> rows(n);
+    std::iota(rows.begin(), rows.end(), std::size_t{0});
+    if (cfg_.subsample < 1.0) {
+      rng.shuffle(rows.begin(), rows.end());
+      rows.resize(std::max<std::size_t>(
+          1, static_cast<std::size_t>(cfg_.subsample *
+                                      static_cast<double>(n))));
+      std::sort(rows.begin(), rows.end());
+    }
+
+    // Gradient targets: one-hot − softmax probability.
+    std::vector<FeatureRow> xs;
+    xs.reserve(rows.size());
+    std::vector<std::vector<double>> residuals(
+        k, std::vector<double>(rows.size()));
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::size_t i = rows[r];
+      xs.push_back(data.x(i));
+      std::vector<double> p = score[i];
+      softmax_inplace(p);
+      for (std::size_t c = 0; c < k; ++c) {
+        const double target = (static_cast<std::size_t>(data.y(i)) == c)
+                                  ? 1.0
+                                  : 0.0;
+        residuals[c][r] = target - p[c];
+      }
+    }
+
+    std::vector<RegressionTree> round_trees;
+    round_trees.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      RegressionTree tree(cfg_.tree);
+      tree.fit(xs, residuals[c]);
+      round_trees.push_back(std::move(tree));
+    }
+
+    // Update every row's score (not just the subsample) so later gradients
+    // see the full model.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k; ++c) {
+        score[i][c] += cfg_.learning_rate * round_trees[c].predict(data.x(i));
+      }
+    }
+    trees_.push_back(std::move(round_trees));
+  }
+}
+
+std::vector<double> GbdtClassifier::raw_scores(const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  std::vector<double> s = base_score_;
+  for (const auto& round : trees_) {
+    for (std::size_t c = 0; c < s.size(); ++c) {
+      s[c] += cfg_.learning_rate * round[c].predict(x);
+    }
+  }
+  return s;
+}
+
+int GbdtClassifier::predict(const FeatureRow& x) const {
+  const auto s = raw_scores(x);
+  return static_cast<int>(std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+std::vector<int> GbdtClassifier::predict_all(
+    const std::vector<FeatureRow>& xs) const {
+  std::vector<int> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(predict(x));
+  return out;
+}
+
+std::vector<double> GbdtClassifier::predict_proba(const FeatureRow& x) const {
+  auto s = raw_scores(x);
+  softmax_inplace(s);
+  return s;
+}
+
+int GbdtClassifier::rounds_trained() const {
+  return static_cast<int>(trees_.size());
+}
+
+}  // namespace cocg::ml

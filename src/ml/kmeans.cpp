@@ -1,0 +1,175 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+
+double KMeans::dist_sq(const Point& a, const Point& b) {
+  COCG_EXPECTS(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+int KMeans::predict(const std::vector<Point>& centroids, const Point& p) {
+  COCG_EXPECTS(!centroids.empty());
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = dist_sq(centroids[c], p);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+double KMeans::sse(const std::vector<Point>& points,
+                   const std::vector<Point>& centroids,
+                   const std::vector<int>& assignment) {
+  COCG_EXPECTS(points.size() == assignment.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const int c = assignment[i];
+    COCG_EXPECTS(c >= 0 && static_cast<std::size_t>(c) < centroids.size());
+    acc += dist_sq(points[i], centroids[static_cast<std::size_t>(c)]);
+  }
+  return acc;
+}
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, each next proportional to
+// squared distance from the nearest chosen centroid.
+std::vector<Point> seed_plusplus(const std::vector<Point>& points, int k,
+                                 Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(points.size()) - 1))]);
+  std::vector<double> d2(points.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) {
+        best = std::min(best, KMeans::dist_sq(points[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All points coincide with existing centroids: duplicate one.
+      centroids.push_back(points[0]);
+      continue;
+    }
+    centroids.push_back(points[rng.weighted_index(d2)]);
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(const std::vector<Point>& points, const KMeansConfig& cfg,
+                   std::vector<Point> centroids) {
+  const std::size_t n = points.size();
+  const std::size_t dims = points[0].size();
+  const auto k = static_cast<std::size_t>(cfg.k);
+
+  KMeansResult res;
+  res.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < cfg.max_iterations; ++iter) {
+    // Assignment step.
+    for (std::size_t i = 0; i < n; ++i) {
+      res.assignment[i] = KMeans::predict(centroids, points[i]);
+    }
+    // Update step.
+    std::vector<Point> sums(k, Point(dims, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<std::size_t>(res.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      Point next(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        next[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      movement += KMeans::dist_sq(centroids[c], next);
+      centroids[c] = std::move(next);
+    }
+    res.iterations = iter + 1;
+    if (movement < cfg.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  // Final assignment against the final centroids.
+  for (std::size_t i = 0; i < n; ++i) {
+    res.assignment[i] = KMeans::predict(centroids, points[i]);
+  }
+  res.centroids = std::move(centroids);
+  res.sse = KMeans::sse(points, res.centroids, res.assignment);
+  return res;
+}
+
+}  // namespace
+
+KMeansResult KMeans::fit(const std::vector<Point>& points,
+                         const KMeansConfig& cfg, Rng& rng) {
+  COCG_EXPECTS(cfg.k >= 1);
+  COCG_EXPECTS_MSG(points.size() >= static_cast<std::size_t>(cfg.k),
+                   "need at least k points");
+  COCG_EXPECTS(cfg.restarts >= 1);
+  for (const auto& p : points) {
+    COCG_EXPECTS_MSG(p.size() == points[0].size(),
+                     "all points must share one width");
+  }
+
+  KMeansResult best;
+  best.sse = std::numeric_limits<double>::max();
+  for (int r = 0; r < cfg.restarts; ++r) {
+    auto res = lloyd(points, cfg, seed_plusplus(points, cfg.k, rng));
+    if (res.sse < best.sse) best = std::move(res);
+  }
+  return best;
+}
+
+std::vector<double> sse_curve(const std::vector<Point>& points, int k_max,
+                              Rng& rng, int restarts) {
+  COCG_EXPECTS(k_max >= 1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(k_max));
+  for (int k = 1; k <= k_max; ++k) {
+    if (static_cast<std::size_t>(k) > points.size()) break;
+    KMeansConfig cfg;
+    cfg.k = k;
+    cfg.restarts = restarts;
+    out.push_back(KMeans::fit(points, cfg, rng).sse);
+  }
+  return out;
+}
+
+int pick_elbow(const std::vector<double>& sse_by_k, double min_gain) {
+  COCG_EXPECTS(!sse_by_k.empty());
+  COCG_EXPECTS(min_gain > 0.0 && min_gain < 1.0);
+  for (std::size_t i = 1; i < sse_by_k.size(); ++i) {
+    const double prev = sse_by_k[i - 1];
+    if (prev <= 0.0) return static_cast<int>(i);  // already perfect fit
+    const double gain = (prev - sse_by_k[i]) / prev;
+    if (gain < min_gain) return static_cast<int>(i);  // K = i (1-based K of prev)
+  }
+  return static_cast<int>(sse_by_k.size());
+}
+
+}  // namespace cocg::ml

@@ -1,0 +1,56 @@
+// K-means clustering with k-means++ seeding (§IV-A2, Fig. 5/6/14).
+//
+// The profiler clusters 5-second frame slices in normalized resource space;
+// Fig. 14's elbow analysis (SSE vs K) drives the per-game choice of K.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cocg::ml {
+
+using Point = std::vector<double>;
+
+struct KMeansResult {
+  std::vector<Point> centroids;     ///< k centroids
+  std::vector<int> assignment;      ///< per-input-point cluster index
+  double sse = 0.0;                 ///< sum of squared distances to centroid
+  int iterations = 0;               ///< Lloyd iterations executed
+  bool converged = false;
+};
+
+struct KMeansConfig {
+  int k = 2;
+  int max_iterations = 100;
+  double tolerance = 1e-7;  ///< stop when total centroid movement^2 < tol
+  int restarts = 4;         ///< keep the best-SSE result over restarts
+};
+
+class KMeans {
+ public:
+  /// Cluster `points` (all rows the same width, k <= points.size()).
+  static KMeansResult fit(const std::vector<Point>& points,
+                          const KMeansConfig& cfg, Rng& rng);
+
+  /// Nearest-centroid lookup for a new point.
+  static int predict(const std::vector<Point>& centroids, const Point& p);
+
+  /// SSE of a fixed assignment (exposed for tests).
+  static double sse(const std::vector<Point>& points,
+                    const std::vector<Point>& centroids,
+                    const std::vector<int>& assignment);
+
+  /// Squared Euclidean distance between equal-width points.
+  static double dist_sq(const Point& a, const Point& b);
+};
+
+/// Fig. 14 helper: SSE for each K in [1, k_max], each fit independently.
+std::vector<double> sse_curve(const std::vector<Point>& points, int k_max,
+                              Rng& rng, int restarts = 4);
+
+/// Pick the elbow of an SSE curve: the K (1-based) after which the relative
+/// improvement drops below `min_gain` (default 10%).
+int pick_elbow(const std::vector<double>& sse_by_k, double min_gain = 0.10);
+
+}  // namespace cocg::ml

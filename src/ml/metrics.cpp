@@ -1,0 +1,85 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  COCG_EXPECTS(truth.size() == pred.size());
+  COCG_EXPECTS(!truth.empty());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+ConfusionMatrix::ConfusionMatrix(const std::vector<int>& truth,
+                                 const std::vector<int>& pred) {
+  COCG_EXPECTS(truth.size() == pred.size());
+  COCG_EXPECTS(!truth.empty());
+  int mx = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    COCG_EXPECTS(truth[i] >= 0 && pred[i] >= 0);
+    mx = std::max({mx, truth[i], pred[i]});
+  }
+  n_ = mx + 1;
+  cells_.assign(static_cast<std::size_t>(n_) * n_, 0);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ++cells_[static_cast<std::size_t>(truth[i]) * n_ + pred[i]];
+  }
+  total_ = truth.size();
+}
+
+std::size_t ConfusionMatrix::count(int true_c, int pred_c) const {
+  COCG_EXPECTS(true_c >= 0 && true_c < n_ && pred_c >= 0 && pred_c < n_);
+  return cells_[static_cast<std::size_t>(true_c) * n_ + pred_c];
+}
+
+double ConfusionMatrix::accuracy() const {
+  std::size_t hits = 0;
+  for (int c = 0; c < n_; ++c) hits += count(c, c);
+  return static_cast<double>(hits) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int c) const {
+  std::size_t col = 0;
+  for (int r = 0; r < n_; ++r) col += count(r, c);
+  if (col == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(col);
+}
+
+double ConfusionMatrix::recall(int c) const {
+  std::size_t row = 0;
+  for (int p = 0; p < n_; ++p) row += count(c, p);
+  if (row == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(row);
+}
+
+double ConfusionMatrix::f1(int c) const {
+  const double p = precision(c), r = recall(c);
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double acc = 0.0;
+  for (int c = 0; c < n_; ++c) acc += f1(c);
+  return acc / static_cast<double>(n_);
+}
+
+std::string ConfusionMatrix::str() const {
+  std::ostringstream os;
+  os << "confusion (rows=true, cols=pred):\n";
+  for (int r = 0; r < n_; ++r) {
+    for (int c = 0; c < n_; ++c) {
+      os << count(r, c) << (c + 1 == n_ ? '\n' : '\t');
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cocg::ml

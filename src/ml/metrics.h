@@ -1,0 +1,37 @@
+// Classification quality metrics (accuracy, confusion matrix, macro-F1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cocg::ml {
+
+/// Fraction of positions where truth == predicted. Requires equal sizes,
+/// non-empty.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  ConfusionMatrix(const std::vector<int>& truth, const std::vector<int>& pred);
+
+  int num_classes() const { return n_; }
+  std::size_t count(int true_c, int pred_c) const;
+  std::size_t total() const { return total_; }
+
+  double accuracy() const;
+  double precision(int c) const;  ///< 0 when the class was never predicted
+  double recall(int c) const;     ///< 0 when the class never occurred
+  double f1(int c) const;
+  double macro_f1() const;
+
+  std::string str() const;
+
+ private:
+  int n_ = 0;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // n_ x n_ row-major
+};
+
+}  // namespace cocg::ml

@@ -1,0 +1,383 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+
+namespace {
+
+/// Choose which feature columns to examine at a node.
+std::vector<std::size_t> candidate_features(std::size_t n_features,
+                                            std::size_t max_features,
+                                            Rng* rng) {
+  std::vector<std::size_t> feats(n_features);
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  if (max_features == 0 || max_features >= n_features || rng == nullptr) {
+    return feats;
+  }
+  rng->shuffle(feats.begin(), feats.end());
+  feats.resize(max_features);
+  std::sort(feats.begin(), feats.end());  // deterministic scan order
+  return feats;
+}
+
+struct SplitChoice {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::max();  // lower is better
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecisionTreeClassifier
+// ---------------------------------------------------------------------------
+
+struct DecisionTreeClassifier::BuildCtx {
+  const Dataset* data = nullptr;
+  Rng* rng = nullptr;
+  int num_classes = 0;
+};
+
+namespace {
+
+double gini_from_counts(const std::vector<std::size_t>& counts,
+                        std::size_t total) {
+  if (total == 0) return 0.0;
+  double acc = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    acc -= p * p;
+  }
+  return acc;
+}
+
+/// Best Gini split over the given rows/features. Sorted-scan per feature.
+SplitChoice best_gini_split(const Dataset& data,
+                            const std::vector<std::size_t>& idx,
+                            const std::vector<std::size_t>& feats,
+                            int num_classes, std::size_t min_leaf) {
+  SplitChoice best;
+  const std::size_t n = idx.size();
+  std::vector<std::size_t> order(idx);
+
+  for (std::size_t f : feats) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.x(a)[f] < data.x(b)[f];
+    });
+    std::vector<std::size_t> left_counts(
+        static_cast<std::size_t>(num_classes), 0);
+    std::vector<std::size_t> right_counts(
+        static_cast<std::size_t>(num_classes), 0);
+    for (std::size_t i : order) {
+      ++right_counts[static_cast<std::size_t>(data.y(i))];
+    }
+    // Move rows one by one from right to left; a split between position i-1
+    // and i is valid when the feature value strictly increases there.
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t moved = order[i - 1];
+      const auto cls = static_cast<std::size_t>(data.y(moved));
+      ++left_counts[cls];
+      --right_counts[cls];
+      const double lo = data.x(order[i - 1])[f];
+      const double hi = data.x(order[i])[f];
+      if (lo >= hi) continue;  // tied values cannot be separated
+      if (i < min_leaf || n - i < min_leaf) continue;
+      const double gini =
+          (static_cast<double>(i) * gini_from_counts(left_counts, i) +
+           static_cast<double>(n - i) * gini_from_counts(right_counts, n - i)) /
+          static_cast<double>(n);
+      if (gini < best.score) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = lo + (hi - lo) / 2.0;
+        best.score = gini;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTreeClassifier::fit(const Dataset& data) {
+  Rng unused(0);
+  TreeConfig saved = cfg_;
+  cfg_.max_features = 0;
+  fit(data, unused);
+  cfg_ = saved;
+}
+
+void DecisionTreeClassifier::fit(const Dataset& data, Rng& rng) {
+  COCG_EXPECTS_MSG(!data.empty(), "cannot fit an empty dataset");
+  nodes_.clear();
+  leaf_proba_.clear();
+  num_classes_ = data.num_classes();
+
+  BuildCtx ctx;
+  ctx.data = &data;
+  ctx.rng = &rng;
+  ctx.num_classes = num_classes_;
+
+  std::vector<std::size_t> idx(data.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  build(ctx, idx, 0);
+}
+
+int DecisionTreeClassifier::build(BuildCtx& ctx, std::vector<std::size_t>& idx,
+                                  int depth) {
+  const Dataset& data = *ctx.data;
+  const std::size_t n = idx.size();
+  COCG_CHECK(n > 0);
+
+  // Class histogram of this node.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(ctx.num_classes),
+                                  0);
+  for (std::size_t i : idx) ++counts[static_cast<std::size_t>(data.y(i))];
+  const auto majority = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  const bool pure =
+      counts[static_cast<std::size_t>(majority)] == n;
+
+  const int me = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  leaf_proba_.emplace_back();
+  nodes_[static_cast<std::size_t>(me)].label = majority;
+  nodes_[static_cast<std::size_t>(me)].n_samples = n;
+
+  auto make_leaf = [&] {
+    auto& proba = leaf_proba_[static_cast<std::size_t>(me)];
+    proba.resize(static_cast<std::size_t>(ctx.num_classes));
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      proba[c] = static_cast<double>(counts[c]) / static_cast<double>(n);
+    }
+    return me;
+  };
+
+  if (pure || depth >= cfg_.max_depth || n < cfg_.min_samples_split) {
+    return make_leaf();
+  }
+
+  const auto feats = candidate_features(data.num_features(),
+                                        cfg_.max_features, ctx.rng);
+  const SplitChoice split = best_gini_split(data, idx, feats, ctx.num_classes,
+                                            cfg_.min_samples_leaf);
+  if (!split.found) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  left_idx.reserve(n);
+  right_idx.reserve(n);
+  for (std::size_t i : idx) {
+    (data.x(i)[split.feature] <= split.threshold ? left_idx : right_idx)
+        .push_back(i);
+  }
+  COCG_CHECK(!left_idx.empty() && !right_idx.empty());
+  idx.clear();
+  idx.shrink_to_fit();
+
+  nodes_[static_cast<std::size_t>(me)].feature =
+      static_cast<int>(split.feature);
+  nodes_[static_cast<std::size_t>(me)].threshold = split.threshold;
+  const int l = build(ctx, left_idx, depth + 1);
+  const int r = build(ctx, right_idx, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].left = l;
+  nodes_[static_cast<std::size_t>(me)].right = r;
+  return me;
+}
+
+int DecisionTreeClassifier::predict(const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto& nd = nodes_[node];
+    COCG_EXPECTS(static_cast<std::size_t>(nd.feature) < x.size());
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                : nd.right);
+  }
+  return nodes_[node].label;
+}
+
+std::vector<int> DecisionTreeClassifier::predict_all(
+    const std::vector<FeatureRow>& xs) const {
+  std::vector<int> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(predict(x));
+  return out;
+}
+
+std::vector<double> DecisionTreeClassifier::predict_proba(
+    const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto& nd = nodes_[node];
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                : nd.right);
+  }
+  return leaf_proba_[node];
+}
+
+int DecisionTreeClassifier::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flattened structure.
+  std::vector<std::pair<std::size_t, int>> stack{{0, 1}};
+  int mx = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    mx = std::max(mx, d);
+    if (nodes_[node].feature >= 0) {
+      stack.push_back({static_cast<std::size_t>(nodes_[node].left), d + 1});
+      stack.push_back({static_cast<std::size_t>(nodes_[node].right), d + 1});
+    }
+  }
+  return mx;
+}
+
+// ---------------------------------------------------------------------------
+// RegressionTree
+// ---------------------------------------------------------------------------
+
+struct RegressionTree::BuildCtx {
+  const std::vector<FeatureRow>* x = nullptr;
+  const std::vector<double>* y = nullptr;
+};
+
+namespace {
+
+/// Best variance-reduction split using prefix sums over sorted values.
+SplitChoice best_mse_split(const std::vector<FeatureRow>& x,
+                           const std::vector<double>& y,
+                           const std::vector<std::size_t>& idx,
+                           std::size_t min_leaf) {
+  SplitChoice best;
+  const std::size_t n = idx.size();
+  const std::size_t n_features = x[0].size();
+  std::vector<std::size_t> order(idx);
+
+  // A split must actually reduce the node's squared error; otherwise the
+  // node stays a leaf (constant targets would "split" at error 0 == 0).
+  {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t i : idx) {
+      sum += y[i];
+      sum2 += y[i] * y[i];
+    }
+    const double parent_err = sum2 - sum * sum / static_cast<double>(n);
+    best.score = parent_err - 1e-12;
+  }
+
+  for (std::size_t f = 0; f < n_features; ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double right_sum = 0.0, right_sum2 = 0.0;
+    for (std::size_t i : order) {
+      right_sum += y[i];
+      right_sum2 += y[i] * y[i];
+    }
+    double left_sum = 0.0, left_sum2 = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+      const double yi = y[order[i - 1]];
+      left_sum += yi;
+      left_sum2 += yi * yi;
+      right_sum -= yi;
+      right_sum2 -= yi * yi;
+      const double lo = x[order[i - 1]][f];
+      const double hi = x[order[i]][f];
+      if (lo >= hi) continue;
+      if (i < min_leaf || n - i < min_leaf) continue;
+      const auto nl = static_cast<double>(i);
+      const auto nr = static_cast<double>(n - i);
+      // Total within-node squared error = Σy² − (Σy)²/n on each side.
+      const double err =
+          (left_sum2 - left_sum * left_sum / nl) +
+          (right_sum2 - right_sum * right_sum / nr);
+      if (err < best.score) {
+        best.found = true;
+        best.feature = f;
+        best.threshold = lo + (hi - lo) / 2.0;
+        best.score = err;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const std::vector<FeatureRow>& x,
+                         const std::vector<double>& y) {
+  COCG_EXPECTS(!x.empty());
+  COCG_EXPECTS(x.size() == y.size());
+  nodes_.clear();
+
+  BuildCtx ctx;
+  ctx.x = &x;
+  ctx.y = &y;
+  std::vector<std::size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  build(ctx, idx, 0);
+}
+
+int RegressionTree::build(BuildCtx& ctx, std::vector<std::size_t>& idx,
+                          int depth) {
+  const auto& x = *ctx.x;
+  const auto& y = *ctx.y;
+  const std::size_t n = idx.size();
+  COCG_CHECK(n > 0);
+
+  double mean = 0.0;
+  for (std::size_t i : idx) mean += y[i];
+  mean /= static_cast<double>(n);
+
+  const int me = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(me)].value = mean;
+  nodes_[static_cast<std::size_t>(me)].n_samples = n;
+
+  if (depth >= cfg_.max_depth || n < cfg_.min_samples_split) return me;
+
+  const SplitChoice split = best_mse_split(x, y, idx, cfg_.min_samples_leaf);
+  if (!split.found) return me;
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (std::size_t i : idx) {
+    (x[i][split.feature] <= split.threshold ? left_idx : right_idx)
+        .push_back(i);
+  }
+  COCG_CHECK(!left_idx.empty() && !right_idx.empty());
+  idx.clear();
+  idx.shrink_to_fit();
+
+  nodes_[static_cast<std::size_t>(me)].feature =
+      static_cast<int>(split.feature);
+  nodes_[static_cast<std::size_t>(me)].threshold = split.threshold;
+  const int l = build(ctx, left_idx, depth + 1);
+  const int r = build(ctx, right_idx, depth + 1);
+  nodes_[static_cast<std::size_t>(me)].left = l;
+  nodes_[static_cast<std::size_t>(me)].right = r;
+  return me;
+}
+
+double RegressionTree::predict(const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  std::size_t node = 0;
+  while (nodes_[node].feature >= 0) {
+    const auto& nd = nodes_[node];
+    COCG_EXPECTS(static_cast<std::size_t>(nd.feature) < x.size());
+    node = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                : nd.right);
+  }
+  return nodes_[node].value;
+}
+
+}  // namespace cocg::ml

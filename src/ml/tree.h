@@ -1,0 +1,83 @@
+// CART decision trees: a Gini classifier (the paper's DTC) and a
+// squared-error regression tree (the weak learner inside GBDT).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace cocg::ml {
+
+struct TreeConfig {
+  int max_depth = 12;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features examined per split; 0 means all (plain CART),
+  /// smaller values give the random-forest style feature subsampling.
+  std::size_t max_features = 0;
+};
+
+/// One node in the flattened tree. Leaves have feature == -1.
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;   ///< child index, samples with x[feature] <= threshold
+  int right = -1;
+  int label = 0;           ///< classifier leaf: majority class
+  double value = 0.0;      ///< regression leaf: mean target
+  std::size_t n_samples = 0;
+};
+
+/// Multiclass Gini-impurity CART classifier.
+class DecisionTreeClassifier {
+ public:
+  explicit DecisionTreeClassifier(TreeConfig cfg = {}) : cfg_(cfg) {}
+
+  /// `rng` is only consulted when cfg.max_features > 0.
+  void fit(const Dataset& data, Rng& rng);
+  void fit(const Dataset& data);  ///< deterministic, all features
+
+  bool trained() const { return !nodes_.empty(); }
+  int predict(const FeatureRow& x) const;
+  std::vector<int> predict_all(const std::vector<FeatureRow>& xs) const;
+
+  /// Class-probability estimate at the reached leaf.
+  std::vector<double> predict_proba(const FeatureRow& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const;
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct BuildCtx;
+  int build(BuildCtx& ctx, std::vector<std::size_t>& idx, int depth);
+
+  TreeConfig cfg_;
+  std::vector<TreeNode> nodes_;
+  std::vector<std::vector<double>> leaf_proba_;  // parallel to nodes_
+  int num_classes_ = 0;
+};
+
+/// Squared-error regression tree (for gradient boosting).
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeConfig cfg = {}) : cfg_(cfg) {}
+
+  void fit(const std::vector<FeatureRow>& x, const std::vector<double>& y);
+
+  bool trained() const { return !nodes_.empty(); }
+  double predict(const FeatureRow& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct BuildCtx;
+  int build(BuildCtx& ctx, std::vector<std::size_t>& idx, int depth);
+
+  TreeConfig cfg_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace cocg::ml

@@ -1,0 +1,415 @@
+#include "platform/cloud_platform.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "game/plan.h"
+#include "hw/contention.h"
+
+namespace cocg::platform {
+
+CloudPlatform::CloudPlatform(PlatformConfig cfg,
+                             std::unique_ptr<Scheduler> scheduler)
+    : cfg_(cfg),
+      scheduler_(std::move(scheduler)),
+      rng_(cfg.seed),
+      streaming_(cfg.streaming) {
+  COCG_EXPECTS(scheduler_ != nullptr);
+  COCG_EXPECTS(cfg_.tick_ms > 0);
+  COCG_EXPECTS(cfg_.control_period_ms >= cfg_.tick_ms);
+}
+
+CloudPlatform::~CloudPlatform() = default;
+
+ServerId CloudPlatform::add_server(const hw::ServerSpec& spec) {
+  const ServerId id{servers_.size()};
+  servers_.emplace_back(id, spec);
+  return id;
+}
+
+void CloudPlatform::add_source(const SourceConfig& source) {
+  COCG_EXPECTS(source.spec != nullptr);
+  COCG_EXPECTS(source.max_concurrent >= 1);
+  COCG_EXPECTS(source.player_pool >= 1);
+  sources_.push_back(SourceState{source, 0});
+}
+
+RequestId CloudPlatform::submit(const game::GameSpec* spec,
+                                std::size_t script_idx,
+                                std::uint64_t player_id) {
+  COCG_EXPECTS(spec != nullptr);
+  COCG_EXPECTS(script_idx < spec->scripts.size());
+  GameRequest req;
+  req.id = RequestId{next_request_++};
+  req.spec = spec;
+  req.script_idx = script_idx;
+  req.player_id = player_id;
+  req.arrival = engine_.now();
+  queue_.push_back(req);
+  return req.id;
+}
+
+void CloudPlatform::add_open_loop_source(const OpenLoopSource& source) {
+  COCG_EXPECTS(source.spec != nullptr);
+  COCG_EXPECTS(source.arrivals_per_hour > 0.0);
+  COCG_EXPECTS(source.player_pool >= 1);
+  open_sources_.push_back(OpenState{source, kTimeNever});
+}
+
+void CloudPlatform::pump_open_loop_arrivals() {
+  const TimeMs now = engine_.now();
+  for (auto& os : open_sources_) {
+    const double mean_gap_ms =
+        3600.0 * 1000.0 / os.cfg.arrivals_per_hour;
+    if (os.next_due == kTimeNever) {
+      os.next_due = now + static_cast<DurationMs>(
+                              std::max(1.0, rng_.exponential(mean_gap_ms)));
+    }
+    while (os.next_due <= now) {
+      const auto script = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(os.cfg.spec->scripts.size()) - 1));
+      const auto player = static_cast<std::uint64_t>(
+          rng_.uniform_int(1, os.cfg.player_pool));
+      submit(os.cfg.spec, script, player);
+      ++open_loop_arrivals_;
+      os.next_due += static_cast<DurationMs>(
+          std::max(1.0, rng_.exponential(mean_gap_ms)));
+    }
+  }
+}
+
+void CloudPlatform::replenish_sources() {
+  for (auto& src : sources_) {
+    while (src.outstanding < src.cfg.max_concurrent) {
+      const auto script = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(src.cfg.spec->scripts.size()) - 1));
+      const auto player =
+          static_cast<std::uint64_t>(rng_.uniform_int(1, src.cfg.player_pool));
+      submit(src.cfg.spec, script, player);
+      ++src.outstanding;
+    }
+  }
+}
+
+void CloudPlatform::try_admit_queue() {
+  // FIFO scan; requests the scheduler rejects stay queued for the next
+  // control period (Fig. 11: games continuously request "until the
+  // distributor passes the request").
+  std::deque<GameRequest> remaining;
+  while (!queue_.empty()) {
+    GameRequest req = queue_.front();
+    queue_.pop_front();
+    auto placement = scheduler_->admit(*this, req);
+    if (!placement) {
+      remaining.push_back(req);
+      continue;
+    }
+    // Materialize the session.
+    const SessionId sid{next_session_++};
+    auto& srv = server_mut(placement->server);
+    const bool placed =
+        srv.place(sid, placement->gpu_index, placement->allocation);
+    if (!placed) {
+      COCG_WARN("scheduler " << scheduler_->name()
+                             << " returned an infeasible placement; request "
+                             << req.id.value << " requeued");
+      remaining.push_back(req);
+      continue;
+    }
+    auto plan = game::generate_plan(*req.spec, req.script_idx, req.player_id,
+                                    rng_);
+    ActiveSession as;
+    as.session = std::make_unique<game::GameSession>(
+        sid, req.spec, req.script_idx, std::move(plan), rng_.fork(),
+        cfg_.session);
+    as.server = placement->server;
+    as.gpu_index = placement->gpu_index;
+    as.script_idx = req.script_idx;
+    as.player_id = req.player_id;
+    as.request_arrival = req.arrival;
+    as.trace.set_label(req.spec->name + "#" + std::to_string(sid.value));
+    as.session->begin(engine_.now());
+    sessions_.emplace(sid, std::move(as));
+    scheduler_->on_session_start(*this, sid);
+  }
+  queue_ = std::move(remaining);
+}
+
+void CloudPlatform::hardware_tick() {
+  const TimeMs t = engine_.now();
+
+  // Per server: gather draws, resolve contention, advance sessions.
+  for (auto& srv : servers_) {
+    std::vector<hw::PinnedDraw> draws;
+    std::vector<SessionId> sids;
+    for (SessionId sid : srv.session_ids()) {
+      auto it = sessions_.find(sid);
+      COCG_CHECK(it != sessions_.end());
+      auto& as = it->second;
+      hw::PinnedDraw pd;
+      pd.draw.sid = sid;
+      pd.draw.demand = as.session->demand();
+      pd.draw.allocation = srv.placement(sid).allocation;
+      pd.gpu_index = as.gpu_index;
+      draws.push_back(pd);
+      sids.push_back(sid);
+    }
+    if (draws.empty()) continue;
+    const auto supplies = hw::resolve_server(srv.spec(), draws);
+
+    // Utilization snapshots (per GPU view).
+    if (record_utilization_) {
+      const ResourceVector cap = srv.spec().per_gpu_capacity();
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        UtilizationPoint up;
+        up.t = t;
+        up.server = srv.id();
+        up.gpu_index = g;
+        for (std::size_t i = 0; i < sids.size(); ++i) {
+          // CPU/RAM are charged to every view; GPU dims to the pinned view.
+          up.total_supplied[Dim::kCpuPct] += supplies[i].supplied[Dim::kCpuPct];
+          up.total_supplied[Dim::kRamMb] += supplies[i].supplied[Dim::kRamMb];
+          if (draws[i].gpu_index == g) {
+            up.total_supplied[Dim::kGpuPct] +=
+                supplies[i].supplied[Dim::kGpuPct];
+            up.total_supplied[Dim::kGpuMemMb] +=
+                supplies[i].supplied[Dim::kGpuMemMb];
+          }
+        }
+        for (std::size_t d = 0; d < kNumDims; ++d) {
+          up.max_dim_fraction = std::max(
+              up.max_dim_fraction, up.total_supplied.at(d) / cap.at(d));
+        }
+        util_log_.push_back(up);
+      }
+    }
+
+    // Advance sessions and record telemetry.
+    for (std::size_t i = 0; i < sids.size(); ++i) {
+      auto& as = sessions_.at(sids[i]);
+      telemetry::MetricSample s;
+      s.t = t;
+      s.usage = supplies[i].supplied;
+      for (std::size_t d = 0; d < kNumDims; ++d) {
+        s.usage.at(d) = std::max(
+            0.0, s.usage.at(d) *
+                     (1.0 + rng_.normal(0.0, cfg_.measurement_noise_rel)));
+      }
+      s.true_stage_type = as.session->stage_type();
+      s.true_loading =
+          as.session->stage_kind() == game::StageKind::kLoading;
+      s.true_cluster = as.session->current_cluster();
+      const ResourceVector demand_before = draws[i].draw.demand;
+      as.session->tick(t, supplies[i].supplied);
+      s.fps = as.session->last_fps();
+      as.trace.add(s);
+
+      // §II-A streaming pipeline: interaction latency on rendering ticks.
+      if (s.fps > 0.0) {
+        const double cpu_sat =
+            demand_before[Dim::kCpuPct] > 0.0
+                ? std::min(1.0, supplies[i].supplied[Dim::kCpuPct] /
+                                    demand_before[Dim::kCpuPct])
+                : 1.0;
+        const double lat = streaming_.latency_ms(s.fps, cpu_sat, rng_);
+        as.latency_ms.add(lat);
+        if (lat > streaming_.config().latency_budget_ms) {
+          as.latency_violation_ms += cfg_.tick_ms;
+        }
+      }
+    }
+  }
+
+  // §V-B1 harvest accounting: integrate unallocated capacity.
+  if (record_harvest_) {
+    const double dt_s = ms_to_sec(cfg_.tick_ms);
+    for (const auto& srv : servers_) {
+      double cpu_alloc = 0.0;
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        double gpu_alloc = 0.0;
+        for (SessionId sid : srv.sessions_on_gpu(g)) {
+          gpu_alloc += srv.placement(sid).allocation[Dim::kGpuPct];
+          cpu_alloc += srv.placement(sid).allocation[Dim::kCpuPct];
+        }
+        harvested_gpu_s_ +=
+            std::max(0.0, srv.spec().gpu_capacity_pct - gpu_alloc) / 100.0 *
+            dt_s;
+      }
+      harvested_cpu_s_ +=
+          std::max(0.0, srv.spec().cpu_capacity_pct - cpu_alloc) / 100.0 *
+          dt_s;
+    }
+  }
+
+  // Reap finished sessions (deterministic id order via map iteration).
+  std::vector<SessionId> done;
+  for (const auto& [sid, as] : sessions_) {
+    if (as.session->finished()) done.push_back(sid);
+  }
+  for (SessionId sid : done) finish_session(sid, t + cfg_.tick_ms);
+}
+
+void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
+  auto it = sessions_.find(sid);
+  COCG_CHECK(it != sessions_.end());
+  auto& as = it->second;
+
+  CompletedRun run;
+  run.sid = sid;
+  run.game = as.session->spec().name;
+  run.script_idx = as.script_idx;
+  run.start = as.session->start_time();
+  run.end = end;
+  run.duration_ms = end - as.session->start_time();
+  run.wait_ms = as.session->start_time() - as.request_arrival;
+  run.qos_violation_ms = as.session->qos_violation_ms();
+  run.loading_extension_ms = as.session->loading_extension_ms();
+  run.mean_fps_ratio = as.session->mean_fps_ratio();
+  run.mean_fps = as.session->mean_fps();
+  if (!as.latency_ms.empty()) {
+    run.mean_latency_ms = as.latency_ms.mean();
+    run.max_latency_ms = as.latency_ms.max();
+  }
+  run.latency_violation_ms = as.latency_violation_ms;
+  completed_.push_back(run);
+
+  scheduler_->on_session_end(*this, sid);
+  server_mut(as.server).remove(sid);
+
+  // Credit the closed-loop source.
+  for (auto& src : sources_) {
+    if (src.cfg.spec == &as.session->spec()) {
+      src.outstanding = std::max(0, src.outstanding - 1);
+      break;
+    }
+  }
+  sessions_.erase(it);
+}
+
+void CloudPlatform::control_tick() {
+  replenish_sources();
+  pump_open_loop_arrivals();
+  try_admit_queue();
+  scheduler_->control(*this);
+}
+
+void CloudPlatform::run(DurationMs duration_ms) {
+  COCG_EXPECTS(duration_ms > 0);
+  horizon_ = engine_.now() + duration_ms;
+
+  replenish_sources();
+  try_admit_queue();
+
+  auto hw_task = engine_.schedule_periodic(
+      cfg_.tick_ms, cfg_.tick_ms, [this](TimeMs t) {
+        hardware_tick();
+        return t < horizon_;
+      });
+  auto ctl_task = engine_.schedule_periodic(
+      cfg_.control_period_ms, cfg_.control_period_ms, [this](TimeMs t) {
+        control_tick();
+        return t < horizon_;
+      });
+  engine_.run_until(horizon_);
+  hw_task.stop();
+  ctl_task.stop();
+}
+
+// --- PlatformView ---
+
+TimeMs CloudPlatform::now() const { return engine_.now(); }
+
+std::vector<ServerId> CloudPlatform::server_ids() const {
+  std::vector<ServerId> out;
+  out.reserve(servers_.size());
+  for (const auto& s : servers_) out.push_back(s.id());
+  return out;
+}
+
+const hw::Server& CloudPlatform::server(ServerId id) const {
+  COCG_EXPECTS(id.value < servers_.size());
+  return servers_[id.value];
+}
+
+hw::Server& CloudPlatform::server_mut(ServerId id) {
+  COCG_EXPECTS(id.value < servers_.size());
+  return servers_[id.value];
+}
+
+std::vector<SessionId> CloudPlatform::session_ids() const {
+  std::vector<SessionId> out;
+  out.reserve(sessions_.size());
+  for (const auto& [sid, as] : sessions_) out.push_back(sid);
+  return out;
+}
+
+const CloudPlatform::ActiveSession& CloudPlatform::active(
+    SessionId sid) const {
+  auto it = sessions_.find(sid);
+  COCG_EXPECTS_MSG(it != sessions_.end(), "unknown session");
+  return it->second;
+}
+
+SessionInfo CloudPlatform::session_info(SessionId sid) const {
+  const auto& as = active(sid);
+  SessionInfo info;
+  info.id = sid;
+  info.spec = &as.session->spec();
+  info.script_idx = as.script_idx;
+  info.player_id = as.player_id;
+  info.server = as.server;
+  info.gpu_index = as.gpu_index;
+  info.allocation = servers_[as.server.value].placement(sid).allocation;
+  info.start_time = as.session->start_time();
+  return info;
+}
+
+const telemetry::Trace& CloudPlatform::session_trace(SessionId sid) const {
+  return active(sid).trace;
+}
+
+bool CloudPlatform::reallocate(SessionId sid, const ResourceVector& allocation,
+                               bool allow_oversubscribe) {
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return false;
+  return server_mut(it->second.server)
+      .reallocate(sid, allocation, allow_oversubscribe);
+}
+
+void CloudPlatform::hold_loading(SessionId sid, bool hold) {
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return;
+  it->second.session->set_loading_hold(hold);
+}
+
+const game::GameSession& CloudPlatform::session_truth(SessionId sid) const {
+  return *active(sid).session;
+}
+
+std::map<std::string, GameStats> CloudPlatform::game_stats() const {
+  std::map<std::string, GameStats> out;
+  std::map<std::string, double> ratio_sum, wait_sum;
+  for (const auto& run : completed_) {
+    auto& gs = out[run.game];
+    ++gs.completed;
+    gs.total_duration_s += ms_to_sec(run.duration_ms);
+    gs.qos_violation_s += ms_to_sec(run.qos_violation_ms);
+    ratio_sum[run.game] += run.mean_fps_ratio;
+    wait_sum[run.game] += ms_to_sec(run.wait_ms);
+  }
+  for (auto& [name, gs] : out) {
+    gs.mean_fps_ratio = ratio_sum[name] / std::max(1, gs.completed);
+    gs.mean_wait_s = wait_sum[name] / std::max(1, gs.completed);
+  }
+  return out;
+}
+
+double CloudPlatform::throughput() const {
+  // T = Σ_i N_i · S̄_i = total completed game-seconds (Eq. 2).
+  double total = 0.0;
+  for (const auto& run : completed_) total += ms_to_sec(run.duration_ms);
+  return total;
+}
+
+}  // namespace cocg::platform

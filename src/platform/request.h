@@ -1,0 +1,38 @@
+// Game requests and closed-loop request sources.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "game/spec.h"
+
+namespace cocg::platform {
+
+/// A pending "start this game for this player" request.
+struct GameRequest {
+  RequestId id;
+  const game::GameSpec* spec = nullptr;
+  std::size_t script_idx = 0;
+  std::uint64_t player_id = 0;
+  TimeMs arrival = 0;
+};
+
+/// Closed-loop source (the Fig. 11 methodology): a game "continuously runs
+/// requests" — whenever fewer than `max_concurrent` instances are queued or
+/// running, another request is submitted with a uniformly random script.
+struct SourceConfig {
+  const game::GameSpec* spec = nullptr;
+  int max_concurrent = 1;
+  int player_pool = 16;  ///< player ids drawn from [1, player_pool]
+};
+
+/// Open-loop Poisson source: players arrive at `arrivals_per_hour`
+/// independent of service progress — the datacenter-facing workload model
+/// (queue growth under overload is visible, unlike closed loops).
+struct OpenLoopSource {
+  const game::GameSpec* spec = nullptr;
+  double arrivals_per_hour = 6.0;
+  int player_pool = 16;
+};
+
+}  // namespace cocg::platform

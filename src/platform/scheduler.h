@@ -1,0 +1,49 @@
+// Abstract scheduling strategy plugged into the CloudPlatform.
+//
+// Implementations: CoCG (core/cocg_scheduler.h) and the §V baselines —
+// VBP, GAugur-style profiling, and the "improved" reactive scheme.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/resources.h"
+#include "common/types.h"
+#include "platform/request.h"
+#include "platform/view.h"
+
+namespace cocg::platform {
+
+/// Where and how to host an admitted request.
+struct Placement {
+  ServerId server;
+  int gpu_index = 0;
+  ResourceVector allocation;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Decide whether `req` can start now. Returning nullopt keeps it queued;
+  /// admission is retried every control period.
+  virtual std::optional<Placement> admit(PlatformView& view,
+                                         const GameRequest& req) = 0;
+
+  /// Called every control period (default: the paper's 5 s) to adjust
+  /// allocations / resolve peaks.
+  virtual void control(PlatformView& view) { (void)view; }
+
+  virtual void on_session_start(PlatformView& view, SessionId sid) {
+    (void)view;
+    (void)sid;
+  }
+  virtual void on_session_end(PlatformView& view, SessionId sid) {
+    (void)view;
+    (void)sid;
+  }
+};
+
+}  // namespace cocg::platform

@@ -1,0 +1,48 @@
+// Cloud-game streaming pipeline model (§II-A).
+//
+// The paper's workflow: player input travels to the server, the CPU
+// processes the command, the GPU renders the frame, the encoder compresses
+// it, the network returns it, and the client decodes — cloud gaming is
+// playable only when this loop stays within tens of milliseconds (the
+// paper quotes a <3 ms network budget).
+//
+// StreamingModel turns a session's instantaneous FPS and CPU satisfaction
+// into an end-to-end interaction latency sample:
+//
+//   latency = uplink + input processing / cpu_sat + frame time (1/fps)
+//           + encode / cpu_sat + downlink (+ jitter) + decode
+//
+// Encoding and input processing run on the same contended CPU as the game,
+// so co-location pressure stretches them — the mechanism by which resource
+// squeeze becomes user-visible lag.
+#pragma once
+
+#include "common/rng.h"
+
+namespace cocg::platform {
+
+struct StreamingConfig {
+  double network_rtt_ms = 6.0;     ///< round trip; paper wants <3 ms one-way
+  double network_jitter_ms = 1.0;  ///< stddev of per-sample jitter
+  double input_process_ms = 1.0;   ///< command compilation at full supply
+  double encode_ms = 5.0;          ///< frame encode at full CPU supply
+  double decode_ms = 4.0;          ///< client-side decode
+  double latency_budget_ms = 100.0;  ///< interaction-latency QoS bound
+};
+
+class StreamingModel {
+ public:
+  explicit StreamingModel(StreamingConfig cfg = {});
+
+  /// One end-to-end latency sample. `fps` must be > 0 (an execution-stage
+  /// tick); `cpu_satisfaction` in (0, 1] stretches the CPU-bound pipeline
+  /// segments. `rng` supplies network jitter.
+  double latency_ms(double fps, double cpu_satisfaction, Rng& rng) const;
+
+  const StreamingConfig& config() const { return cfg_; }
+
+ private:
+  StreamingConfig cfg_;
+};
+
+}  // namespace cocg::platform

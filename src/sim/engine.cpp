@@ -1,0 +1,86 @@
+#include "sim/engine.h"
+
+#include "common/check.h"
+
+namespace cocg::sim {
+
+struct PeriodicTask::State {
+  Engine* engine = nullptr;
+  Engine::PeriodicFn fn;
+  DurationMs period = 0;
+  EventHandle pending;
+  bool stopped = false;
+};
+
+void PeriodicTask::stop() {
+  if (!state_ || state_->stopped) return;
+  state_->stopped = true;
+  state_->engine->cancel(state_->pending);
+}
+
+bool PeriodicTask::active() const { return state_ && !state_->stopped; }
+
+EventHandle Engine::schedule_in(DurationMs delay, EventFn fn) {
+  COCG_EXPECTS(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(TimeMs at, EventFn fn) {
+  COCG_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+PeriodicTask Engine::schedule_periodic(DurationMs first_delay,
+                                       DurationMs period, PeriodicFn fn) {
+  COCG_EXPECTS(first_delay >= 0);
+  COCG_EXPECTS(period > 0);
+  auto state = std::make_shared<PeriodicTask::State>();
+  state->engine = this;
+  state->fn = std::move(fn);
+  state->period = period;
+
+  // Recursive re-arm through a self-referencing lambda stored by value.
+  struct Arm {
+    static void arm(const std::shared_ptr<PeriodicTask::State>& st,
+                    DurationMs delay) {
+      st->pending = st->engine->schedule_in(delay, [st] {
+        if (st->stopped) return;
+        const bool keep = st->fn(st->engine->now());
+        if (keep && !st->stopped) {
+          arm(st, st->period);
+        } else {
+          st->stopped = true;
+        }
+      });
+    }
+  };
+  Arm::arm(state, first_delay);
+  return PeriodicTask(state);
+}
+
+TimeMs Engine::run_until(TimeMs until) {
+  COCG_EXPECTS(until >= now_);
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    if (queue_.next_time() > until) break;
+    auto [at, fn] = queue_.pop();
+    now_ = at;  // the event observes its own timestamp via now()
+    fn();
+    ++events_processed_;
+  }
+  if (now_ < until) now_ = until;
+  return now_;
+}
+
+TimeMs Engine::run_all() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    auto [at, fn] = queue_.pop();
+    now_ = at;
+    fn();
+    ++events_processed_;
+  }
+  return now_;
+}
+
+}  // namespace cocg::sim

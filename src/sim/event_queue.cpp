@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace cocg::sim {
+
+EventHandle EventQueue::schedule(TimeMs at, EventFn fn) {
+  COCG_EXPECTS_MSG(static_cast<bool>(fn), "cannot schedule an empty event");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(fn)});
+  live_.insert(seq);
+  return EventHandle{seq};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return live_.erase(h.seq) > 0;
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty() && live_.count(heap_.top().seq) == 0) {
+    heap_.pop();
+  }
+}
+
+TimeMs EventQueue::next_time() const {
+  COCG_EXPECTS(!empty());
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_prefix();
+  COCG_CHECK(!self->heap_.empty());
+  return heap_.top().at;
+}
+
+std::pair<TimeMs, EventFn> EventQueue::pop() {
+  COCG_EXPECTS(!empty());
+  drop_dead_prefix();
+  COCG_CHECK(!heap_.empty());
+  // Copy out before popping: the callback may schedule new events.
+  Entry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.seq);
+  return {top.at, std::move(top.fn)};
+}
+
+TimeMs EventQueue::pop_and_run() {
+  auto [at, fn] = pop();
+  fn();
+  return at;
+}
+
+}  // namespace cocg::sim

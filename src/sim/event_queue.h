@@ -1,0 +1,71 @@
+// Priority queue of timestamped events with deterministic tie-breaking.
+//
+// Events at the same timestamp fire in insertion order (FIFO), which keeps
+// whole-platform simulations bit-reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cocg::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle used to cancel a scheduled event.
+struct EventHandle {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`.
+  EventHandle schedule(TimeMs at, EventFn fn);
+
+  /// Cancel a previously scheduled event. Returns false if it already fired
+  /// or was already cancelled. Amortized O(1): the heap slot is lazily
+  /// skipped on pop.
+  bool cancel(EventHandle h);
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  TimeMs next_time() const;
+
+  /// Pop and run the earliest live event; returns its timestamp.
+  /// Requires !empty().
+  TimeMs pop_and_run();
+
+  /// Remove and return the earliest live event without running it.
+  /// Requires !empty().
+  std::pair<TimeMs, EventFn> pop();
+
+ private:
+  struct Entry {
+    TimeMs at;
+    std::uint64_t seq;  // insertion order; also the cancellation key
+    EventFn fn;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  void drop_dead_prefix();
+
+  // Min-heap by (time, seq). `live_` holds seqs that are scheduled and not
+  // yet fired or cancelled; heap entries not in `live_` are skipped.
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace cocg::sim

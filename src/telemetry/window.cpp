@@ -1,0 +1,60 @@
+#include "telemetry/window.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cocg::telemetry {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity) {
+  COCG_EXPECTS(capacity >= 1);
+}
+
+void SlidingWindow::add(const MetricSample& s) {
+  if (buf_.size() == capacity_) buf_.pop_front();
+  buf_.push_back(s);
+}
+
+void SlidingWindow::clear() { buf_.clear(); }
+
+const MetricSample& SlidingWindow::latest() const {
+  COCG_EXPECTS(!empty());
+  return buf_.back();
+}
+
+const MetricSample& SlidingWindow::oldest() const {
+  COCG_EXPECTS(!empty());
+  return buf_.front();
+}
+
+const MetricSample& SlidingWindow::at(std::size_t i) const {
+  COCG_EXPECTS(i < buf_.size());
+  return buf_[i];
+}
+
+ResourceVector SlidingWindow::mean_usage() const {
+  COCG_EXPECTS(!empty());
+  ResourceVector acc;
+  for (const auto& s : buf_) acc += s.usage;
+  return acc * (1.0 / static_cast<double>(buf_.size()));
+}
+
+ResourceVector SlidingWindow::mean_usage_tail(std::size_t n) const {
+  COCG_EXPECTS(!empty());
+  n = std::min(n, buf_.size());
+  COCG_EXPECTS(n >= 1);
+  ResourceVector acc;
+  for (std::size_t i = buf_.size() - n; i < buf_.size(); ++i) {
+    acc += buf_[i].usage;
+  }
+  return acc * (1.0 / static_cast<double>(n));
+}
+
+double SlidingWindow::mean_fps() const {
+  COCG_EXPECTS(!empty());
+  double acc = 0.0;
+  for (const auto& s : buf_) acc += s.fps;
+  return acc / static_cast<double>(buf_.size());
+}
+
+}  // namespace cocg::telemetry

@@ -1,0 +1,46 @@
+// Sliding observation window over recent samples.
+//
+// The online monitor keeps the last W samples per session to judge the
+// current stage (compare against catalog centroids) and to detect the sharp
+// usage transitions that mark loading-stage entry.
+#pragma once
+
+#include <deque>
+
+#include "common/resources.h"
+#include "telemetry/sample.h"
+
+namespace cocg::telemetry {
+
+class SlidingWindow {
+ public:
+  /// Keep at most `capacity` most-recent samples (capacity >= 1).
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(const MetricSample& s);
+  void clear();
+
+  bool empty() const { return buf_.empty(); }
+  bool full() const { return buf_.size() == capacity_; }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  const MetricSample& latest() const;  ///< requires !empty()
+  const MetricSample& oldest() const;  ///< requires !empty()
+  const MetricSample& at(std::size_t i) const;  ///< 0 == oldest
+
+  /// Mean usage over the window. Requires !empty().
+  ResourceVector mean_usage() const;
+
+  /// Mean usage over only the newest `n` samples (n clamped to size).
+  ResourceVector mean_usage_tail(std::size_t n) const;
+
+  /// Mean fps over the window. Requires !empty().
+  double mean_fps() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<MetricSample> buf_;
+};
+
+}  // namespace cocg::telemetry

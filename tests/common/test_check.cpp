@@ -1,0 +1,57 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace cocg {
+namespace {
+
+TEST(Check, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(COCG_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(COCG_ENSURES(true));
+  EXPECT_NO_THROW(COCG_CHECK(42));
+}
+
+TEST(Check, FailureThrowsContractError) {
+  EXPECT_THROW(COCG_EXPECTS(false), ContractError);
+  EXPECT_THROW(COCG_ENSURES(1 == 2), ContractError);
+  EXPECT_THROW(COCG_CHECK(false), ContractError);
+}
+
+TEST(Check, MessageCarriesContext) {
+  try {
+    COCG_EXPECTS_MSG(false, "the answer must be 42");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Precondition"), std::string::npos);
+    EXPECT_NE(what.find("the answer must be 42"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, ExpressionTextIncluded) {
+  try {
+    COCG_CHECK(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Check, ContractErrorIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(COCG_CHECK(false), std::logic_error);
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+  int calls = 0;
+  auto f = [&] {
+    ++calls;
+    return true;
+  };
+  COCG_CHECK(f());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace cocg

@@ -1,0 +1,64 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace cocg {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+TEST(Log, MacroSuppressedBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  COCG_DEBUG(expensive());
+  COCG_ERROR(expensive());
+  // Below threshold the stream expression must not be evaluated at all.
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Log, MacroEvaluatesAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  COCG_ERROR("boom " << 42);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[ERROR] boom 42"), std::string::npos);
+}
+
+TEST(Log, DirectEmission) {
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "direct");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO] direct"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cocg

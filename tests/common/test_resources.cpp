@@ -1,0 +1,164 @@
+#include "common/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cocg {
+namespace {
+
+TEST(ResourceVector, DefaultIsZero) {
+  ResourceVector r;
+  for (std::size_t i = 0; i < kNumDims; ++i) EXPECT_EQ(r.at(i), 0.0);
+}
+
+TEST(ResourceVector, NamedAccessors) {
+  ResourceVector r{10.0, 20.0, 300.0, 400.0};
+  EXPECT_EQ(r.cpu(), 10.0);
+  EXPECT_EQ(r.gpu(), 20.0);
+  EXPECT_EQ(r.gpu_mem(), 300.0);
+  EXPECT_EQ(r.ram(), 400.0);
+}
+
+TEST(ResourceVector, DimIndexing) {
+  ResourceVector r;
+  r[Dim::kGpuPct] = 55.0;
+  EXPECT_EQ(r.gpu(), 55.0);
+  EXPECT_EQ(r[Dim::kGpuPct], 55.0);
+}
+
+TEST(ResourceVector, Arithmetic) {
+  ResourceVector a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  const ResourceVector sum = a + b;
+  EXPECT_EQ(sum, (ResourceVector{11, 22, 33, 44}));
+  const ResourceVector diff = b - a;
+  EXPECT_EQ(diff, (ResourceVector{9, 18, 27, 36}));
+  const ResourceVector scaled = a * 2.0;
+  EXPECT_EQ(scaled, (ResourceVector{2, 4, 6, 8}));
+  EXPECT_EQ(2.0 * a, scaled);
+}
+
+TEST(ResourceVector, CompoundOps) {
+  ResourceVector a{1, 1, 1, 1};
+  a += ResourceVector{1, 2, 3, 4};
+  EXPECT_EQ(a, (ResourceVector{2, 3, 4, 5}));
+  a -= ResourceVector{1, 1, 1, 1};
+  EXPECT_EQ(a, (ResourceVector{1, 2, 3, 4}));
+  a *= 3.0;
+  EXPECT_EQ(a, (ResourceVector{3, 6, 9, 12}));
+}
+
+TEST(ResourceVector, FitsWithin) {
+  ResourceVector cap{100, 100, 8192, 8192};
+  EXPECT_TRUE((ResourceVector{100, 100, 8192, 8192}).fits_within(cap));
+  EXPECT_TRUE((ResourceVector{0, 0, 0, 0}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{100.01, 0, 0, 0}).fits_within(cap));
+  EXPECT_FALSE((ResourceVector{0, 0, 0, 9000}).fits_within(cap));
+}
+
+TEST(ResourceVector, NonNegative) {
+  EXPECT_TRUE((ResourceVector{0, 0, 0, 0}).non_negative());
+  EXPECT_TRUE((ResourceVector{1, 2, 3, 4}).non_negative());
+  EXPECT_FALSE((ResourceVector{-0.001, 2, 3, 4}).non_negative());
+}
+
+TEST(ResourceVector, MaxMin) {
+  ResourceVector a{1, 20, 3, 40}, b{10, 2, 30, 4};
+  EXPECT_EQ(ResourceVector::max(a, b), (ResourceVector{10, 20, 30, 40}));
+  EXPECT_EQ(ResourceVector::min(a, b), (ResourceVector{1, 2, 3, 4}));
+}
+
+TEST(ResourceVector, ClampedTo) {
+  ResourceVector hi{10, 10, 10, 10};
+  ResourceVector v{-5, 5, 15, 10};
+  EXPECT_EQ(v.clamped_to(hi), (ResourceVector{0, 5, 10, 10}));
+}
+
+TEST(ResourceVector, DistanceNormalized) {
+  const ResourceVector scale{100, 100, 100, 100};
+  ResourceVector a{0, 0, 0, 0}, b{100, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(a.distance(b, scale), 1.0);
+  EXPECT_DOUBLE_EQ(a.distance_sq(b, scale), 1.0);
+  ResourceVector c{100, 100, 0, 0};
+  EXPECT_DOUBLE_EQ(a.distance_sq(c, scale), 2.0);
+}
+
+TEST(ResourceVector, DistanceRequiresPositiveScale) {
+  ResourceVector a, b;
+  EXPECT_THROW(a.distance(b, ResourceVector{0, 1, 1, 1}), ContractError);
+}
+
+TEST(ResourceVector, SatisfactionFullSupply) {
+  ResourceVector demand{50, 60, 1000, 2000};
+  EXPECT_DOUBLE_EQ(demand.satisfaction_ratio(demand), 1.0);
+  // Oversupply does not exceed 1.
+  EXPECT_DOUBLE_EQ(demand.satisfaction_ratio(demand * 2.0), 1.0);
+}
+
+TEST(ResourceVector, SatisfactionBottleneckDim) {
+  ResourceVector demand{50, 60, 1000, 2000};
+  ResourceVector supplied{50, 30, 1000, 2000};  // GPU squeezed to half
+  EXPECT_DOUBLE_EQ(demand.satisfaction_ratio(supplied), 0.5);
+}
+
+TEST(ResourceVector, SatisfactionIgnoresZeroDemandDims) {
+  ResourceVector demand{50, 0, 0, 0};
+  ResourceVector supplied{25, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(demand.satisfaction_ratio(supplied), 0.5);
+}
+
+TEST(ResourceVector, SatisfactionZeroDemandIsOne) {
+  ResourceVector none;
+  EXPECT_DOUBLE_EQ(none.satisfaction_ratio(ResourceVector{}), 1.0);
+}
+
+TEST(ResourceVector, SatisfactionClampsAtZero) {
+  ResourceVector demand{50, 0, 0, 0};
+  ResourceVector supplied{-1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(demand.satisfaction_ratio(supplied), 0.0);
+}
+
+TEST(ResourceVector, StreamOutput) {
+  std::ostringstream os;
+  os << ResourceVector{1, 2, 3, 4};
+  EXPECT_NE(os.str().find("cpu=1"), std::string::npos);
+  EXPECT_NE(os.str().find("gpu=2"), std::string::npos);
+}
+
+TEST(ResourceVector, DefaultNormScaleMatchesTestbed) {
+  const ResourceVector s = default_norm_scale();
+  EXPECT_EQ(s.cpu(), 100.0);
+  EXPECT_EQ(s.gpu(), 100.0);
+  EXPECT_EQ(s.gpu_mem(), 8192.0);  // GTX-2080-class VRAM
+  EXPECT_EQ(s.ram(), 8192.0);      // the paper's 8 GB testbed
+}
+
+// Property sweep: a + b - b == a across magnitudes.
+class ResourceArithmeticProp : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResourceArithmeticProp, AddSubRoundTrip) {
+  const double m = GetParam();
+  ResourceVector a{m, m * 2, m * 3, m * 4};
+  ResourceVector b{m * 0.5, m * 0.25, m, m * 2};
+  const ResourceVector round = a + b - b;
+  for (std::size_t i = 0; i < kNumDims; ++i) {
+    EXPECT_NEAR(round.at(i), a.at(i), 1e-9 * (1.0 + std::abs(a.at(i))));
+  }
+}
+
+TEST_P(ResourceArithmeticProp, MaxDominates) {
+  const double m = GetParam();
+  ResourceVector a{m, 0, m, 0}, b{0, m, 0, m};
+  const ResourceVector mx = ResourceVector::max(a, b);
+  EXPECT_TRUE(a.fits_within(mx));
+  EXPECT_TRUE(b.fits_within(mx));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, ResourceArithmeticProp,
+                         ::testing::Values(0.0, 0.001, 1.0, 42.5, 1e6));
+
+}  // namespace
+}  // namespace cocg

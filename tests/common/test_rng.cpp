@@ -1,0 +1,216 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace cocg {
+namespace {
+
+TEST(SplitMix64, KnownFirstValueNonZero) {
+  SplitMix64 sm(0);
+  // splitmix64(0) first output is a fixed, nonzero constant.
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  // All four values should appear.
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform_int(5, 4), ContractError);
+}
+
+TEST(Rng, UniformIntApproxUniform) {
+  Rng rng(12);
+  std::array<int, 10> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(14);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(15);
+  EXPECT_THROW(rng.normal(0.0, -1.0), ContractError);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(16);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(4.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(18);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::array<int, 3> counts{};
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index({1.0, 2.0, 6.0})];
+  }
+  EXPECT_NEAR(counts[0], n / 9.0, n * 0.01);
+  EXPECT_NEAR(counts[1], 2 * n / 9.0, n * 0.01);
+  EXPECT_NEAR(counts[2], 6 * n / 9.0, n * 0.015);
+}
+
+TEST(Rng, WeightedIndexZeroWeightNeverPicked) {
+  Rng rng(20);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(rng.weighted_index({1.0, 0.0, 1.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(21);
+  EXPECT_THROW(rng.weighted_index({}), ContractError);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), ContractError);
+  EXPECT_THROW(rng.weighted_index({1.0, -1.0}), ContractError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(22);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto copy = v;
+  rng.shuffle(v.begin(), v.end());
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v.begin(), v.end());
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(24);
+  Rng child = parent.fork();
+  // Child is deterministic given the parent's state.
+  Rng parent2(24);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+}
+
+// Property: every distribution stays in range across seeds.
+class RngSeedProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedProp, BoundsHoldForAllSeeds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(), 1.0);
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedProp,
+                         ::testing::Values(0ULL, 1ULL, 42ULL,
+                                           0xdeadbeefULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace cocg

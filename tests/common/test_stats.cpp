@@ -1,0 +1,182 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cocg {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_THROW(s.min(), ContractError);
+  EXPECT_THROW(s.max(), ContractError);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic sequence = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(MeanOf, Basics) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StddevOf, Basics) {
+  EXPECT_EQ(stddev_of({}), 0.0);
+  EXPECT_EQ(stddev_of({5.0}), 0.0);
+  EXPECT_NEAR(stddev_of({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Percentile, Interpolation) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 100.0), 4.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 33.0), 7.0);
+}
+
+TEST(Percentile, Preconditions) {
+  EXPECT_THROW(percentile({}, 50.0), ContractError);
+  EXPECT_THROW(percentile({1.0}, -1.0), ContractError);
+  EXPECT_THROW(percentile({1.0}, 101.0), ContractError);
+}
+
+TEST(SseAboutMean, ZeroForConstant) {
+  EXPECT_DOUBLE_EQ(sse_about_mean({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(SseAboutMean, KnownValue) {
+  // mean = 2; deviations -1, 0, 1 → SSE = 2.
+  EXPECT_DOUBLE_EQ(sse_about_mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Ema, FirstValuePassesThrough) {
+  Ema e(0.5);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.update(10.0), 10.0);
+  EXPECT_TRUE(e.initialized());
+}
+
+TEST(Ema, Smooths) {
+  Ema e(0.5);
+  e.update(0.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.update(10.0), 7.5);
+}
+
+TEST(Ema, AlphaOneTracksInput) {
+  Ema e(1.0);
+  e.update(1.0);
+  EXPECT_DOUBLE_EQ(e.update(42.0), 42.0);
+}
+
+TEST(Ema, RejectsBadAlpha) {
+  EXPECT_THROW(Ema(0.0), ContractError);
+  EXPECT_THROW(Ema(1.5), ContractError);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+}
+
+TEST(Histogram, Preconditions) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractError);
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.bin_count(2), ContractError);
+}
+
+// Property: percentile is monotone in p for any sample.
+class PercentileProp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProp, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform(-100, 100));
+  double prev = percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = percentile(xs, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProp,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+}  // namespace
+}  // namespace cocg

@@ -1,0 +1,87 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace cocg {
+namespace {
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, ColumnsAligned) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"looooong", "x"});
+  const std::string out = t.to_string();
+  // Every rendered line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, RejectsMismatchedRow) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(TablePrinter, RejectsEmptyHeader) {
+  EXPECT_THROW(TablePrinter({}), ContractError);
+}
+
+TEST(TablePrinter, FmtPrecision) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::fmt_pct(50.0, 1), "50.0%");
+}
+
+TEST(CsvEscape, PassThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  const std::string path = "test_csv_writer_tmp.csv";
+  {
+    CsvWriter w(path);
+    w.write_row({"h1", "h2"});
+    w.write_row({"a,comma", "2"});
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  std::getline(in, l1);
+  std::getline(in, l2);
+  EXPECT_EQ(l1, "h1,h2");
+  EXPECT_EQ(l2, "\"a,comma\",2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cocg

@@ -1,0 +1,55 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cocg {
+namespace {
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_DOUBLE_EQ(ms_to_sec(1500), 1.5);
+  EXPECT_EQ(sec_to_ms(2.5), 2500);
+  EXPECT_EQ(kFrameSliceMs, 5000);  // the paper's 5-second slice
+}
+
+TEST(Id, DefaultIsInvalid) {
+  SessionId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(Id, ExplicitIsValid) {
+  SessionId id{7};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value, 7u);
+}
+
+TEST(Id, Comparisons) {
+  SessionId a{1}, b{2}, c{1};
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Id, DistinctTagTypesDoNotMix) {
+  // Compile-time property: SessionId and ServerId are different types.
+  static_assert(!std::is_same_v<SessionId, ServerId>);
+  static_assert(!std::is_same_v<GameId, RequestId>);
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<SessionId> set;
+  set.insert(SessionId{1});
+  set.insert(SessionId{2});
+  set.insert(SessionId{1});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(SessionId{2}));
+}
+
+TEST(Id, InvalidSentinelDistinctFromZero) {
+  EXPECT_TRUE(SessionId{0}.valid());
+  EXPECT_NE(SessionId{0}, SessionId{});
+}
+
+}  // namespace
+}  // namespace cocg

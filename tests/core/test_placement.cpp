@@ -1,0 +1,98 @@
+// Placement quality: CoCG's best-fit complementary choice across views.
+#include <gtest/gtest.h>
+
+#include "core/cocg_scheduler.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::core {
+namespace {
+
+const std::vector<game::GameSpec>& suite() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+std::map<std::string, TrainedGame> models() {
+  OfflineConfig cfg;
+  cfg.profiling_runs = 8;
+  cfg.corpus_runs = 20;
+  cfg.seed = 91;
+  return train_suite(suite(), cfg);
+}
+
+platform::PlatformConfig quiet(std::uint64_t seed) {
+  platform::PlatformConfig cfg;
+  cfg.seed = seed;
+  cfg.session.spike_prob = 0.0;
+  return cfg;
+}
+
+TEST(Placement, HeavyTitlesSpreadAcrossGpus) {
+  // Two heavy games on a 2-GPU server: best-fit puts them on different
+  // devices rather than stacking the first view. (A roomier CPU pool than
+  // the paper's 4-core box, which cannot host both heavy titles at once.)
+  platform::CloudPlatform cloud(quiet(1),
+                                std::make_unique<CocgScheduler>(models()));
+  hw::ServerSpec big_cpu;
+  big_cpu.cpu_capacity_pct = 200.0;
+  cloud.add_server(big_cpu);
+  static const auto genshin = game::make_genshin();
+  static const auto dmc = game::make_devil_may_cry();
+  cloud.submit(&genshin, 0, 1);
+  cloud.submit(&dmc, 1, 2);
+  cloud.run(20 * 1000);
+  ASSERT_EQ(cloud.running_sessions(), 2u);
+  std::set<int> gpus;
+  for (SessionId sid : cloud.session_ids()) {
+    gpus.insert(cloud.session_info(sid).gpu_index);
+  }
+  EXPECT_EQ(gpus.size(), 2u);
+}
+
+TEST(Placement, LightTitleJoinsLessLoadedView) {
+  // GPU 0 hosts a heavy title; a light title must land on GPU 1 even
+  // though GPU 0 could admit it.
+  platform::CloudPlatform cloud(quiet(2),
+                                std::make_unique<CocgScheduler>(models()));
+  cloud.add_server(hw::ServerSpec{});
+  static const auto dmc = game::make_devil_may_cry();
+  static const auto contra = game::make_contra();
+  cloud.submit(&dmc, 2, 1);
+  cloud.run(10 * 1000);
+  ASSERT_EQ(cloud.running_sessions(), 1u);
+  const int heavy_gpu =
+      cloud.session_info(cloud.session_ids()[0]).gpu_index;
+  cloud.submit(&contra, 0, 2);
+  cloud.run(10 * 1000);
+  ASSERT_EQ(cloud.running_sessions(), 2u);
+  for (SessionId sid : cloud.session_ids()) {
+    const auto info = cloud.session_info(sid);
+    if (info.spec == &contra) {
+      EXPECT_NE(info.gpu_index, heavy_gpu);
+    }
+  }
+}
+
+TEST(Placement, SpreadsAcrossServersBeforeStacking) {
+  platform::CloudPlatform cloud(quiet(3),
+                                std::make_unique<CocgScheduler>(models()));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  cloud.add_server(one_gpu);
+  static const auto dota2 = game::make_dota2();
+  cloud.submit(&dota2, 0, 1);
+  cloud.submit(&dota2, 0, 2);
+  cloud.run(20 * 1000);
+  ASSERT_EQ(cloud.running_sessions(), 2u);
+  std::set<std::uint64_t> servers;
+  for (SessionId sid : cloud.session_ids()) {
+    servers.insert(cloud.session_info(sid).server.value);
+  }
+  EXPECT_EQ(servers.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cocg::core

@@ -1,0 +1,300 @@
+#include "core/stage_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/features.h"
+#include "core/offline.h"
+#include "game/library.h"
+
+namespace cocg::core {
+namespace {
+
+/// Hand-built profile: type 0 = loading, types 1..3 execution.
+GameProfile toy_profile() {
+  GameProfile p;
+  p.game_name = "toy";
+  p.norm_scale = default_norm_scale();
+  for (int c = 0; c < 4; ++c) {
+    ClusterInfo ci;
+    ci.id = c;
+    ci.centroid = ResourceVector{20.0 + 10 * c, 10.0 + 20 * c, 1000, 1000};
+    ci.loading = (c == 0);
+    p.clusters.push_back(ci);
+  }
+  for (int t = 0; t < 4; ++t) {
+    StageTypeInfo st;
+    st.id = t;
+    st.loading = (t == 0);
+    st.clusters = {t};
+    st.peak_demand = p.clusters[static_cast<std::size_t>(t)].centroid;
+    st.mean_demand = st.peak_demand;
+    st.mean_duration_ms = 60000;
+    st.occurrences = 10;
+    p.stage_types.push_back(st);
+  }
+  p.loading_stage_type = 0;
+  p.peak_demand = p.clusters[3].centroid;
+  return p;
+}
+
+/// Deterministic corpus: every run follows L 1 L 2 L 3 L.
+std::vector<TrainingRun> deterministic_corpus(int n) {
+  std::vector<TrainingRun> runs;
+  for (int i = 0; i < n; ++i) {
+    runs.push_back(TrainingRun{{0, 1, 0, 2, 0, 3, 0},
+                               static_cast<std::uint64_t>(i % 5 + 1), 0});
+  }
+  return runs;
+}
+
+// --- FeatureEncoder ---
+
+TEST(FeatureEncoder, WidthMatchesNames) {
+  EncoderConfig cfg;
+  FeatureEncoder enc(cfg, 4);
+  const auto names = enc.feature_names();
+  const auto row = enc.encode({1, 2}, 7, 1);
+  EXPECT_EQ(row.size(), names.size());
+}
+
+TEST(FeatureEncoder, HistoryMostRecentFirst) {
+  EncoderConfig cfg;
+  cfg.history_len = 3;
+  cfg.player_features = false;
+  cfg.mode_feature = false;
+  FeatureEncoder enc(cfg, 5);
+  const auto row = enc.encode({7, 8, 9}, 1, 0);
+  EXPECT_EQ(row[0], 9.0);  // hist_0 = most recent
+  EXPECT_EQ(row[1], 8.0);
+  EXPECT_EQ(row[2], 7.0);
+  EXPECT_EQ(row[3], 3.0);  // position
+}
+
+TEST(FeatureEncoder, PadsShortHistory) {
+  EncoderConfig cfg;
+  cfg.history_len = 3;
+  cfg.player_features = false;
+  cfg.mode_feature = false;
+  FeatureEncoder enc(cfg, 5);
+  const auto row = enc.encode({2}, 1, 0);
+  EXPECT_EQ(row[0], 2.0);
+  EXPECT_EQ(row[1], 5.0);  // pad = num_types
+  EXPECT_EQ(row[2], 5.0);
+}
+
+TEST(FeatureEncoder, PlayerHashStable) {
+  double a0, a1, b0, b1;
+  player_hash_floats(42, a0, a1);
+  player_hash_floats(42, b0, b1);
+  EXPECT_EQ(a0, b0);
+  EXPECT_EQ(a1, b1);
+  player_hash_floats(43, b0, b1);
+  EXPECT_NE(a0, b0);
+  EXPECT_GE(a0, 0.0);
+  EXPECT_LT(a0, 1.0);
+}
+
+TEST(FeatureEncoder, ModeFeatureIncluded) {
+  EncoderConfig cfg;
+  cfg.player_features = false;
+  FeatureEncoder enc(cfg, 4);
+  const auto r0 = enc.encode({}, 1, 0);
+  const auto r2 = enc.encode({}, 1, 2);
+  EXPECT_NE(r0, r2);
+}
+
+// --- StagePredictor ---
+
+TEST(StagePredictor, LearnsDeterministicChain) {
+  const GameProfile p = toy_profile();
+  PredictorConfig cfg;
+  StagePredictor pred(&p, cfg);
+  Rng rng(1);
+  pred.train(deterministic_corpus(40), rng);
+  EXPECT_TRUE(pred.trained());
+  EXPECT_GT(pred.accuracy(), 0.99);
+  EXPECT_EQ(pred.predict_next({}, 1, 0), 1);
+  EXPECT_EQ(pred.predict_next({1}, 1, 0), 2);
+  EXPECT_EQ(pred.predict_next({1, 2}, 1, 0), 3);
+}
+
+TEST(StagePredictor, PredictSequenceIterates) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(2);
+  pred.train(deterministic_corpus(40), rng);
+  const auto seq = pred.predict_sequence({}, 1, 0, 3);
+  EXPECT_EQ(seq, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StagePredictor, RedundancyEq1) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(3);
+  pred.train(deterministic_corpus(40), rng);
+  // S = (1 − P) × M with P ≈ 1 → S ≈ 0.
+  const ResourceVector s = pred.redundancy();
+  EXPECT_LT(s.gpu(), 0.05 * p.peak_demand.gpu() + 1e-9);
+  // The relationship is exact: S == (1−P)·M.
+  const ResourceVector expect = (1.0 - pred.accuracy()) * p.peak_demand;
+  EXPECT_EQ(s, expect);
+}
+
+TEST(StagePredictor, ReplaceModelRotates) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(4);
+  pred.train(deterministic_corpus(40), rng);
+  EXPECT_EQ(pred.model_kind(), ml::ModelKind::kDtc);
+  pred.replace_model(rng);
+  EXPECT_EQ(pred.model_kind(), ml::ModelKind::kRf);
+  EXPECT_EQ(pred.predict_next({1}, 1, 0), 2);  // retrained, still works
+  pred.replace_model(rng);
+  EXPECT_EQ(pred.model_kind(), ml::ModelKind::kGbdt);
+  pred.replace_model(rng);
+  EXPECT_EQ(pred.model_kind(), ml::ModelKind::kDtc);
+}
+
+TEST(StagePredictor, EvaluateModelAllKinds) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(5);
+  pred.train(deterministic_corpus(60), rng);
+  for (ml::ModelKind kind :
+       {ml::ModelKind::kDtc, ml::ModelKind::kRf, ml::ModelKind::kGbdt}) {
+    EXPECT_GT(pred.evaluate_model(kind, rng), 0.9)
+        << ml::model_kind_name(kind);
+  }
+}
+
+TEST(StagePredictor, ModeDisambiguatesBranches) {
+  // Two modes with opposite chains: mode 0 → 1,2; mode 1 → 2,1.
+  const GameProfile p = toy_profile();
+  std::vector<TrainingRun> runs;
+  for (int i = 0; i < 30; ++i) {
+    runs.push_back(TrainingRun{{0, 1, 0, 2, 0}, 1, 0});
+    runs.push_back(TrainingRun{{0, 2, 0, 1, 0}, 1, 1});
+  }
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(6);
+  pred.train(runs, rng);
+  EXPECT_EQ(pred.predict_next({}, 1, 0), 1);
+  EXPECT_EQ(pred.predict_next({}, 1, 1), 2);
+  EXPECT_GT(pred.accuracy(), 0.95);
+}
+
+TEST(StagePredictor, MobilePerPlayerModels) {
+  GameProfile p = toy_profile();
+  PredictorConfig cfg;
+  cfg.category = game::GameCategory::kMobile;
+  cfg.min_player_runs = 3;
+  // Player 1 always plays 1→2→3; player 2 always 3→2→1.
+  std::vector<TrainingRun> runs;
+  for (int i = 0; i < 6; ++i) {
+    runs.push_back(TrainingRun{{0, 1, 0, 2, 0, 3, 0}, 1, 0});
+    runs.push_back(TrainingRun{{0, 3, 0, 2, 0, 1, 0}, 2, 0});
+  }
+  StagePredictor pred(&p, cfg);
+  Rng rng(7);
+  pred.train(runs, rng);
+  EXPECT_EQ(pred.predict_next({}, 1, 0), 1);
+  EXPECT_EQ(pred.predict_next({}, 2, 0), 3);
+}
+
+TEST(StagePredictor, LoadingStagesStrippedFromHistory) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(8);
+  pred.train(deterministic_corpus(40), rng);
+  // Histories never contain type 0; prediction never returns it either.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<int> hist;
+    for (int j = 0; j < i; ++j) hist.push_back(j + 1);
+    EXPECT_NE(pred.predict_next(hist, 1, 0), 0);
+  }
+}
+
+TEST(StagePredictor, OnlineAccuracySeedsFromOffline) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(31);
+  pred.train(deterministic_corpus(40), rng);
+  EXPECT_DOUBLE_EQ(pred.online_accuracy(), pred.accuracy());
+  EXPECT_EQ(pred.online_outcomes(), 0u);
+}
+
+TEST(StagePredictor, OnlineMissesInflateRedundancy) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(32);
+  pred.train(deterministic_corpus(40), rng);
+  const double s_before = pred.redundancy().gpu();
+  for (int i = 0; i < 50; ++i) pred.record_outcome(false);
+  EXPECT_LT(pred.online_accuracy(), pred.accuracy());
+  EXPECT_GT(pred.redundancy().gpu(), s_before);
+  // Sustained hits recover.
+  for (int i = 0; i < 300; ++i) pred.record_outcome(true);
+  EXPECT_GT(pred.online_accuracy(), 0.95);
+}
+
+TEST(StagePredictor, Preconditions) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(9);
+  EXPECT_THROW(pred.train({}, rng), ContractError);
+  EXPECT_THROW(pred.predict_next({}, 1, 0), ContractError);
+  PredictorConfig bad;
+  bad.train_fraction = 1.0;
+  EXPECT_THROW(StagePredictor(&p, bad), ContractError);
+}
+
+// --- end-to-end offline pipeline (train_game) ---
+
+TEST(Offline, TrainGameProducesWorkingBundle) {
+  const game::GameSpec g = game::make_contra();
+  OfflineConfig cfg;
+  cfg.profiling_runs = 6;
+  cfg.corpus_runs = 12;
+  cfg.seed = 11;
+  const TrainedGame tg = train_game(g, cfg);
+  EXPECT_EQ(tg.spec, &g);
+  ASSERT_NE(tg.profile, nullptr);
+  ASSERT_NE(tg.predictor, nullptr);
+  EXPECT_EQ(tg.profile->num_clusters(), 2);
+  EXPECT_GT(tg.predictor->accuracy(), 0.9);  // web games are near-trivial
+  EXPECT_GT(tg.mean_run_duration_ms, 0);
+  EXPECT_EQ(tg.chosen_k, 2);
+}
+
+TEST(Offline, TrainSuiteKeysByName) {
+  OfflineConfig cfg;
+  cfg.profiling_runs = 5;
+  cfg.corpus_runs = 8;
+  const std::vector<game::GameSpec> suite = {game::make_contra(),
+                                             game::make_genshin()};
+  const auto models = train_suite(suite, cfg);
+  ASSERT_EQ(models.size(), 2u);
+  EXPECT_TRUE(models.count("Contra"));
+  EXPECT_TRUE(models.count("Genshin Impact"));
+  // The bundle's predictor points at the bundle's own (heap) profile —
+  // moves into the map must not dangle.
+  const auto& tg = models.at("Genshin Impact");
+  EXPECT_EQ(tg.profile->game_name, "Genshin Impact");
+  EXPECT_NO_THROW(tg.predictor->predict_next({}, 1, 0));
+}
+
+TEST(Offline, Fig15AccuracyShape) {
+  // DTC on the paper suite: ≥90% for web/console/MOBA-style games.
+  OfflineConfig cfg;
+  cfg.profiling_runs = 12;
+  cfg.corpus_runs = 60;
+  cfg.seed = 13;
+  for (const auto& name : {"Contra", "DOTA2"}) {
+    const auto tg = train_game(game::game_by_name(name), cfg);
+    EXPECT_GT(tg.predictor->accuracy(), 0.9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cocg::core

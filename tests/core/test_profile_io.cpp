@@ -1,0 +1,114 @@
+#include "core/profile_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/frame_profiler.h"
+#include "game/library.h"
+#include "game/tracegen.h"
+
+namespace cocg::core {
+namespace {
+
+GameProfile sample_profile() {
+  const game::GameSpec spec = game::make_genshin();
+  std::vector<telemetry::Trace> traces;
+  Rng rng(21);
+  for (int r = 0; r < 8; ++r) {
+    traces.push_back(game::profile_run(
+        spec, static_cast<std::size_t>(r % 3),
+        static_cast<std::uint64_t>(r % 4 + 1), rng.next_u64()));
+  }
+  ProfilerConfig cfg;
+  cfg.forced_k = spec.num_clusters();
+  FrameProfiler profiler(cfg);
+  return profiler.profile(spec.name, traces, rng).profile;
+}
+
+void expect_profiles_equal(const GameProfile& a, const GameProfile& b) {
+  EXPECT_EQ(a.game_name, b.game_name);
+  EXPECT_EQ(a.norm_scale, b.norm_scale);
+  EXPECT_EQ(a.loading_stage_type, b.loading_stage_type);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].id, b.clusters[i].id);
+    EXPECT_EQ(a.clusters[i].frames, b.clusters[i].frames);
+    EXPECT_EQ(a.clusters[i].loading, b.clusters[i].loading);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      EXPECT_NEAR(a.clusters[i].centroid.at(d), b.clusters[i].centroid.at(d),
+                  1e-4 * (1.0 + std::abs(a.clusters[i].centroid.at(d))));
+    }
+  }
+  ASSERT_EQ(a.stage_types.size(), b.stage_types.size());
+  for (std::size_t i = 0; i < a.stage_types.size(); ++i) {
+    EXPECT_EQ(a.stage_types[i].id, b.stage_types[i].id);
+    EXPECT_EQ(a.stage_types[i].loading, b.stage_types[i].loading);
+    EXPECT_EQ(a.stage_types[i].clusters, b.stage_types[i].clusters);
+    EXPECT_EQ(a.stage_types[i].mean_duration_ms,
+              b.stage_types[i].mean_duration_ms);
+    EXPECT_EQ(a.stage_types[i].occurrences, b.stage_types[i].occurrences);
+  }
+}
+
+TEST(ProfileIo, StreamRoundTrip) {
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  const GameProfile back = read_profile(ss);
+  expect_profiles_equal(p, back);
+}
+
+TEST(ProfileIo, FileRoundTrip) {
+  const GameProfile p = sample_profile();
+  const std::string path = "test_profile_io_tmp.cocg";
+  save_profile(p, path);
+  const GameProfile back = load_profile(path);
+  expect_profiles_equal(p, back);
+  std::remove(path.c_str());
+}
+
+TEST(ProfileIo, LoadedProfileIsFunctional) {
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  const GameProfile back = read_profile(ss);
+  // The matching machinery works on the loaded copy.
+  for (const auto& c : back.clusters) {
+    EXPECT_EQ(back.match_cluster(c.centroid), c.id);
+  }
+  for (const auto& st : back.stage_types) {
+    EXPECT_EQ(back.match_stage_signature(st.clusters), st.id);
+  }
+}
+
+TEST(ProfileIo, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "not-a-profile\n";
+  EXPECT_THROW(read_profile(ss), std::runtime_error);
+}
+
+TEST(ProfileIo, TruncatedRejected) {
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_profile(cut), std::runtime_error);
+}
+
+TEST(ProfileIo, MissingFileThrows) {
+  EXPECT_THROW(load_profile("no_such_profile_xyz.cocg"), std::runtime_error);
+}
+
+TEST(ProfileIo, GameNameWithSpacesSurvives) {
+  GameProfile p = sample_profile();
+  p.game_name = "Devil May Cry";
+  std::stringstream ss;
+  write_profile(p, ss);
+  EXPECT_EQ(read_profile(ss).game_name, "Devil May Cry");
+}
+
+}  // namespace
+}  // namespace cocg::core

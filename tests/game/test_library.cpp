@@ -1,0 +1,167 @@
+#include "game/library.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace cocg::game {
+namespace {
+
+TEST(Library, SuiteHasFivePaperGames) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& g : suite) names.insert(g.name);
+  EXPECT_TRUE(names.count("DOTA2"));
+  EXPECT_TRUE(names.count("CSGO"));
+  EXPECT_TRUE(names.count("Genshin Impact"));
+  EXPECT_TRUE(names.count("Devil May Cry"));
+  EXPECT_TRUE(names.count("Contra"));
+}
+
+TEST(Library, Fig14ClusterCounts) {
+  EXPECT_EQ(make_contra().num_clusters(), 2);
+  EXPECT_EQ(make_csgo().num_clusters(), 4);
+  EXPECT_EQ(make_genshin().num_clusters(), 4);
+  EXPECT_EQ(make_dota2().num_clusters(), 5);
+  EXPECT_EQ(make_devil_may_cry().num_clusters(), 6);
+}
+
+TEST(Library, TableIStageTypeCounts) {
+  // Table I's "# of stage type" column, script by script.
+  const GameSpec dota2 = make_dota2();
+  EXPECT_EQ(dota2.script_stage_type_count(0), 3);
+  EXPECT_EQ(dota2.script_stage_type_count(1), 3);
+
+  const GameSpec csgo = make_csgo();
+  EXPECT_EQ(csgo.script_stage_type_count(0), 4);
+  EXPECT_EQ(csgo.script_stage_type_count(1), 3);
+
+  const GameSpec dmc = make_devil_may_cry();
+  EXPECT_EQ(dmc.script_stage_type_count(0), 2);
+  EXPECT_EQ(dmc.script_stage_type_count(1), 4);
+  EXPECT_EQ(dmc.script_stage_type_count(2), 6);
+
+  const GameSpec genshin = make_genshin();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(genshin.script_stage_type_count(s), 5);
+  }
+
+  const GameSpec contra = make_contra();
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(contra.script_stage_type_count(s), 2);
+  }
+}
+
+TEST(Library, Fig7CategoryQuadrants) {
+  EXPECT_EQ(make_contra().category, GameCategory::kWeb);
+  EXPECT_EQ(make_genshin().category, GameCategory::kMobile);
+  EXPECT_EQ(make_devil_may_cry().category, GameCategory::kConsole);
+  EXPECT_EQ(make_dota2().category, GameCategory::kMoba);
+  EXPECT_EQ(make_csgo().category, GameCategory::kMoba);
+}
+
+TEST(Library, FpsCapsPerPaper) {
+  // §V-C2: Genshin/DMC locked to 60; CSGO/DOTA2 uncapped.
+  EXPECT_EQ(make_genshin().fps_cap, 60.0);
+  EXPECT_EQ(make_devil_may_cry().fps_cap, 60.0);
+  EXPECT_EQ(make_csgo().fps_cap, 0.0);
+  EXPECT_EQ(make_dota2().fps_cap, 0.0);
+}
+
+TEST(Library, LoadingSignatureHighCpuLowGpu) {
+  // Observation 3: loading stages burn CPU with a near-idle GPU.
+  for (const auto& g : paper_suite()) {
+    const auto& loading = g.stage_type(g.loading_stage_type);
+    ASSERT_EQ(loading.kind, StageKind::kLoading) << g.name;
+    ASSERT_EQ(loading.clusters.size(), 1u) << g.name;
+    const auto& c = g.cluster(loading.clusters[0]);
+    EXPECT_LT(c.centroid.gpu(), 15.0) << g.name;
+    EXPECT_GT(c.centroid.cpu(), 20.0) << g.name;
+  }
+}
+
+TEST(Library, LoadingDwellWithinPaperRange) {
+  // §V-C1: loading stages run 5–30 s.
+  for (const auto& g : paper_suite()) {
+    const auto& loading = g.stage_type(g.loading_stage_type);
+    EXPECT_GE(loading.min_dwell_ms, 5000) << g.name;
+    EXPECT_LE(loading.max_dwell_ms, 30000) << g.name;
+  }
+}
+
+TEST(Library, PeakGpuMatchesFig9) {
+  // Fig. 9: Genshin peaks at ≈78% GPU, DOTA2 at ≈43%.
+  EXPECT_DOUBLE_EQ(make_genshin().peak_demand().gpu(), 78.0);
+  EXPECT_DOUBLE_EQ(make_dota2().peak_demand().gpu(), 43.0);
+}
+
+TEST(Library, HardPairExceedsOneServer) {
+  // Fig. 11: DOTA2 + Devil May Cry peak sums exceed a server's GPU.
+  const double sum = make_dota2().peak_demand().gpu() +
+                     make_devil_may_cry().peak_demand().gpu();
+  EXPECT_GT(sum, 100.0);
+}
+
+TEST(Library, ShortGameFlags) {
+  // §IV-C2 "distinguish game length": Contra and Genshin runs are short.
+  EXPECT_TRUE(make_contra().short_game);
+  EXPECT_TRUE(make_genshin().short_game);
+  EXPECT_FALSE(make_dota2().short_game);
+  EXPECT_FALSE(make_csgo().short_game);
+  EXPECT_FALSE(make_devil_may_cry().short_game);
+}
+
+TEST(Library, HonkaiOpenWorldModel) {
+  // Fig. 2's game: three scenes + loading, long execution stages (§III's
+  // open-world treatment).
+  const GameSpec g = make_honkai();
+  EXPECT_EQ(g.num_clusters(), 4);
+  EXPECT_EQ(g.num_stage_types(), 4);
+  const auto& loading = g.stage_type(g.loading_stage_type);
+  EXPECT_EQ(loading.kind, StageKind::kLoading);
+  // Open-world stages dwell far longer than the loading stages.
+  for (const auto& st : g.stage_types) {
+    if (st.kind != StageKind::kExecution) continue;
+    EXPECT_GE(st.min_dwell_ms, 4 * loading.max_dwell_ms) << st.name;
+  }
+  // Fig. 2's peak scene is the instance fight.
+  EXPECT_DOUBLE_EQ(g.peak_demand().gpu(), 74.0);
+  // Not in the evaluation suite.
+  for (const auto& s : paper_suite()) EXPECT_NE(s.name, g.name);
+}
+
+TEST(Library, LookupByName) {
+  EXPECT_EQ(game_by_name("DOTA2").name, "DOTA2");
+  EXPECT_THROW(game_by_name("Minecraft"), ContractError);
+}
+
+TEST(Library, AllSegmentsReferenceExecutionStages) {
+  for (const auto& g : paper_suite()) {
+    for (const auto& script : g.scripts) {
+      for (const auto& seg : script.segments) {
+        ASSERT_GE(seg.stage_type, 0) << g.name;
+        ASSERT_LT(seg.stage_type, g.num_stage_types()) << g.name;
+        EXPECT_EQ(g.stage_type(seg.stage_type).kind, StageKind::kExecution)
+            << g.name << "/" << script.name;
+        EXPECT_GE(seg.min_repeat, 1);
+        EXPECT_GE(seg.max_repeat, seg.min_repeat);
+        EXPECT_GE(seg.skip_prob, 0.0);
+        EXPECT_LT(seg.skip_prob, 1.0);
+      }
+    }
+  }
+}
+
+TEST(Library, StageTypeBoundTwoToTheN) {
+  // §IV-A2: a game with N clusters has at most 2^N stage types; the suite's
+  // designed catalogs respect the tighter empirical 2N bound.
+  for (const auto& g : paper_suite()) {
+    EXPECT_LE(g.num_stage_types(), 2 * g.num_clusters()) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace cocg::game

@@ -1,0 +1,57 @@
+#include "game/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "game/library.h"
+
+namespace cocg::game {
+namespace {
+
+TEST(GameSpec, ClusterLookupValidatesIds) {
+  const GameSpec g = make_contra();
+  EXPECT_EQ(g.cluster(0).id, 0);
+  EXPECT_EQ(g.cluster(1).name, "running");
+  EXPECT_THROW(g.cluster(2), ContractError);
+  EXPECT_THROW(g.cluster(-1), ContractError);
+}
+
+TEST(GameSpec, StageTypeLookup) {
+  const GameSpec g = make_genshin();
+  EXPECT_EQ(g.stage_type(0).kind, StageKind::kLoading);
+  EXPECT_EQ(g.stage_type(2).name, "Battle");
+  EXPECT_THROW(g.stage_type(99), ContractError);
+}
+
+TEST(GameSpec, PeakDemandIsMaxOverExecutionClusters) {
+  const GameSpec g = make_genshin();
+  const ResourceVector peak = g.peak_demand();
+  // Battle cluster dominates GPU at 78%.
+  EXPECT_DOUBLE_EQ(peak.gpu(), 78.0);
+  // Loading's 58% CPU must NOT be included (execution stages only).
+  EXPECT_DOUBLE_EQ(peak.cpu(), 50.0);
+}
+
+TEST(GameSpec, MeanExecutionDemandBetweenMinAndPeak) {
+  for (const auto& g : paper_suite()) {
+    const ResourceVector mean = g.mean_execution_demand();
+    const ResourceVector peak = g.peak_demand();
+    EXPECT_TRUE(mean.fits_within(peak)) << g.name;
+    EXPECT_TRUE(mean.non_negative()) << g.name;
+  }
+}
+
+TEST(GameSpec, CategoryNames) {
+  EXPECT_STREQ(category_name(GameCategory::kWeb), "web");
+  EXPECT_STREQ(category_name(GameCategory::kMobile), "mobile");
+  EXPECT_STREQ(category_name(GameCategory::kConsole), "console");
+  EXPECT_STREQ(category_name(GameCategory::kMoba), "mmorpg/moba");
+}
+
+TEST(GameSpec, ScriptStageTypeCountValidatesIndex) {
+  const GameSpec g = make_contra();
+  EXPECT_THROW(g.script_stage_type_count(99), ContractError);
+}
+
+}  // namespace
+}  // namespace cocg::game

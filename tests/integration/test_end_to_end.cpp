@@ -1,0 +1,183 @@
+// End-to-end integration: the full paper pipeline — offline training on
+// synthetic lab runs, then scheduler-vs-scheduler co-location experiments
+// on the simulated platform — exercised as a whole.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg {
+namespace {
+
+const std::vector<game::GameSpec>& suite() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+std::map<std::string, core::TrainedGame> models(std::uint64_t seed) {
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = 10;
+  cfg.corpus_runs = 40;
+  cfg.seed = seed;
+  return core::train_suite(suite(), cfg);
+}
+
+platform::PlatformConfig pcfg(std::uint64_t seed) {
+  platform::PlatformConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+const game::GameSpec* spec_of(const std::string& name) {
+  for (const auto& g : suite()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+double run_pair(std::unique_ptr<platform::Scheduler> sched,
+                const std::string& a, const std::string& b,
+                DurationMs duration, std::uint64_t seed,
+                int short_game_concurrency = 2) {
+  platform::CloudPlatform cloud(pcfg(seed), std::move(sched));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  const auto* ga = spec_of(a);
+  const auto* gb = spec_of(b);
+  cloud.add_source({ga, ga->short_game ? short_game_concurrency : 1, 8});
+  cloud.add_source({gb, gb->short_game ? short_game_concurrency : 1, 8});
+  cloud.run(duration);
+  return cloud.throughput();
+}
+
+TEST(EndToEnd, FullPipelineTrainsAllFiveGames) {
+  const auto m = models(77);
+  ASSERT_EQ(m.size(), 5u);
+  for (const auto& [name, tg] : m) {
+    EXPECT_GT(tg.predictor->accuracy(), 0.6) << name;
+    EXPECT_GE(tg.profile->loading_stage_type, 0) << name;
+    EXPECT_GT(tg.mean_run_duration_ms, 0) << name;
+  }
+}
+
+TEST(EndToEnd, SingleGameSavingVsPeakAllocation) {
+  // §V-B1: stage-level allocation saves resources vs constant peak
+  // allocation. Compute the integral of CoCG's allocation vs peak over a
+  // solo Genshin run.
+  auto m = models(78);
+  const auto& tg = m.at("Genshin Impact");
+  const double peak_gpu = tg.profile->peak_demand.gpu();
+
+  platform::CloudPlatform cloud(
+      pcfg(79), std::make_unique<core::CocgScheduler>(std::move(m)));
+  cloud.add_server(hw::ServerSpec{});
+  cloud.submit(spec_of("Genshin Impact"), 0, 1);
+
+  double alloc_integral = 0.0;
+  double peak_integral = 0.0;
+  int seconds = 0;
+  for (int step = 0; step < 200; ++step) {
+    cloud.run(5 * 1000);
+    if (cloud.running_sessions() == 0) break;
+    const auto info = cloud.session_info(cloud.session_ids()[0]);
+    alloc_integral += info.allocation.gpu() * 5.0;
+    peak_integral += peak_gpu * 5.0;
+    seconds += 5;
+  }
+  ASSERT_GT(seconds, 60);
+  const double saving = 1.0 - alloc_integral / peak_integral;
+  // The paper reports 27.3% for Genshin (17.5% average across games).
+  EXPECT_GT(saving, 0.08);
+  EXPECT_LT(saving, 0.60);
+}
+
+TEST(EndToEnd, CocgThroughputCompetitiveOnPaperPairs) {
+  // Fig. 11's three pair workloads; CoCG must beat-or-match both
+  // baselines in aggregate (paper: +23.7%).
+  const DurationMs two_hours = 2LL * 60 * 60 * 1000;
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"DOTA2", "Devil May Cry"},
+      {"CSGO", "Genshin Impact"},
+      {"Genshin Impact", "Contra"}};
+  double cocg_total = 0, vbp_total = 0, gaugur_total = 0;
+  for (const auto& [a, b] : pairs) {
+    cocg_total += run_pair(
+        std::make_unique<core::CocgScheduler>(models(80)), a, b,
+        two_hours / 4, 81);
+    vbp_total += run_pair(std::make_unique<core::VbpScheduler>(models(80)),
+                          a, b, two_hours / 4, 81);
+    gaugur_total += run_pair(
+        std::make_unique<core::GaugurScheduler>(models(80)), a, b,
+        two_hours / 4, 81);
+  }
+  EXPECT_GE(cocg_total, vbp_total);
+  EXPECT_GE(cocg_total, gaugur_total);
+}
+
+TEST(EndToEnd, DeterministicExperimentReplay) {
+  auto once = [&] {
+    return run_pair(std::make_unique<core::CocgScheduler>(models(82)),
+                    "Genshin Impact", "DOTA2", 20 * 60 * 1000, 83);
+  };
+  const double a = once();
+  const double b = once();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(EndToEnd, QosUnderCoLocationAcceptable) {
+  // §IV-D: operators tolerate degradation below ~5% of total time; verify
+  // CoCG's QoS violations stay bounded on the light pair.
+  auto m = models(84);
+  platform::CloudPlatform cloud(
+      pcfg(85), std::make_unique<core::CocgScheduler>(std::move(m)));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  cloud.add_source({spec_of("Genshin Impact"), 1, 8});
+  cloud.add_source({spec_of("Contra"), 1, 8});
+  cloud.run(45 * 60 * 1000);
+  ASSERT_GE(cloud.completed_runs().size(), 2u);
+  double violation_s = 0, total_s = 0;
+  for (const auto& run : cloud.completed_runs()) {
+    violation_s += ms_to_sec(run.qos_violation_ms);
+    total_s += ms_to_sec(run.duration_ms);
+  }
+  EXPECT_LT(violation_s / total_s, 0.05);
+}
+
+TEST(EndToEnd, UtilizationStaysBelowLimitOnFig9Pair) {
+  // Fig. 9: the co-location of Genshin Impact and DOTA2 keeps combined
+  // utilization below the 95% upper bound almost always.
+  auto m = models(86);
+  platform::CloudPlatform cloud(
+      pcfg(87), std::make_unique<core::CocgScheduler>(std::move(m)));
+  hw::ServerSpec one_gpu;
+  one_gpu.num_gpus = 1;
+  cloud.add_server(one_gpu);
+  cloud.enable_utilization_recording(true);
+  cloud.add_source({spec_of("Genshin Impact"), 1, 8});
+  cloud.add_source({spec_of("DOTA2"), 1, 8});
+  cloud.run(30 * 60 * 1000);
+  const auto& log = cloud.utilization_log();
+  ASSERT_FALSE(log.empty());
+  std::size_t over = 0;
+  for (const auto& up : log) {
+    if (up.max_dim_fraction > 0.95 + 1e-9) ++over;
+    // Hard invariant: physical supply never exceeds the hardware.
+    EXPECT_LE(up.max_dim_fraction, 1.0 + 1e-9);
+  }
+  // The regulator staggers most peak overlap; residual excursions above
+  // the 95% target are bounded (the paper's Fig. 9 shows a representative
+  // run that stays below it throughout).
+  EXPECT_LT(static_cast<double>(over) / static_cast<double>(log.size()),
+            0.25);
+}
+
+}  // namespace
+}  // namespace cocg

@@ -1,0 +1,151 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+namespace {
+
+/// Three well-separated 2-D blobs.
+std::vector<Point> blobs(Rng& rng, int per_blob = 30) {
+  const std::vector<Point> centers{{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  std::vector<Point> pts;
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      pts.push_back({c[0] + rng.normal(0, 0.3), c[1] + rng.normal(0, 0.3)});
+    }
+  }
+  return pts;
+}
+
+TEST(KMeans, DistSq) {
+  EXPECT_DOUBLE_EQ(KMeans::dist_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(KMeans::dist_sq({1}, {1}), 0.0);
+  EXPECT_THROW(KMeans::dist_sq({1}, {1, 2}), ContractError);
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(5);
+  const auto pts = blobs(rng);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = KMeans::fit(pts, cfg, rng);
+  EXPECT_EQ(res.centroids.size(), 3u);
+  EXPECT_TRUE(res.converged);
+  // Each blob's 30 points share one label, and labels differ across blobs.
+  std::set<int> blob_labels;
+  for (int b = 0; b < 3; ++b) {
+    const int label = res.assignment[static_cast<std::size_t>(b * 30)];
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(res.assignment[static_cast<std::size_t>(b * 30 + i)], label);
+    }
+    blob_labels.insert(label);
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+}
+
+TEST(KMeans, SseDecreasesWithK) {
+  Rng rng(6);
+  const auto pts = blobs(rng);
+  const auto curve = sse_curve(pts, 5, rng);
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9);
+  }
+}
+
+TEST(KMeans, ElbowFindsTrueK) {
+  Rng rng(7);
+  const auto pts = blobs(rng);
+  const auto curve = sse_curve(pts, 6, rng);
+  EXPECT_EQ(pick_elbow(curve, 0.3), 3);
+}
+
+TEST(KMeans, KOneSingleCentroid) {
+  Rng rng(8);
+  std::vector<Point> pts{{0, 0}, {2, 2}, {4, 4}};
+  KMeansConfig cfg;
+  cfg.k = 1;
+  const auto res = KMeans::fit(pts, cfg, rng);
+  ASSERT_EQ(res.centroids.size(), 1u);
+  EXPECT_NEAR(res.centroids[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(res.centroids[0][1], 2.0, 1e-9);
+}
+
+TEST(KMeans, KEqualsNPerfectFit) {
+  Rng rng(9);
+  std::vector<Point> pts{{0, 0}, {5, 5}, {9, 1}};
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = KMeans::fit(pts, cfg, rng);
+  EXPECT_NEAR(res.sse, 0.0, 1e-12);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  Rng rng(10);
+  std::vector<Point> pts(10, Point{1.0, 1.0});
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto res = KMeans::fit(pts, cfg, rng);
+  EXPECT_NEAR(res.sse, 0.0, 1e-12);
+}
+
+TEST(KMeans, Preconditions) {
+  Rng rng(11);
+  std::vector<Point> pts{{1, 1}};
+  KMeansConfig cfg;
+  cfg.k = 2;
+  EXPECT_THROW(KMeans::fit(pts, cfg, rng), ContractError);  // k > n
+  cfg.k = 0;
+  EXPECT_THROW(KMeans::fit(pts, cfg, rng), ContractError);
+  std::vector<Point> ragged{{1, 1}, {1}};
+  cfg.k = 1;
+  EXPECT_THROW(KMeans::fit(ragged, cfg, rng), ContractError);
+}
+
+TEST(KMeans, PredictNearestCentroid) {
+  const std::vector<Point> centroids{{0, 0}, {10, 10}};
+  EXPECT_EQ(KMeans::predict(centroids, {1, 1}), 0);
+  EXPECT_EQ(KMeans::predict(centroids, {9, 9}), 1);
+}
+
+TEST(PickElbow, HandlesPerfectFit) {
+  // SSE hits zero: elbow stops there.
+  EXPECT_EQ(pick_elbow({10.0, 0.0, 0.0}, 0.1), 2);
+}
+
+TEST(PickElbow, AllBigGainsPicksLast) {
+  EXPECT_EQ(pick_elbow({100.0, 50.0, 25.0}, 0.1), 3);
+}
+
+TEST(PickElbow, Preconditions) {
+  EXPECT_THROW(pick_elbow({}, 0.1), ContractError);
+  EXPECT_THROW(pick_elbow({1.0}, 0.0), ContractError);
+}
+
+// Property: restarts never worsen the best SSE.
+class KMeansRestartProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansRestartProp, MoreRestartsNoWorse) {
+  Rng rng1(42), rng2(42);
+  const auto pts = blobs(rng1, 20);
+  KMeansConfig one;
+  one.k = 3;
+  one.restarts = 1;
+  KMeansConfig many = one;
+  many.restarts = GetParam();
+  const double sse_one = KMeans::fit(pts, one, rng1).sse;
+  Rng rng3(42);
+  const auto pts2 = blobs(rng3, 20);
+  const double sse_many = KMeans::fit(pts2, many, rng3).sse;
+  EXPECT_LE(sse_many, sse_one + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Restarts, KMeansRestartProp,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace cocg::ml

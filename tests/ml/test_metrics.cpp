@@ -1,0 +1,77 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace cocg::ml {
+namespace {
+
+TEST(Accuracy, Basics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3, 4}, {1, 2, 0, 0}), 0.5);
+}
+
+TEST(Accuracy, Preconditions) {
+  EXPECT_THROW(accuracy({}, {}), ContractError);
+  EXPECT_THROW(accuracy({1}, {1, 2}), ContractError);
+}
+
+TEST(ConfusionMatrix, Counts) {
+  ConfusionMatrix cm({0, 0, 1, 1, 2}, {0, 1, 1, 1, 0});
+  EXPECT_EQ(cm.num_classes(), 3);
+  EXPECT_EQ(cm.total(), 5u);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 2u);
+  EXPECT_EQ(cm.count(2, 0), 1u);
+  EXPECT_EQ(cm.count(2, 2), 0u);
+}
+
+TEST(ConfusionMatrix, AccuracyMatchesFreeFunction) {
+  const std::vector<int> t{0, 1, 2, 1, 0}, p{0, 1, 1, 1, 2};
+  ConfusionMatrix cm(t, p);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), accuracy(t, p));
+}
+
+TEST(ConfusionMatrix, PrecisionRecall) {
+  // class 1: predicted 3 times, correct twice → precision 2/3;
+  // occurs twice, hit twice → recall 1.
+  ConfusionMatrix cm({0, 1, 1, 0}, {1, 1, 1, 0});
+  EXPECT_NEAR(cm.precision(1), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+}
+
+TEST(ConfusionMatrix, F1AndMacro) {
+  ConfusionMatrix cm({0, 1}, {0, 1});
+  EXPECT_DOUBLE_EQ(cm.f1(0), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, UnpredictedClassZeroes) {
+  ConfusionMatrix cm({0, 1, 2}, {0, 1, 0});
+  EXPECT_DOUBLE_EQ(cm.precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 0.0);
+}
+
+TEST(ConfusionMatrix, ClassCountFromPredictions) {
+  // Predictions may name classes truth never contains.
+  ConfusionMatrix cm({0, 0}, {0, 5});
+  EXPECT_EQ(cm.num_classes(), 6);
+}
+
+TEST(ConfusionMatrix, StrRenders) {
+  ConfusionMatrix cm({0, 1}, {1, 1});
+  const std::string s = cm.str();
+  EXPECT_NE(s.find("confusion"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, RejectsNegativeLabels) {
+  EXPECT_THROW(ConfusionMatrix({-1}, {0}), ContractError);
+}
+
+}  // namespace
+}  // namespace cocg::ml

@@ -1,0 +1,203 @@
+#include "ml/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+
+namespace cocg::ml {
+namespace {
+
+/// XOR-ish dataset a depth-2 tree solves exactly.
+Dataset xor_data() {
+  Dataset d({"x", "y"});
+  for (double x : {0.0, 1.0}) {
+    for (double y : {0.0, 1.0}) {
+      for (int rep = 0; rep < 5; ++rep) {
+        d.add({x, y}, (x != y) ? 1 : 0);
+      }
+    }
+  }
+  return d;
+}
+
+Dataset three_class_blobs(Rng& rng, int n_per = 40) {
+  Dataset d({"x", "y"});
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < n_per; ++i) {
+      d.add({centers[c][0] + rng.normal(0, 0.5),
+             centers[c][1] + rng.normal(0, 0.5)},
+            c);
+    }
+  }
+  return d;
+}
+
+TEST(DecisionTree, FitsXorExactly) {
+  DecisionTreeClassifier tree;
+  tree.fit(xor_data());
+  EXPECT_TRUE(tree.trained());
+  EXPECT_EQ(tree.predict({0, 0}), 0);
+  EXPECT_EQ(tree.predict({1, 1}), 0);
+  EXPECT_EQ(tree.predict({0, 1}), 1);
+  EXPECT_EQ(tree.predict({1, 0}), 1);
+}
+
+TEST(DecisionTree, SeparatesBlobs) {
+  Rng rng(1);
+  const Dataset d = three_class_blobs(rng);
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  const auto pred = tree.predict_all(d.features());
+  EXPECT_GE(accuracy(d.labels(), pred), 0.99);
+}
+
+TEST(DecisionTree, PureDatasetSingleLeaf) {
+  Dataset d({"x"});
+  for (int i = 0; i < 10; ++i) d.add({double(i)}, 2);
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.predict({100.0}), 2);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  Rng rng(2);
+  const Dataset d = three_class_blobs(rng);
+  TreeConfig cfg;
+  cfg.max_depth = 2;
+  DecisionTreeClassifier tree(cfg);
+  tree.fit(d);
+  EXPECT_LE(tree.depth(), 3);  // root at depth 1 + 2 split levels
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  Dataset d({"x"});
+  // 4 samples, alternating labels: a leaf of 1 would be needed for purity.
+  d.add({1.0}, 0);
+  d.add({2.0}, 1);
+  d.add({3.0}, 0);
+  d.add({4.0}, 1);
+  TreeConfig cfg;
+  cfg.min_samples_leaf = 2;
+  DecisionTreeClassifier tree(cfg);
+  tree.fit(d);
+  // Tree exists and predicts a valid class.
+  const int p = tree.predict({2.5});
+  EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.predict({1.0}), ContractError);
+}
+
+TEST(DecisionTree, FitEmptyThrows) {
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.fit(Dataset{}), ContractError);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  Rng rng(3);
+  const Dataset d = three_class_blobs(rng);
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  const auto p = tree.predict_proba({0.0, 0.0});
+  ASSERT_EQ(p.size(), 3u);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(p[0], 0.9);  // near blob 0
+}
+
+TEST(DecisionTree, TiedFeatureValuesNoSplit) {
+  Dataset d({"x"});
+  d.add({1.0}, 0);
+  d.add({1.0}, 1);  // inseparable
+  DecisionTreeClassifier tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, FeatureSubsamplingStillLearns) {
+  Rng rng(4);
+  const Dataset d = three_class_blobs(rng);
+  TreeConfig cfg;
+  cfg.max_features = 1;
+  DecisionTreeClassifier tree(cfg);
+  Rng fit_rng(5);
+  tree.fit(d, fit_rng);
+  const auto pred = tree.predict_all(d.features());
+  EXPECT_GE(accuracy(d.labels(), pred), 0.9);
+}
+
+// --- RegressionTree ---
+
+TEST(RegressionTree, FitsStepFunction) {
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back({double(i)});
+    y.push_back(i < 10 ? 1.0 : 5.0);
+  }
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_NEAR(tree.predict({3.0}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict({15.0}), 5.0, 1e-9);
+}
+
+TEST(RegressionTree, ConstantTargetSingleLeaf) {
+  std::vector<FeatureRow> x{{1}, {2}, {3}};
+  std::vector<double> y{7.0, 7.0, 7.0};
+  RegressionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({42.0}), 7.0);
+}
+
+TEST(RegressionTree, ApproximatesLinear) {
+  std::vector<FeatureRow> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back({double(i)});
+    y.push_back(2.0 * i);
+  }
+  TreeConfig cfg;
+  cfg.max_depth = 8;
+  RegressionTree tree(cfg);
+  tree.fit(x, y);
+  // Piecewise-constant approximation should be close at interior points.
+  EXPECT_NEAR(tree.predict({50.0}), 100.0, 5.0);
+}
+
+TEST(RegressionTree, Preconditions) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict({1.0}), ContractError);
+  EXPECT_THROW(tree.fit({}, {}), ContractError);
+  EXPECT_THROW(tree.fit({{1.0}}, {1.0, 2.0}), ContractError);
+}
+
+// Property: deeper trees never reduce training accuracy on the blobs.
+class TreeDepthProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDepthProp, TrainAccuracyMonotoneEnough) {
+  Rng rng(6);
+  const Dataset d = three_class_blobs(rng);
+  TreeConfig shallow;
+  shallow.max_depth = 1;
+  TreeConfig deep;
+  deep.max_depth = GetParam();
+  DecisionTreeClassifier t1(shallow), t2(deep);
+  t1.fit(d);
+  t2.fit(d);
+  const double a1 = accuracy(d.labels(), t1.predict_all(d.features()));
+  const double a2 = accuracy(d.labels(), t2.predict_all(d.features()));
+  EXPECT_GE(a2 + 1e-12, a1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthProp, ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace cocg::ml

@@ -1,0 +1,89 @@
+// Open-loop Poisson arrival sources.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/baselines.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::platform {
+namespace {
+
+std::unique_ptr<Scheduler> vbp() {
+  static const std::vector<game::GameSpec> suite = {game::make_contra()};
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = 6;
+  cfg.corpus_runs = 10;
+  return std::make_unique<core::VbpScheduler>(
+      core::train_suite(suite, cfg));
+}
+
+PlatformConfig quiet(std::uint64_t seed) {
+  PlatformConfig cfg;
+  cfg.seed = seed;
+  cfg.session.spike_prob = 0.0;
+  return cfg;
+}
+
+TEST(OpenLoop, ArrivalRateApproximatelyRespected) {
+  static const auto contra = game::make_contra();
+  CloudPlatform cloud(quiet(1), vbp());
+  cloud.add_server(hw::ServerSpec{});
+  OpenLoopSource src;
+  src.spec = &contra;
+  src.arrivals_per_hour = 60.0;  // one per minute
+  cloud.add_open_loop_source(src);
+  cloud.run(2LL * 60 * 60 * 1000);  // 2 hours → ~120 arrivals
+  EXPECT_NEAR(static_cast<double>(cloud.open_loop_arrivals()), 120.0, 35.0);
+}
+
+TEST(OpenLoop, QueueGrowsUnderOverload) {
+  static const auto contra = game::make_contra();
+  CloudPlatform cloud(quiet(2), vbp());
+  hw::ServerSpec tiny;
+  tiny.num_gpus = 1;
+  cloud.add_server(tiny);
+  OpenLoopSource src;
+  src.spec = &contra;
+  // Contra runs ~6 min and VBP hosts a handful at once; 300/h overwhelms.
+  src.arrivals_per_hour = 300.0;
+  cloud.add_open_loop_source(src);
+  cloud.run(60 * 60 * 1000);
+  EXPECT_GT(cloud.queued_requests(), 10u);
+  EXPECT_GT(cloud.completed_runs().size(), 3u);  // service still progresses
+}
+
+TEST(OpenLoop, NoArrivalsAfterZeroSources) {
+  static const auto contra = game::make_contra();
+  CloudPlatform cloud(quiet(3), vbp());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.run(10 * 60 * 1000);
+  EXPECT_EQ(cloud.open_loop_arrivals(), 0u);
+}
+
+TEST(OpenLoop, SurvivesRepeatedRunCalls) {
+  static const auto contra = game::make_contra();
+  CloudPlatform cloud(quiet(4), vbp());
+  cloud.add_server(hw::ServerSpec{});
+  OpenLoopSource src;
+  src.spec = &contra;
+  src.arrivals_per_hour = 120.0;
+  cloud.add_open_loop_source(src);
+  for (int i = 0; i < 30; ++i) cloud.run(2 * 60 * 1000);  // 60 min total
+  EXPECT_NEAR(static_cast<double>(cloud.open_loop_arrivals()), 120.0, 40.0);
+}
+
+TEST(OpenLoop, ConfigValidation) {
+  CloudPlatform cloud(quiet(5), vbp());
+  OpenLoopSource bad;
+  bad.spec = nullptr;
+  EXPECT_THROW(cloud.add_open_loop_source(bad), ContractError);
+  static const auto contra = game::make_contra();
+  bad.spec = &contra;
+  bad.arrivals_per_hour = 0.0;
+  EXPECT_THROW(cloud.add_open_loop_source(bad), ContractError);
+}
+
+}  // namespace
+}  // namespace cocg::platform

@@ -1,0 +1,123 @@
+#include "platform/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "core/baselines.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::platform {
+namespace {
+
+StreamingConfig no_jitter() {
+  StreamingConfig cfg;
+  cfg.network_jitter_ms = 0.0;
+  return cfg;
+}
+
+TEST(StreamingModel, DeterministicComponentsSum) {
+  StreamingModel m(no_jitter());
+  Rng rng(1);
+  // fps=100 → 10 ms frame time; full CPU: 6 + 1 + 10 + 5 + 4 = 26 ms.
+  EXPECT_NEAR(m.latency_ms(100.0, 1.0, rng), 26.0, 1e-9);
+}
+
+TEST(StreamingModel, HigherFpsLowerLatency) {
+  StreamingModel m(no_jitter());
+  Rng rng(2);
+  EXPECT_LT(m.latency_ms(120.0, 1.0, rng), m.latency_ms(30.0, 1.0, rng));
+}
+
+TEST(StreamingModel, CpuStarvationStretchesPipeline) {
+  StreamingModel m(no_jitter());
+  Rng rng(3);
+  const double full = m.latency_ms(60.0, 1.0, rng);
+  const double starved = m.latency_ms(60.0, 0.5, rng);
+  // Input processing + encode double: +6 ms.
+  EXPECT_NEAR(starved - full, 6.0, 1e-9);
+}
+
+TEST(StreamingModel, SatClampedAboveZero) {
+  StreamingModel m(no_jitter());
+  Rng rng(4);
+  EXPECT_TRUE(std::isfinite(m.latency_ms(60.0, 0.0, rng)));
+  EXPECT_TRUE(std::isfinite(m.latency_ms(60.0, -1.0, rng)));
+}
+
+TEST(StreamingModel, JitterNonNegative) {
+  StreamingConfig cfg;
+  cfg.network_jitter_ms = 5.0;
+  StreamingModel m(cfg);
+  Rng rng(5);
+  const StreamingModel base(no_jitter());
+  Rng rng2(5);
+  const double floor = base.latency_ms(60.0, 1.0, rng2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(m.latency_ms(60.0, 1.0, rng), floor - 1e-9);
+  }
+}
+
+TEST(StreamingModel, RequiresRenderingTick) {
+  StreamingModel m(no_jitter());
+  Rng rng(6);
+  EXPECT_THROW(m.latency_ms(0.0, 1.0, rng), ContractError);
+}
+
+TEST(StreamingModel, ConfigValidation) {
+  StreamingConfig bad;
+  bad.latency_budget_ms = 0.0;
+  EXPECT_THROW(StreamingModel{bad}, ContractError);
+}
+
+// --- integration with the platform ---
+
+TEST(StreamingIntegration, CompletedRunsCarryLatency) {
+  static const std::vector<game::GameSpec> suite = {game::make_contra()};
+  core::OfflineConfig ocfg;
+  ocfg.profiling_runs = 6;
+  ocfg.corpus_runs = 10;
+  auto models = core::train_suite(suite, ocfg);
+
+  PlatformConfig pcfg;
+  pcfg.seed = 7;
+  pcfg.session.spike_prob = 0.0;
+  CloudPlatform cloud(pcfg,
+                      std::make_unique<core::VbpScheduler>(std::move(models)));
+  cloud.add_server(hw::ServerSpec{});
+  cloud.submit(&suite[0], 0, 1);
+  cloud.run(20 * 60 * 1000);
+  ASSERT_GE(cloud.completed_runs().size(), 1u);
+  const auto& run = cloud.completed_runs()[0];
+  // 60-FPS Contra at full supply: ~6+1+16.7+5+4 ≈ 33 ms (+jitter).
+  EXPECT_GT(run.mean_latency_ms, 25.0);
+  EXPECT_LT(run.mean_latency_ms, 60.0);
+  EXPECT_GE(run.max_latency_ms, run.mean_latency_ms);
+  EXPECT_EQ(run.latency_violation_ms, 0);  // far under the 100 ms budget
+}
+
+TEST(StreamingIntegration, TightBudgetFlagsViolations) {
+  static const std::vector<game::GameSpec> suite = {game::make_contra()};
+  core::OfflineConfig ocfg;
+  ocfg.profiling_runs = 6;
+  ocfg.corpus_runs = 10;
+  auto models = core::train_suite(suite, ocfg);
+
+  PlatformConfig pcfg;
+  pcfg.seed = 8;
+  pcfg.session.spike_prob = 0.0;
+  pcfg.streaming.latency_budget_ms = 20.0;  // impossible for 60 FPS
+  CloudPlatform cloud(pcfg,
+                      std::make_unique<core::VbpScheduler>(std::move(models)));
+  cloud.add_server(hw::ServerSpec{});
+  cloud.submit(&suite[0], 0, 1);
+  cloud.run(20 * 60 * 1000);
+  ASSERT_GE(cloud.completed_runs().size(), 1u);
+  EXPECT_GT(cloud.completed_runs()[0].latency_violation_ms, 0);
+}
+
+}  // namespace
+}  // namespace cocg::platform

@@ -1,0 +1,134 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace cocg::sim {
+namespace {
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.next_time(), ContractError);
+  EXPECT_THROW(q.pop_and_run(), ContractError);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.schedule(123, [] {});
+  EXPECT_EQ(q.next_time(), 123);
+  EXPECT_EQ(q.pop_and_run(), 123);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  auto h = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  auto h = q.schedule(10, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandleFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+}
+
+TEST(EventQueue, CancelledHeadSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  auto h1 = q.schedule(1, [&] { order.push_back(1); });
+  q.schedule(2, [&] { order.push_back(2); });
+  q.cancel(h1);
+  EXPECT_EQ(q.next_time(), 2);
+  q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1, [&] {
+    order.push_back(1);
+    q.schedule(2, [&] { order.push_back(2); });
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RejectsEmptyFunction) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(1, EventFn{}), ContractError);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto h1 = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+// Property: N events with random times always drain fully and in order.
+class EventQueueProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventQueueProp, DrainsSortedForAnyCount) {
+  const int n = GetParam();
+  EventQueue q;
+  std::vector<TimeMs> fired;
+  // Insertion times descending to stress the heap.
+  for (int i = n; i >= 1; --i) {
+    const TimeMs t = (i * 7919) % 1000;  // pseudo-scattered
+    q.schedule(t, [&fired, t] { fired.push_back(t); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EventQueueProp,
+                         ::testing::Values(1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace cocg::sim

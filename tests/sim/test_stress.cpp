@@ -1,0 +1,113 @@
+// Stress and interplay properties for the discrete-event engine: large
+// random schedules with interleaved cancellations must preserve ordering,
+// liveness accounting, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/engine.h"
+
+namespace cocg::sim {
+namespace {
+
+TEST(SimStress, RandomScheduleCancelStorm) {
+  Rng rng(123);
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  std::vector<TimeMs> fired;
+  constexpr int kEvents = 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    const TimeMs t = rng.uniform_int(0, 10000);
+    handles.push_back(q.schedule(t, [&fired, t] { fired.push_back(t); }));
+  }
+  // Cancel a random half.
+  rng.shuffle(handles.begin(), handles.end());
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < handles.size() / 2; ++i) {
+    if (q.cancel(handles[i])) ++cancelled;
+  }
+  EXPECT_EQ(cancelled, handles.size() / 2);
+  EXPECT_EQ(q.size(), kEvents - cancelled);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired.size(), kEvents - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  // Cancelling after the fact fails for every handle.
+  for (const auto& h : handles) EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(SimStress, SelfRescheduleChainDepth) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10000) e.schedule_in(1, chain);
+  };
+  e.schedule_in(1, chain);
+  e.run_all();
+  EXPECT_EQ(count, 10000);
+  EXPECT_EQ(e.now(), 10000);
+}
+
+TEST(SimStress, ManyPeriodicsCoexist) {
+  Engine e;
+  std::vector<int> counts(50, 0);
+  std::vector<PeriodicTask> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back(e.schedule_periodic(
+        i + 1, i + 1, [&counts, i](TimeMs) {
+          ++counts[static_cast<std::size_t>(i)];
+          return true;
+        }));
+  }
+  e.run_until(1000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], 1000 / (i + 1)) << i;
+  }
+  for (auto& t : tasks) t.stop();
+  e.run_until(2000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(i)], 1000 / (i + 1)) << i;
+  }
+}
+
+TEST(SimStress, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [] {
+    Rng rng(77);
+    Engine e;
+    std::vector<std::pair<TimeMs, int>> log;
+    for (int i = 0; i < 500; ++i) {
+      const TimeMs t = rng.uniform_int(0, 5000);
+      e.schedule_at(t, [&log, t, i] { log.push_back({t, i}); });
+    }
+    e.run_all();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SimStress, CancelInsideEventCallback) {
+  Engine e;
+  bool second_ran = false;
+  EventHandle h2;
+  e.schedule_in(1, [&] { e.cancel(h2); });
+  h2 = e.schedule_in(2, [&] { second_ran = true; });
+  e.run_all();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(SimStress, PeriodicStopFromWithinCallback) {
+  Engine e;
+  int count = 0;
+  PeriodicTask task;
+  task = e.schedule_periodic(1, 1, [&](TimeMs) {
+    ++count;
+    return count < 3;  // self-terminate via return value
+  });
+  e.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.active());
+}
+
+}  // namespace
+}  // namespace cocg::sim

@@ -1,0 +1,137 @@
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace cocg::telemetry {
+namespace {
+
+MetricSample sample(TimeMs t, double cpu, double gpu, int stage = 0,
+                    bool loading = false, int cluster = 0) {
+  MetricSample s;
+  s.t = t;
+  s.usage = ResourceVector{cpu, gpu, 100, 100};
+  s.fps = 60.0;
+  s.true_stage_type = stage;
+  s.true_loading = loading;
+  s.true_cluster = cluster;
+  return s;
+}
+
+TEST(Trace, AppendAndAccess) {
+  Trace t("x");
+  EXPECT_TRUE(t.empty());
+  t.add(sample(0, 10, 20));
+  t.add(sample(1000, 11, 21));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].t, 0);
+  EXPECT_EQ(t.start_time(), 0);
+  EXPECT_EQ(t.end_time(), 1000);
+  EXPECT_EQ(t.label(), "x");
+}
+
+TEST(Trace, RejectsTimeRegression) {
+  Trace t;
+  t.add(sample(1000, 1, 1));
+  EXPECT_THROW(t.add(sample(500, 1, 1)), ContractError);
+  EXPECT_NO_THROW(t.add(sample(1000, 1, 1)));  // equal is allowed
+}
+
+TEST(Trace, EmptyAccessorsThrow) {
+  Trace t;
+  EXPECT_THROW(t.start_time(), ContractError);
+  EXPECT_THROW(t.end_time(), ContractError);
+}
+
+TEST(Trace, FrameSlicesAggregateMeans) {
+  Trace t;
+  // 5 one-second samples → one 5 s slice with the mean usage.
+  for (int i = 0; i < 5; ++i) {
+    t.add(sample(i * 1000, 10.0 * (i + 1), 50));
+  }
+  const auto slices = t.to_frame_slices(5000);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_DOUBLE_EQ(slices[0].mean_usage.cpu(), 30.0);  // mean of 10..50
+  EXPECT_DOUBLE_EQ(slices[0].mean_usage.gpu(), 50.0);
+  EXPECT_EQ(slices[0].start, 0);
+  EXPECT_EQ(slices[0].end, 5000);
+}
+
+TEST(Trace, FrameSlicesPartialTailKept) {
+  Trace t;
+  for (int i = 0; i < 7; ++i) t.add(sample(i * 1000, 10, 10));
+  const auto slices = t.to_frame_slices(5000);
+  ASSERT_EQ(slices.size(), 2u);
+}
+
+TEST(Trace, FrameSlicesMajorityGroundTruth) {
+  Trace t;
+  t.add(sample(0, 1, 1, /*stage=*/2, /*loading=*/false, /*cluster=*/1));
+  t.add(sample(1000, 1, 1, 2, false, 1));
+  t.add(sample(2000, 1, 1, 2, false, 1));
+  t.add(sample(3000, 1, 1, 0, true, 0));
+  t.add(sample(4000, 1, 1, 0, true, 0));
+  const auto slices = t.to_frame_slices(5000);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].true_stage_type, 2);
+  EXPECT_EQ(slices[0].true_cluster, 1);
+  EXPECT_FALSE(slices[0].true_loading);  // 2 of 5 < majority
+}
+
+TEST(Trace, FrameSlicesAlignToFirstSample) {
+  Trace t;
+  // Starting at t=2000: slices are [2000,7000), [7000,12000) ...
+  for (int i = 0; i < 6; ++i) t.add(sample(2000 + i * 1000, 10, 10));
+  const auto slices = t.to_frame_slices(5000);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].start, 2000);
+  EXPECT_EQ(slices[1].start, 7000);
+}
+
+TEST(Trace, FrameSlicesRejectBadSlice) {
+  Trace t;
+  t.add(sample(0, 1, 1));
+  EXPECT_THROW(t.to_frame_slices(0), ContractError);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace t("roundtrip");
+  t.add(sample(0, 12.5, 34.5, 3, true, 2));
+  t.add(sample(1000, 13.5, 35.5, 4, false, 1));
+  const std::string path = "test_trace_roundtrip_tmp.csv";
+  t.save_csv(path);
+  const Trace back = Trace::load_csv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].t, 0);
+  EXPECT_NEAR(back[0].usage.cpu(), 12.5, 1e-9);
+  EXPECT_NEAR(back[1].usage.gpu(), 35.5, 1e-9);
+  EXPECT_EQ(back[0].true_stage_type, 3);
+  EXPECT_TRUE(back[0].true_loading);
+  EXPECT_FALSE(back[1].true_loading);
+  EXPECT_EQ(back[1].true_cluster, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, LoadCsvMissingFileThrows) {
+  EXPECT_THROW(Trace::load_csv("no_such_file_xyz.csv"), std::runtime_error);
+}
+
+// Property: slicing any N-sample 1 Hz trace yields ceil(N/5) slices.
+class SliceCountProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(SliceCountProp, CeilDivision) {
+  const int n = GetParam();
+  Trace t;
+  for (int i = 0; i < n; ++i) t.add(sample(i * 1000, 1, 1));
+  EXPECT_EQ(t.to_frame_slices(5000).size(),
+            static_cast<std::size_t>((n + 4) / 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SliceCountProp,
+                         ::testing::Values(1, 4, 5, 6, 23, 100));
+
+}  // namespace
+}  // namespace cocg::telemetry

@@ -1,0 +1,81 @@
+#include "telemetry/window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace cocg::telemetry {
+namespace {
+
+MetricSample sample(TimeMs t, double cpu, double fps = 60.0) {
+  MetricSample s;
+  s.t = t;
+  s.usage = ResourceVector{cpu, 0, 0, 0};
+  s.fps = fps;
+  return s;
+}
+
+TEST(SlidingWindow, StartsEmpty) {
+  SlidingWindow w(3);
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.full());
+  EXPECT_EQ(w.capacity(), 3u);
+  EXPECT_THROW(w.latest(), ContractError);
+  EXPECT_THROW(w.mean_usage(), ContractError);
+}
+
+TEST(SlidingWindow, RejectsZeroCapacity) {
+  EXPECT_THROW(SlidingWindow(0), ContractError);
+}
+
+TEST(SlidingWindow, EvictsOldest) {
+  SlidingWindow w(3);
+  for (int i = 1; i <= 5; ++i) w.add(sample(i, i));
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(w.oldest().t, 3);
+  EXPECT_EQ(w.latest().t, 5);
+  EXPECT_EQ(w.at(0).t, 3);
+  EXPECT_EQ(w.at(2).t, 5);
+  EXPECT_THROW(w.at(3), ContractError);
+}
+
+TEST(SlidingWindow, MeanUsage) {
+  SlidingWindow w(4);
+  w.add(sample(0, 10));
+  w.add(sample(1, 20));
+  w.add(sample(2, 30));
+  EXPECT_DOUBLE_EQ(w.mean_usage().cpu(), 20.0);
+}
+
+TEST(SlidingWindow, MeanUsageTail) {
+  SlidingWindow w(5);
+  for (int i = 1; i <= 5; ++i) w.add(sample(i, 10.0 * i));
+  EXPECT_DOUBLE_EQ(w.mean_usage_tail(2).cpu(), 45.0);  // mean(40,50)
+  EXPECT_DOUBLE_EQ(w.mean_usage_tail(100).cpu(), 30.0);  // clamped to all
+}
+
+TEST(SlidingWindow, MeanFps) {
+  SlidingWindow w(3);
+  w.add(sample(0, 1, 30));
+  w.add(sample(1, 1, 60));
+  EXPECT_DOUBLE_EQ(w.mean_fps(), 45.0);
+}
+
+TEST(SlidingWindow, ClearResets) {
+  SlidingWindow w(2);
+  w.add(sample(0, 1));
+  w.clear();
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(SlidingWindow, CapacityOneTracksLatest) {
+  SlidingWindow w(1);
+  w.add(sample(1, 10));
+  w.add(sample(2, 20));
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean_usage().cpu(), 20.0);
+}
+
+}  // namespace
+}  // namespace cocg::telemetry

@@ -1,0 +1,136 @@
+// cocg_colocate — run a co-location experiment from the command line.
+//
+//   cocg_colocate <scheduler> <gameA> <gameB> [minutes] [gpus] [seed]
+//
+//   scheduler: cocg | vbp | gaugur | improved
+//   games:     DOTA2, CSGO, "Genshin Impact", "Devil May Cry", Contra
+//
+// Trains the suite, runs the pair closed-loop, and prints throughput,
+// per-game completions, QoS and latency statistics — the Fig. 11 cell of
+// your choosing.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "core/offline.h"
+#include "game/library.h"
+#include "platform/cloud_platform.h"
+
+using namespace cocg;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: cocg_colocate <cocg|vbp|gaugur|improved> <gameA>"
+               " <gameB> [minutes=120] [gpus=1] [seed=1]\n"
+               "games: DOTA2, CSGO, 'Genshin Impact', 'Devil May Cry',"
+               " Contra\n";
+  return 2;
+}
+
+std::unique_ptr<platform::Scheduler> make_scheduler(
+    const std::string& name, std::map<std::string, core::TrainedGame> m) {
+  if (name == "cocg") {
+    return std::make_unique<core::CocgScheduler>(std::move(m));
+  }
+  if (name == "vbp") {
+    return std::make_unique<core::VbpScheduler>(std::move(m));
+  }
+  if (name == "gaugur") {
+    return std::make_unique<core::GaugurScheduler>(std::move(m));
+  }
+  if (name == "improved") {
+    return std::make_unique<core::ImprovedScheduler>(std::move(m));
+  }
+  throw std::runtime_error("unknown scheduler: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  try {
+    const std::string sched_name = argv[1];
+    static const std::vector<game::GameSpec> suite = game::paper_suite();
+    const game::GameSpec* a = nullptr;
+    const game::GameSpec* b = nullptr;
+    for (const auto& g : suite) {
+      if (g.name == argv[2]) a = &g;
+      if (g.name == argv[3]) b = &g;
+    }
+    if (a == nullptr || b == nullptr) {
+      std::cerr << "error: unknown game name\n";
+      return usage();
+    }
+    const int minutes = argc > 4 ? std::max(1, std::atoi(argv[4])) : 120;
+    const int gpus = argc > 5 ? std::max(1, std::atoi(argv[5])) : 1;
+    const std::uint64_t seed =
+        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+
+    std::cout << "training models...\n";
+    core::OfflineConfig ocfg;
+    ocfg.profiling_runs = 12;
+    ocfg.corpus_runs = 60;
+    ocfg.seed = seed;
+    auto models = core::train_suite(suite, ocfg);
+
+    platform::PlatformConfig pcfg;
+    pcfg.seed = seed;
+    platform::CloudPlatform cloud(
+        pcfg, make_scheduler(sched_name, std::move(models)));
+    hw::ServerSpec spec;
+    spec.num_gpus = gpus;
+    cloud.add_server(spec);
+    cloud.enable_utilization_recording(true);
+    cloud.add_source({a, a->short_game ? 2 : 1, 8});
+    cloud.add_source({b, b->short_game ? 2 : 1, 8});
+
+    std::cout << "running " << a->name << " + " << b->name << " under "
+              << cloud.scheduler().name() << " for " << minutes
+              << " min on " << gpus << " GPU(s)...\n";
+    cloud.run(static_cast<DurationMs>(minutes) * 60 * 1000);
+
+    TablePrinter table({"metric", "value"});
+    table.add_row({"throughput T (game-seconds)",
+                   TablePrinter::fmt(cloud.throughput(), 0)});
+    double qos_s = 0, lat_sum = 0;
+    int lat_n = 0;
+    for (const auto& run : cloud.completed_runs()) {
+      qos_s += ms_to_sec(run.qos_violation_ms);
+      if (run.mean_latency_ms > 0) {
+        lat_sum += run.mean_latency_ms;
+        ++lat_n;
+      }
+    }
+    table.add_row({"completed runs",
+                   std::to_string(cloud.completed_runs().size())});
+    table.add_row({"QoS violations (s)", TablePrinter::fmt(qos_s, 0)});
+    table.add_row({"mean interaction latency (ms)",
+                   lat_n ? TablePrinter::fmt(lat_sum / lat_n, 1) : "-"});
+    std::size_t over = 0;
+    for (const auto& up : cloud.utilization_log()) {
+      if (up.max_dim_fraction > 0.95) ++over;
+    }
+    table.add_row(
+        {"ticks above 95% limit",
+         TablePrinter::fmt_pct(
+             cloud.utilization_log().empty()
+                 ? 0.0
+                 : 100.0 * static_cast<double>(over) /
+                       static_cast<double>(cloud.utilization_log().size()),
+             1)});
+    for (const auto& [name, gs] : cloud.game_stats()) {
+      table.add_row({name + " runs / FPS ratio",
+                     std::to_string(gs.completed) + " / " +
+                         TablePrinter::fmt_pct(100 * gs.mean_fps_ratio, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,176 @@
+// cocg_profiler — command-line profiling utility.
+//
+//   cocg_profiler profile <game> <out.cocg> [runs] [seed]
+//   cocg_profiler show <profile.cocg>
+//   cocg_profiler migrate <in.cocg> <out.cocg> <baseline|budget|flagship>
+//                                              <baseline|budget|flagship>
+//   cocg_profiler plan [baseline|budget|flagship]
+//
+// `profile` runs laboratory play-throughs of a suite title, builds the
+// frame-cluster + stage-type catalog (§IV-A), and saves it. `show` pretty-
+// prints a saved profile. `migrate` rescales a profile between SKUs
+// (§IV-D). `plan` trains the whole suite and prints the maximal game mixes
+// one GPU view of the SKU can host under the distributor's expected-demand
+// rule. Game names: DOTA2, CSGO, "Genshin Impact", "Devil May Cry",
+// Contra.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "core/frame_profiler.h"
+#include "core/capacity_planner.h"
+#include "core/migration.h"
+#include "core/profile_io.h"
+#include "game/library.h"
+#include "game/tracegen.h"
+
+using namespace cocg;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  cocg_profiler profile <game> <out.cocg> [runs] [seed]\n"
+            << "  cocg_profiler show <profile.cocg>\n"
+            << "  cocg_profiler migrate <in.cocg> <out.cocg> <from> <to>\n"
+            << "     (<from>/<to> in {baseline, budget, flagship})\n"
+            << "  cocg_profiler plan [baseline|budget|flagship]\n";
+  return 2;
+}
+
+hw::ServerSpec sku_by_name(const std::string& name) {
+  if (name == "baseline") return hw::baseline_sku();
+  if (name == "budget") return hw::budget_sku();
+  if (name == "flagship") return hw::flagship_sku();
+  throw std::runtime_error("unknown SKU: " + name);
+}
+
+void print_profile(const core::GameProfile& p) {
+  std::cout << "game: " << p.game_name << "\n"
+            << "peak demand: " << p.peak_demand.str() << "\n";
+  TablePrinter clusters({"cluster", "CPU%", "GPU%", "VRAM MB", "RAM MB",
+                         "frames", "loading?"});
+  for (const auto& c : p.clusters) {
+    clusters.add_row({std::to_string(c.id),
+                      TablePrinter::fmt(c.centroid.cpu(), 1),
+                      TablePrinter::fmt(c.centroid.gpu(), 1),
+                      TablePrinter::fmt(c.centroid.gpu_mem(), 0),
+                      TablePrinter::fmt(c.centroid.ram(), 0),
+                      std::to_string(c.frames), c.loading ? "yes" : "no"});
+  }
+  clusters.print(std::cout);
+  TablePrinter stages({"type", "clusters", "kind", "peak GPU%",
+                       "mean dwell (s)", "seen"});
+  for (const auto& st : p.stage_types) {
+    std::string sig;
+    for (std::size_t i = 0; i < st.clusters.size(); ++i) {
+      sig += (i ? "+" : "") + std::to_string(st.clusters[i]);
+    }
+    stages.add_row({std::to_string(st.id), sig,
+                    st.loading ? "loading" : "execution",
+                    TablePrinter::fmt(st.peak_demand.gpu(), 1),
+                    TablePrinter::fmt(ms_to_sec(st.mean_duration_ms), 0),
+                    std::to_string(st.occurrences)});
+  }
+  stages.print(std::cout);
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string game_name = argv[2];
+  const std::string out_path = argv[3];
+  const int runs = argc > 4 ? std::max(1, std::atoi(argv[4])) : 12;
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2024;
+
+  const game::GameSpec spec = game::game_by_name(game_name);
+  std::cout << "profiling " << spec.name << " over " << runs
+            << " laboratory runs...\n";
+  std::vector<telemetry::Trace> traces;
+  Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    const auto script = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(spec.scripts.size()) - 1));
+    traces.push_back(game::profile_run(
+        spec, script, static_cast<std::uint64_t>(r % 6 + 1),
+        rng.next_u64()));
+  }
+  core::ProfilerConfig cfg;
+  cfg.forced_k = spec.num_clusters();
+  core::FrameProfiler profiler(cfg);
+  const auto out = profiler.profile(spec.name, traces, rng);
+  print_profile(out.profile);
+  core::save_profile(out.profile, out_path);
+  std::cout << "saved to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  print_profile(core::load_profile(argv[2]));
+  return 0;
+}
+
+int cmd_migrate(int argc, char** argv) {
+  if (argc < 6) return usage();
+  const auto profile = core::load_profile(argv[2]);
+  const auto from = sku_by_name(argv[4]);
+  const auto to = sku_by_name(argv[5]);
+  const auto migrated = core::migrate_profile(profile, from, to);
+  core::save_profile(migrated, argv[3]);
+  std::cout << "migrated " << profile.game_name << " from " << from.name
+            << " to " << to.name << " -> " << argv[3] << "\n";
+  print_profile(migrated);
+  return 0;
+}
+
+int cmd_plan(int argc, char** argv) {
+  const hw::ServerSpec sku =
+      argc > 2 ? sku_by_name(argv[2]) : hw::baseline_sku();
+  std::cout << "training the suite, planning one GPU view of " << sku.name
+            << "...\n";
+  static const std::vector<game::GameSpec> suite = game::paper_suite();
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = 10;
+  cfg.corpus_runs = 20;
+  const auto models = core::train_suite(suite, cfg);
+  core::CapacityPlanner planner(&models);
+
+  TablePrinter caps({"game", "expected GPU%", "max concurrent / view"});
+  for (const auto& [name, tg] : models) {
+    caps.add_row({name,
+                  TablePrinter::fmt(planner.expected_demand(name).gpu(), 1),
+                  std::to_string(planner.max_concurrent(name, sku))});
+  }
+  caps.print(std::cout);
+
+  TablePrinter mixes({"maximal mix", "expected GPU%", "headroom"});
+  for (const auto& mix : planner.maximal_mixes(sku)) {
+    std::string label;
+    for (std::size_t i = 0; i < mix.games.size(); ++i) {
+      label += (i ? " + " : "") + mix.games[i];
+    }
+    mixes.add_row({label, TablePrinter::fmt(mix.expected_total.gpu(), 1),
+                   TablePrinter::fmt_pct(100 * mix.headroom, 1)});
+  }
+  mixes.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "profile") return cmd_profile(argc, argv);
+    if (cmd == "show") return cmd_show(argc, argv);
+    if (cmd == "migrate") return cmd_migrate(argc, argv);
+    if (cmd == "plan") return cmd_plan(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
