@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_harvest.dir/bench_ablation_harvest.cpp.o"
+  "CMakeFiles/bench_ablation_harvest.dir/bench_ablation_harvest.cpp.o.d"
+  "bench_ablation_harvest"
+  "bench_ablation_harvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

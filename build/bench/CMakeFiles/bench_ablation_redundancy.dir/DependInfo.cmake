@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_redundancy.cpp" "bench/CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_redundancy.dir/bench_ablation_redundancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cocg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cocg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cocg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cocg_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cocg_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cocg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cocg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_fps_qos.dir/bench_fig13_fps_qos.cpp.o"
+  "CMakeFiles/bench_fig13_fps_qos.dir/bench_fig13_fps_qos.cpp.o.d"
+  "bench_fig13_fps_qos"
+  "bench_fig13_fps_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fps_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_kmeans_elbow.dir/bench_fig14_kmeans_elbow.cpp.o"
+  "CMakeFiles/bench_fig14_kmeans_elbow.dir/bench_fig14_kmeans_elbow.cpp.o.d"
+  "bench_fig14_kmeans_elbow"
+  "bench_fig14_kmeans_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_kmeans_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_common.dir/log.cpp.o"
+  "CMakeFiles/cocg_common.dir/log.cpp.o.d"
+  "CMakeFiles/cocg_common.dir/resources.cpp.o"
+  "CMakeFiles/cocg_common.dir/resources.cpp.o.d"
+  "CMakeFiles/cocg_common.dir/rng.cpp.o"
+  "CMakeFiles/cocg_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cocg_common.dir/stats.cpp.o"
+  "CMakeFiles/cocg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cocg_common.dir/table.cpp.o"
+  "CMakeFiles/cocg_common.dir/table.cpp.o.d"
+  "libcocg_common.a"
+  "libcocg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

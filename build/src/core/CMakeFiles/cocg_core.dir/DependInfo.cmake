@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/cocg_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/capacity_planner.cpp" "src/core/CMakeFiles/cocg_core.dir/capacity_planner.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/capacity_planner.cpp.o.d"
+  "/root/repo/src/core/cocg_scheduler.cpp" "src/core/CMakeFiles/cocg_core.dir/cocg_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/cocg_scheduler.cpp.o.d"
+  "/root/repo/src/core/distributor.cpp" "src/core/CMakeFiles/cocg_core.dir/distributor.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/distributor.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/cocg_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/frame_profiler.cpp" "src/core/CMakeFiles/cocg_core.dir/frame_profiler.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/frame_profiler.cpp.o.d"
+  "/root/repo/src/core/game_profile.cpp" "src/core/CMakeFiles/cocg_core.dir/game_profile.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/game_profile.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/cocg_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/offline.cpp" "src/core/CMakeFiles/cocg_core.dir/offline.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/offline.cpp.o.d"
+  "/root/repo/src/core/online_monitor.cpp" "src/core/CMakeFiles/cocg_core.dir/online_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/online_monitor.cpp.o.d"
+  "/root/repo/src/core/profile_io.cpp" "src/core/CMakeFiles/cocg_core.dir/profile_io.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/profile_io.cpp.o.d"
+  "/root/repo/src/core/regulator.cpp" "src/core/CMakeFiles/cocg_core.dir/regulator.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/regulator.cpp.o.d"
+  "/root/repo/src/core/stage_predictor.cpp" "src/core/CMakeFiles/cocg_core.dir/stage_predictor.cpp.o" "gcc" "src/core/CMakeFiles/cocg_core.dir/stage_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cocg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cocg_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cocg_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cocg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cocg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cocg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_core.dir/baselines.cpp.o"
+  "CMakeFiles/cocg_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/capacity_planner.cpp.o"
+  "CMakeFiles/cocg_core.dir/capacity_planner.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/cocg_scheduler.cpp.o"
+  "CMakeFiles/cocg_core.dir/cocg_scheduler.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/distributor.cpp.o"
+  "CMakeFiles/cocg_core.dir/distributor.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/features.cpp.o"
+  "CMakeFiles/cocg_core.dir/features.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/frame_profiler.cpp.o"
+  "CMakeFiles/cocg_core.dir/frame_profiler.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/game_profile.cpp.o"
+  "CMakeFiles/cocg_core.dir/game_profile.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/migration.cpp.o"
+  "CMakeFiles/cocg_core.dir/migration.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/offline.cpp.o"
+  "CMakeFiles/cocg_core.dir/offline.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/online_monitor.cpp.o"
+  "CMakeFiles/cocg_core.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/profile_io.cpp.o"
+  "CMakeFiles/cocg_core.dir/profile_io.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/regulator.cpp.o"
+  "CMakeFiles/cocg_core.dir/regulator.cpp.o.d"
+  "CMakeFiles/cocg_core.dir/stage_predictor.cpp.o"
+  "CMakeFiles/cocg_core.dir/stage_predictor.cpp.o.d"
+  "libcocg_core.a"
+  "libcocg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

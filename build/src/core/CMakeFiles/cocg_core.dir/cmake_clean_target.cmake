@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcocg_core.a"
+)

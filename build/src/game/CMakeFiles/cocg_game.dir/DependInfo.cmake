@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/game/library.cpp" "src/game/CMakeFiles/cocg_game.dir/library.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/library.cpp.o.d"
+  "/root/repo/src/game/plan.cpp" "src/game/CMakeFiles/cocg_game.dir/plan.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/plan.cpp.o.d"
+  "/root/repo/src/game/platform_scaling.cpp" "src/game/CMakeFiles/cocg_game.dir/platform_scaling.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/platform_scaling.cpp.o.d"
+  "/root/repo/src/game/session.cpp" "src/game/CMakeFiles/cocg_game.dir/session.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/session.cpp.o.d"
+  "/root/repo/src/game/spec.cpp" "src/game/CMakeFiles/cocg_game.dir/spec.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/spec.cpp.o.d"
+  "/root/repo/src/game/tracegen.cpp" "src/game/CMakeFiles/cocg_game.dir/tracegen.cpp.o" "gcc" "src/game/CMakeFiles/cocg_game.dir/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cocg_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cocg_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_game.dir/library.cpp.o"
+  "CMakeFiles/cocg_game.dir/library.cpp.o.d"
+  "CMakeFiles/cocg_game.dir/plan.cpp.o"
+  "CMakeFiles/cocg_game.dir/plan.cpp.o.d"
+  "CMakeFiles/cocg_game.dir/platform_scaling.cpp.o"
+  "CMakeFiles/cocg_game.dir/platform_scaling.cpp.o.d"
+  "CMakeFiles/cocg_game.dir/session.cpp.o"
+  "CMakeFiles/cocg_game.dir/session.cpp.o.d"
+  "CMakeFiles/cocg_game.dir/spec.cpp.o"
+  "CMakeFiles/cocg_game.dir/spec.cpp.o.d"
+  "CMakeFiles/cocg_game.dir/tracegen.cpp.o"
+  "CMakeFiles/cocg_game.dir/tracegen.cpp.o.d"
+  "libcocg_game.a"
+  "libcocg_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_hw.dir/contention.cpp.o"
+  "CMakeFiles/cocg_hw.dir/contention.cpp.o.d"
+  "CMakeFiles/cocg_hw.dir/server.cpp.o"
+  "CMakeFiles/cocg_hw.dir/server.cpp.o.d"
+  "libcocg_hw.a"
+  "libcocg_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/cocg_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/cocg_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/cocg_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/graph_cluster.cpp" "src/ml/CMakeFiles/cocg_ml.dir/graph_cluster.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/graph_cluster.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/cocg_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/cocg_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/cocg_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/cocg_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/cocg_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_ml.dir/classifier.cpp.o"
+  "CMakeFiles/cocg_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/dataset.cpp.o"
+  "CMakeFiles/cocg_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/cocg_ml.dir/gbdt.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/graph_cluster.cpp.o"
+  "CMakeFiles/cocg_ml.dir/graph_cluster.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/cocg_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/metrics.cpp.o"
+  "CMakeFiles/cocg_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/cocg_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/cocg_ml.dir/tree.cpp.o"
+  "CMakeFiles/cocg_ml.dir/tree.cpp.o.d"
+  "libcocg_ml.a"
+  "libcocg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_platform.dir/cloud_platform.cpp.o"
+  "CMakeFiles/cocg_platform.dir/cloud_platform.cpp.o.d"
+  "CMakeFiles/cocg_platform.dir/streaming.cpp.o"
+  "CMakeFiles/cocg_platform.dir/streaming.cpp.o.d"
+  "libcocg_platform.a"
+  "libcocg_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

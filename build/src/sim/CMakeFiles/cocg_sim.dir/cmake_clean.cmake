@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_sim.dir/engine.cpp.o"
+  "CMakeFiles/cocg_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cocg_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cocg_sim.dir/event_queue.cpp.o.d"
+  "libcocg_sim.a"
+  "libcocg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_telemetry.dir/trace.cpp.o"
+  "CMakeFiles/cocg_telemetry.dir/trace.cpp.o.d"
+  "CMakeFiles/cocg_telemetry.dir/window.cpp.o"
+  "CMakeFiles/cocg_telemetry.dir/window.cpp.o.d"
+  "libcocg_telemetry.a"
+  "libcocg_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

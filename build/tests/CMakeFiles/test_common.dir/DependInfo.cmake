@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_check.cpp" "tests/CMakeFiles/test_common.dir/common/test_check.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_check.cpp.o.d"
+  "/root/repo/tests/common/test_log.cpp" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_log.cpp.o.d"
+  "/root/repo/tests/common/test_resources.cpp" "tests/CMakeFiles/test_common.dir/common/test_resources.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_resources.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_table.cpp" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table.cpp.o.d"
+  "/root/repo/tests/common/test_types.cpp" "tests/CMakeFiles/test_common.dir/common/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cocg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cocg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cocg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cocg_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cocg_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cocg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cocg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_baselines.cpp" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_baselines.cpp.o.d"
+  "/root/repo/tests/core/test_capacity_planner.cpp" "tests/CMakeFiles/test_core.dir/core/test_capacity_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_capacity_planner.cpp.o.d"
+  "/root/repo/tests/core/test_distributor.cpp" "tests/CMakeFiles/test_core.dir/core/test_distributor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_distributor.cpp.o.d"
+  "/root/repo/tests/core/test_migration.cpp" "tests/CMakeFiles/test_core.dir/core/test_migration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_migration.cpp.o.d"
+  "/root/repo/tests/core/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_monitor_e2e.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor_e2e.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor_e2e.cpp.o.d"
+  "/root/repo/tests/core/test_monitor_refine.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor_refine.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor_refine.cpp.o.d"
+  "/root/repo/tests/core/test_offline.cpp" "tests/CMakeFiles/test_core.dir/core/test_offline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_offline.cpp.o.d"
+  "/root/repo/tests/core/test_placement.cpp" "tests/CMakeFiles/test_core.dir/core/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_placement.cpp.o.d"
+  "/root/repo/tests/core/test_predictor.cpp" "tests/CMakeFiles/test_core.dir/core/test_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_predictor.cpp.o.d"
+  "/root/repo/tests/core/test_profile_io.cpp" "tests/CMakeFiles/test_core.dir/core/test_profile_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profile_io.cpp.o.d"
+  "/root/repo/tests/core/test_profiler.cpp" "tests/CMakeFiles/test_core.dir/core/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profiler.cpp.o.d"
+  "/root/repo/tests/core/test_regulator.cpp" "tests/CMakeFiles/test_core.dir/core/test_regulator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_regulator.cpp.o.d"
+  "/root/repo/tests/core/test_robustness.cpp" "tests/CMakeFiles/test_core.dir/core/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_robustness.cpp.o.d"
+  "/root/repo/tests/core/test_schedulers.cpp" "tests/CMakeFiles/test_core.dir/core/test_schedulers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_schedulers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cocg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/cocg_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cocg_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/game/CMakeFiles/cocg_game.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/cocg_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cocg_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cocg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cocg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_game.dir/game/test_library.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_library.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_plan.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_plan.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_random_specs.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_random_specs.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_session.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_session.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_spec.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_spec.cpp.o.d"
+  "CMakeFiles/test_game.dir/game/test_tracegen.cpp.o"
+  "CMakeFiles/test_game.dir/game/test_tracegen.cpp.o.d"
+  "test_game"
+  "test_game.pdb"
+  "test_game[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_colocate.dir/cocg_colocate.cpp.o"
+  "CMakeFiles/cocg_colocate.dir/cocg_colocate.cpp.o.d"
+  "cocg_colocate"
+  "cocg_colocate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_colocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

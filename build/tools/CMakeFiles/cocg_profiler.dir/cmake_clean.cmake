@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocg_profiler.dir/cocg_profiler.cpp.o"
+  "CMakeFiles/cocg_profiler.dir/cocg_profiler.cpp.o.d"
+  "cocg_profiler"
+  "cocg_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocg_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
