@@ -1,24 +1,33 @@
 // colocation_demo — watch CoCG co-locate two games on one GPU.
 //
-//   $ ./colocation_demo [minutes]
+//   $ ./colocation_demo [minutes] [--metrics-out m.json]
+//                       [--events-out e.jsonl] [--trace-out t.json]
 //
 // Runs Genshin Impact and DOTA2 on a single-GPU server (the Fig. 9
 // scenario) and prints a minute-by-minute timeline: each game's observed
 // GPU draw, its judged stage kind, holds applied by the regulator, and
-// the combined utilization against the 95% limit.
+// the combined utilization against the 95% limit. The observability flags
+// dump the run's metrics/events/trace — the worked example in
+// docs/observability.md walks through the outputs.
 #include <iomanip>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/cocg_scheduler.h"
 #include "core/offline.h"
 #include "game/library.h"
+#include "obs/cli.h"
 #include "platform/cloud_platform.h"
 
 using namespace cocg;
 
 int main(int argc, char** argv) {
-  const int minutes = argc > 1 ? std::max(1, std::atoi(argv[1])) : 30;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+  const int minutes =
+      !args.empty() ? std::max(1, std::atoi(args[0].c_str())) : 30;
 
   std::cout << "Training CoCG on the five-game suite...\n";
   static const std::vector<game::GameSpec> suite = game::paper_suite();
@@ -83,5 +92,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "throughput T = " << TablePrinter::fmt(cloud.throughput(), 0)
             << " game-seconds\n";
+  obs::write_outputs(obs_opts);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
 
@@ -9,6 +10,8 @@ namespace cocg {
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_sink_mutex;
+// Guarded by g_sink_mutex: std::function reads race with rebinding.
+std::function<TimeMs()> g_clock;
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
@@ -26,9 +29,21 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+void set_log_clock(std::function<TimeMs()> clock) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_clock = std::move(clock);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  std::cerr << '[' << log_level_name(level) << "] " << msg << '\n';
+  std::cerr << '[' << log_level_name(level) << "] ";
+  if (g_clock) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "[t=%.3fs] ",
+                  static_cast<double>(g_clock()) / 1000.0);
+    std::cerr << buf;
+  }
+  std::cerr << msg << '\n';
 }
 
 }  // namespace cocg

@@ -1,8 +1,11 @@
 // Minimal leveled logger. Thread-safe sink; off by default in tests/benches.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+
+#include "common/types.h"
 
 namespace cocg {
 
@@ -16,6 +19,11 @@ LogLevel log_level();
 void log_message(LogLevel level, const std::string& msg);
 
 const char* log_level_name(LogLevel level);
+
+/// Install a clock whose reading prefixes every line as `[t=12.345s]` —
+/// wire the simulation clock in so log lines correlate with trace/event
+/// timestamps instead of wall time. Pass nullptr to remove the prefix.
+void set_log_clock(std::function<TimeMs()> clock);
 
 }  // namespace cocg
 

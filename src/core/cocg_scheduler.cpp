@@ -19,6 +19,11 @@ CocgScheduler::CocgScheduler(std::map<std::string, TrainedGame> models,
     COCG_EXPECTS_MSG(tg.profile != nullptr && tg.predictor != nullptr,
                      "TrainedGame must be fully populated");
   }
+  auto& reg = obs::metrics();
+  obs_accepted_ = reg.counter("scheduler.admit.accepted");
+  obs_rejected_ = reg.counter("scheduler.admit.rejected");
+  obs_holds_ = reg.counter("regulator.holds");
+  obs_replacements_ = reg.counter("scheduler.model_replacements");
 }
 
 const TrainedGame& CocgScheduler::model(const std::string& game) const {
@@ -135,12 +140,30 @@ CandidateOutlook CocgScheduler::candidate_outlook(
 
 std::optional<platform::Placement> CocgScheduler::admit(
     platform::PlatformView& view, const platform::GameRequest& req) {
+  const TimeMs now = view.now();
+  auto log_decision = [&](bool admitted, std::string reason,
+                          ServerId server = ServerId{}, int gpu = -1) {
+    (admitted ? obs_accepted_ : obs_rejected_).add();
+    if (!obs::enabled()) return;
+    obs::AdmissionEvent ev;
+    ev.request = req.id.value;
+    ev.game = req.spec->name;
+    ev.admitted = admitted;
+    ev.reason = std::move(reason);
+    ev.server = server.value;
+    ev.gpu = gpu;
+    ev.waited_ms = now - req.arrival;
+    obs::events().record(now, std::move(ev));
+  };
+
   auto mit = models_.find(req.spec->name);
-  if (mit == models_.end()) return std::nullopt;  // untrained game
+  if (mit == models_.end()) {  // untrained game
+    log_decision(false, "no trained model");
+    return std::nullopt;
+  }
   const TrainedGame& tg = mit->second;
   const CandidateOutlook cand =
       candidate_outlook(tg, req.player_id, req.script_idx);
-  const TimeMs now = view.now();
 
   // Best-fit complementary placement: among all views the distributor
   // admits, pick the one whose resulting expected utilization is lowest —
@@ -149,8 +172,10 @@ std::optional<platform::Placement> CocgScheduler::admit(
     ServerId server;
     int gpu = 0;
     double score = 0.0;  // resulting max-dim expected utilization
+    std::string reason;  // distributor verdict for the winning view
   };
   std::optional<Choice> best;
+  std::string last_reject;
 
   for (ServerId server : view.server_ids()) {
     const auto& srv = view.server(server);
@@ -169,7 +194,10 @@ std::optional<platform::Placement> CocgScheduler::admit(
         hosted.push_back(outlook_for(it->second, now));
       }
       const AdmitDecision d = distributor_.decide(cap, hosted, cand);
-      if (!d.admit) continue;
+      if (!d.admit) {
+        last_reject = d.reason;
+        continue;
+      }
 
       ResourceVector expected_total = cand.expected;
       for (const auto& h : hosted) expected_total += h.expected;
@@ -180,11 +208,16 @@ std::optional<platform::Placement> CocgScheduler::admit(
         }
       }
       if (!best || score < best->score) {
-        best = Choice{server, g, score};
+        best = Choice{server, g, score, d.reason};
       }
     }
   }
-  if (!best) return std::nullopt;
+  if (!best) {
+    log_decision(false, last_reject.empty() ? "no capacity view available"
+                                            : last_reject);
+    return std::nullopt;
+  }
+  log_decision(true, best->reason, best->server, best->gpu);
 
   const auto& srv = view.server(best->server);
   // Initial allocation: provision the opening loading stage and the first
@@ -218,6 +251,7 @@ void CocgScheduler::on_session_start(platform::PlatformView& view,
   st.monitor = std::make_unique<OnlineMonitor>(
       tg.profile.get(), tg.predictor.get(), info.player_id, info.script_idx,
       cfg_.monitor);
+  st.monitor->set_session_id(sid.value);
   st.game = info.spec->name;
   st.player_id = info.player_id;
   st.script_idx = info.script_idx;
@@ -308,6 +342,7 @@ void CocgScheduler::control(platform::PlatformView& view) {
     auto& tg = models_.at(game);
     tg.predictor->replace_model(rng_);
     ++model_replacements_;
+    obs_replacements_.add();
     COCG_INFO("CoCG replaced model for " << game << " -> "
                                          << ml::model_kind_name(
                                                 tg.predictor->model_kind()));
@@ -379,6 +414,7 @@ void CocgScheduler::control(platform::PlatformView& view) {
       for (std::size_t i = 0; i < actions.size(); ++i) {
         auto& st = state_.at(sids[i]);
         const auto& act = actions[i];
+        const bool was_held = st.held;
         view.hold_loading(act.sid, act.hold);
         view.reallocate(act.sid, act.allocation,
                         /*allow_oversubscribe=*/true);
@@ -386,8 +422,17 @@ void CocgScheduler::control(platform::PlatformView& view) {
           st.stolen_ms += static_cast<DurationMs>(cfg_.detection_window) *
                           1000;  // one detection period stolen
           st.held = true;
+          obs_holds_.add();
         } else {
           st.held = false;
+        }
+        // Log holds and releases; the steady no-hold state is not an
+        // intervention.
+        if (obs::enabled() && (act.hold || was_held)) {
+          obs::events().record(
+              view.now(),
+              obs::RegulatorIntervention{sids[i].value, st.game, act.hold,
+                                         st.stolen_ms});
         }
       }
     }

@@ -18,6 +18,7 @@
 #include "core/offline.h"
 #include "core/online_monitor.h"
 #include "core/regulator.h"
+#include "obs/obs.h"
 #include "platform/scheduler.h"
 
 namespace cocg::core {
@@ -84,6 +85,13 @@ class CocgScheduler final : public platform::Scheduler {
   std::map<SessionId, SessionState> state_;
   Rng rng_;
   int model_replacements_ = 0;
+
+  // Decision-level observability (the per-view verdicts live in the
+  // Distributor; these count whole admit() calls).
+  obs::Counter obs_accepted_;
+  obs::Counter obs_rejected_;
+  obs::Counter obs_holds_;
+  obs::Counter obs_replacements_;
 };
 
 }  // namespace cocg::core

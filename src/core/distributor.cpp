@@ -6,6 +6,19 @@
 
 namespace cocg::core {
 
+Distributor::Distributor(DistributorConfig cfg) : cfg_(cfg) {
+  auto& reg = obs::metrics();
+  obs_admit_empty_ = reg.counter("distributor.admit.empty_server");
+  obs_admit_short_ = reg.counter("distributor.admit.short_game_gap");
+  obs_admit_fit_ = reg.counter("distributor.admit.complementary_fit");
+  obs_reject_alone_ =
+      reg.counter("distributor.reject.candidate_exceeds_capacity");
+  obs_reject_now_ =
+      reg.counter("distributor.reject.current_exceeds_limit");
+  obs_reject_expected_ =
+      reg.counter("distributor.reject.expected_exceeds_limit");
+}
+
 AdmitDecision Distributor::decide(
     const ResourceVector& capacity, const std::vector<SessionOutlook>& hosted,
     const CandidateOutlook& candidate) const {
@@ -14,7 +27,11 @@ AdmitDecision Distributor::decide(
 
   // Empty server: admissible when the candidate alone fits outright.
   if (hosted.empty()) {
-    if (candidate.peak.fits_within(capacity)) return {true, "empty server"};
+    if (candidate.peak.fits_within(capacity)) {
+      obs_admit_empty_.add();
+      return {true, "empty server"};
+    }
+    obs_reject_alone_.add();
     return {false, "candidate alone exceeds capacity"};
   }
 
@@ -43,11 +60,13 @@ AdmitDecision Distributor::decide(
       with_peak += cur;
     }
     if (with_peak.fits_within(limit)) {
+      obs_admit_short_.add();
       return {true, "short-game gap insertion"};
     }
   }
 
   if (!now_ok) {
+    obs_reject_now_.add();
     return {false, "current combined consumption exceeds limit"};
   }
 
@@ -58,8 +77,10 @@ AdmitDecision Distributor::decide(
   ResourceVector expected_total = candidate.expected;
   for (const auto& h : hosted) expected_total += h.expected;
   if (!expected_total.fits_within(limit)) {
+    obs_reject_expected_.add();
     return {false, "expected combined consumption exceeds limit"};
   }
+  obs_admit_fit_.add();
   return {true, "complementary fit"};
 }
 

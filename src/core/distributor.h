@@ -28,6 +28,7 @@
 
 #include "common/resources.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace cocg::core {
 
@@ -69,7 +70,7 @@ struct AdmitDecision {
 
 class Distributor {
  public:
-  explicit Distributor(DistributorConfig cfg = {}) : cfg_(cfg) {}
+  explicit Distributor(DistributorConfig cfg = {});
 
   /// One capacity view (a single GPU's view of a server).
   AdmitDecision decide(const ResourceVector& capacity,
@@ -80,6 +81,14 @@ class Distributor {
 
  private:
   DistributorConfig cfg_;
+  // Per-verdict counters for Algorithm 1's capacity check (one per fixed
+  // reason string; incremented per view examined).
+  obs::Counter obs_admit_empty_;
+  obs::Counter obs_admit_short_;
+  obs::Counter obs_admit_fit_;
+  obs::Counter obs_reject_alone_;
+  obs::Counter obs_reject_now_;
+  obs::Counter obs_reject_expected_;
 };
 
 }  // namespace cocg::core

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace cocg::core {
 
@@ -37,6 +38,11 @@ GameProfile migrate_profile(const GameProfile& profile,
     st.mean_demand = rescale(st.mean_demand, cpu_ratio, gpu_ratio);
   }
   out.peak_demand = rescale(out.peak_demand, cpu_ratio, gpu_ratio);
+  if (obs::enabled()) {
+    obs::metrics().counter("migration.profiles").add();
+    obs::events().record(
+        0, obs::MigrationEvent{profile.game_name, from.name, to.name});
+  }
   return out;
 }
 

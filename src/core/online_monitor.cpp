@@ -31,6 +31,11 @@ OnlineMonitor::OnlineMonitor(const GameProfile* profile,
       cfg_(cfg) {
   COCG_EXPECTS(profile != nullptr);
   COCG_EXPECTS(predictor != nullptr);
+  auto& reg = obs::metrics();
+  obs_hits_ = reg.counter("predictor.hits." + profile->game_name);
+  obs_misses_ = reg.counter("predictor.misses." + profile->game_name);
+  obs_callbacks_ =
+      reg.counter("monitor.rehearsal_callbacks." + profile->game_name);
 }
 
 bool OnlineMonitor::in_loading() const {
@@ -71,26 +76,49 @@ int OnlineMonitor::resolve_stage_from_window() const {
   return match_execution_stage(majority_cluster);
 }
 
-void OnlineMonitor::finalize_execution_stage() {
+void OnlineMonitor::finalize_execution_stage(TimeMs t) {
   const int resolved = resolve_stage_from_window();
   if (resolved >= 0) {
     if (!exec_history_.empty()) exec_history_.back() = resolved;
     previous_stage_ = resolved;
   }
   if (pending_prediction_ >= 0 && resolved >= 0) {
-    if (resolved == pending_prediction_) {
+    const bool hit = resolved == pending_prediction_;
+    if (hit) {
       ++hits_;
       consecutive_errors_ = 0;
+      obs_hits_.add();
     } else {
       ++misses_;
       ++consecutive_errors_;
+      obs_misses_.add();
     }
+    obs::events().record(
+        t, obs::PredictionOutcome{
+               session_id_, profile_->game_name, pending_prediction_,
+               resolved, hit,
+               ml::model_kind_name(predictor_->model_kind()),
+               predictor_->redundancy().gpu()});
   }
   pending_prediction_ = -1;
 }
 
 MonitorEvent OnlineMonitor::observe(TimeMs t, const ResourceVector& usage,
                                     bool view_saturated) {
+  const MonitorEvent ev = observe_impl(t, usage, view_saturated);
+  if (ev == MonitorEvent::kRehearsalCallback) obs_callbacks_.add();
+  // Judgement changes are logged; steady-state kSameStage is not (it is
+  // the overwhelmingly common observation and carries no decision).
+  if (ev != MonitorEvent::kSameStage) {
+    obs::events().record(
+        t, obs::MonitorRecord{session_id_, profile_->game_name,
+                              monitor_event_name(ev), current_stage_});
+  }
+  return ev;
+}
+
+MonitorEvent OnlineMonitor::observe_impl(TimeMs t, const ResourceVector& usage,
+                                         bool view_saturated) {
   const int cluster = profile_->match_cluster(usage);
   const bool obs_loading =
       profile_->cluster(cluster).loading &&
@@ -125,7 +153,7 @@ MonitorEvent OnlineMonitor::observe(TimeMs t, const ResourceVector& usage,
         // Second consecutive loading detection: the previous execution
         // stage has truly ended — resolve and score it, then refresh the
         // next-stage prediction from the finalized history.
-        finalize_execution_stage();
+        finalize_execution_stage(t);
         window_clusters_.clear();
         predicted_next_ =
             predictor_->trained()
@@ -161,7 +189,7 @@ MonitorEvent OnlineMonitor::observe(TimeMs t, const ResourceVector& usage,
     // Genuine transition into a new execution stage. If the loading was a
     // single detection, the previous stage was never finalized: do it now.
     if (first_loading_detection_) {
-      finalize_execution_stage();
+      finalize_execution_stage(t);
       predicted_next_ =
           predictor_->trained()
               ? predictor_->predict_next(exec_history_, player_id_, mode_)

@@ -15,6 +15,8 @@
 #include "common/types.h"
 #include "core/game_profile.h"
 #include "core/stage_predictor.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 
 namespace cocg::core {
 
@@ -53,6 +55,9 @@ class OnlineMonitor {
   MonitorEvent observe(TimeMs t, const ResourceVector& usage,
                        bool view_saturated = false);
 
+  /// Tag obs records with the platform session id (0 when standalone).
+  void set_session_id(std::uint64_t sid) { session_id_ = sid; }
+
   // --- judged state ---
   bool in_loading() const;
   int current_stage() const { return current_stage_; }  ///< -1 before first obs
@@ -83,6 +88,8 @@ class OnlineMonitor {
   void reset_error_streak() { consecutive_errors_ = 0; }
 
  private:
+  MonitorEvent observe_impl(TimeMs t, const ResourceVector& usage,
+                            bool view_saturated);
   int match_execution_stage(int cluster) const;
   void enter_stage(int stage, TimeMs t);
   /// Best stage type for the clusters observed during the current
@@ -91,7 +98,7 @@ class OnlineMonitor {
   int resolve_stage_from_window() const;
   /// Finish the current execution stage: upgrade the history entry to the
   /// window-resolved type and score the pending prediction.
-  void finalize_execution_stage();
+  void finalize_execution_stage(TimeMs t);
 
   const GameProfile* profile_;
   const StagePredictor* predictor_;
@@ -119,6 +126,13 @@ class OnlineMonitor {
   int misses_ = 0;
   int callbacks_ = 0;
   int consecutive_errors_ = 0;
+
+  std::uint64_t session_id_ = 0;
+  // Per-game counters (handle reuse: every monitor of one game shares the
+  // same cells, so the registry aggregates across sessions).
+  obs::Counter obs_hits_;
+  obs::Counter obs_misses_;
+  obs::Counter obs_callbacks_;
 };
 
 }  // namespace cocg::core

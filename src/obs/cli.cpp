@@ -1,0 +1,80 @@
+#include "obs/cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace cocg::obs {
+
+CliOptions strip_cli_flags(std::vector<std::string>& args) {
+  CliOptions opts;
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string* target = nullptr;
+    if (args[i] == "--metrics-out") {
+      target = &opts.metrics_out;
+    } else if (args[i] == "--events-out") {
+      target = &opts.events_out;
+    } else if (args[i] == "--trace-out") {
+      target = &opts.trace_out;
+    }
+    if (target == nullptr) {
+      rest.push_back(args[i]);
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      throw std::runtime_error(args[i] + " requires a file path");
+    }
+    *target = args[++i];
+  }
+  args = std::move(rest);
+  if (opts.any()) set_enabled(true);
+  if (!opts.trace_out.empty()) set_trace_enabled(true);
+  return opts;
+}
+
+const char* cli_usage() {
+  return
+      "  --metrics-out <path>  write metrics registry snapshot (JSON)\n"
+      "  --events-out <path>   write decision event log (JSON Lines)\n"
+      "  --trace-out <path>    write Chrome trace-event JSON (Perfetto)\n";
+}
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  return os;
+}
+
+}  // namespace
+
+void write_outputs(const CliOptions& opts) {
+  if (!opts.metrics_out.empty()) {
+    auto os = open_or_throw(opts.metrics_out);
+    metrics().write_json(os);
+    os << "\n";
+    std::cout << "wrote metrics to " << opts.metrics_out << "\n";
+  }
+  if (!opts.events_out.empty()) {
+    auto os = open_or_throw(opts.events_out);
+    events().write_jsonl(os);
+    std::cout << "wrote " << events().size() << " events to "
+              << opts.events_out << "\n";
+  }
+  if (!opts.trace_out.empty()) {
+    auto os = open_or_throw(opts.trace_out);
+    trace().write_json(os);
+    os << "\n";
+    std::cout << "wrote trace to " << opts.trace_out
+              << " (open in https://ui.perfetto.dev)\n";
+  }
+}
+
+}  // namespace cocg::obs

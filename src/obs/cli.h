@@ -1,0 +1,40 @@
+// Shared command-line plumbing for the observability sinks.
+//
+// Tools opt in with three flags, stripped before positional parsing:
+//
+//   --metrics-out <path>   metrics registry snapshot as JSON
+//   --events-out <path>    decision event log as JSON Lines
+//   --trace-out <path>     Chrome trace-event / Perfetto JSON
+//
+// Any flag present flips the global observability switch on; --trace-out
+// additionally enables the (chattier) per-tick trace collection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cocg::obs {
+
+struct CliOptions {
+  std::string metrics_out;
+  std::string events_out;
+  std::string trace_out;
+
+  bool any() const {
+    return !metrics_out.empty() || !events_out.empty() || !trace_out.empty();
+  }
+};
+
+/// Remove the observability flags from `args` (in place) and return the
+/// parsed options, enabling the global switches as a side effect.
+/// Throws std::runtime_error when a flag is missing its path argument.
+CliOptions strip_cli_flags(std::vector<std::string>& args);
+
+/// One usage line per flag, for tools' help text.
+const char* cli_usage();
+
+/// Write whichever outputs were requested; prints one "wrote ..." line per
+/// file to stdout. Throws std::runtime_error when a file cannot be opened.
+void write_outputs(const CliOptions& opts);
+
+}  // namespace cocg::obs

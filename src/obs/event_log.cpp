@@ -1,0 +1,182 @@
+#include "obs/event_log.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cocg::obs {
+
+const char* event_kind_name(const EventPayload& payload) {
+  struct Visitor {
+    const char* operator()(const AdmissionEvent&) { return "admission"; }
+    const char* operator()(const MonitorRecord&) { return "monitor"; }
+    const char* operator()(const PredictionOutcome&) { return "prediction"; }
+    const char* operator()(const RegulatorIntervention&) { return "regulator"; }
+    const char* operator()(const MigrationEvent&) { return "migration"; }
+    const char* operator()(const SessionEvent&) { return "session"; }
+  };
+  return std::visit(Visitor{}, payload);
+}
+
+void EventLog::record(TimeMs t, EventPayload payload) {
+  if (!enabled()) return;
+  events_.push_back(Event{t, std::move(payload)});
+}
+
+std::string event_to_json(const Event& e) {
+  std::ostringstream os;
+  JsonObjectWriter w(os);
+  w.field("t", static_cast<std::int64_t>(e.t));
+  w.field("kind", event_kind_name(e.payload));
+  struct Visitor {
+    JsonObjectWriter& w;
+    void operator()(const AdmissionEvent& a) {
+      w.field("request", a.request);
+      w.field("game", a.game);
+      w.field("admitted", a.admitted);
+      w.field("reason", a.reason);
+      if (a.admitted) {
+        w.field("server", a.server);
+        w.field("gpu", a.gpu);
+      }
+      w.field("waited_ms", static_cast<std::int64_t>(a.waited_ms));
+    }
+    void operator()(const MonitorRecord& m) {
+      w.field("session", m.session);
+      w.field("game", m.game);
+      w.field("event", m.event);
+      w.field("stage", m.stage);
+    }
+    void operator()(const PredictionOutcome& p) {
+      w.field("session", p.session);
+      w.field("game", p.game);
+      w.field("predicted", p.predicted);
+      w.field("actual", p.actual);
+      w.field("hit", p.hit);
+      w.field("model", p.model);
+      w.field("redundancy_gpu", p.redundancy_gpu);
+    }
+    void operator()(const RegulatorIntervention& r) {
+      w.field("session", r.session);
+      w.field("game", r.game);
+      w.field("hold", r.hold);
+      w.field("stolen_ms", static_cast<std::int64_t>(r.stolen_ms));
+    }
+    void operator()(const MigrationEvent& m) {
+      w.field("game", m.game);
+      w.field("from_sku", m.from_sku);
+      w.field("to_sku", m.to_sku);
+    }
+    void operator()(const SessionEvent& s) {
+      w.field("session", s.session);
+      w.field("game", s.game);
+      w.field("started", s.started);
+      w.field("server", s.server);
+      w.field("gpu", s.gpu);
+    }
+  };
+  std::visit(Visitor{w}, e.payload);
+  w.close();
+  return os.str();
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  for (const auto& e : events_) os << event_to_json(e) << '\n';
+}
+
+std::string EventLog::to_jsonl() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+namespace {
+
+bool payload_from_json(const JsonValue& v, EventPayload& out) {
+  const std::string kind = v.get_string("kind");
+  if (kind == "admission") {
+    AdmissionEvent a;
+    a.request = static_cast<std::uint64_t>(v.get_number("request"));
+    a.game = v.get_string("game");
+    a.admitted = v.get_bool("admitted");
+    a.reason = v.get_string("reason");
+    a.server = static_cast<std::uint64_t>(v.get_number("server"));
+    a.gpu = static_cast<int>(v.get_number("gpu", -1));
+    a.waited_ms = static_cast<DurationMs>(v.get_number("waited_ms"));
+    out = a;
+    return true;
+  }
+  if (kind == "monitor") {
+    MonitorRecord m;
+    m.session = static_cast<std::uint64_t>(v.get_number("session"));
+    m.game = v.get_string("game");
+    m.event = v.get_string("event");
+    m.stage = static_cast<int>(v.get_number("stage", -1));
+    out = m;
+    return true;
+  }
+  if (kind == "prediction") {
+    PredictionOutcome p;
+    p.session = static_cast<std::uint64_t>(v.get_number("session"));
+    p.game = v.get_string("game");
+    p.predicted = static_cast<int>(v.get_number("predicted", -1));
+    p.actual = static_cast<int>(v.get_number("actual", -1));
+    p.hit = v.get_bool("hit");
+    p.model = v.get_string("model");
+    p.redundancy_gpu = v.get_number("redundancy_gpu");
+    out = p;
+    return true;
+  }
+  if (kind == "regulator") {
+    RegulatorIntervention r;
+    r.session = static_cast<std::uint64_t>(v.get_number("session"));
+    r.game = v.get_string("game");
+    r.hold = v.get_bool("hold");
+    r.stolen_ms = static_cast<DurationMs>(v.get_number("stolen_ms"));
+    out = r;
+    return true;
+  }
+  if (kind == "migration") {
+    MigrationEvent m;
+    m.game = v.get_string("game");
+    m.from_sku = v.get_string("from_sku");
+    m.to_sku = v.get_string("to_sku");
+    out = m;
+    return true;
+  }
+  if (kind == "session") {
+    SessionEvent s;
+    s.session = static_cast<std::uint64_t>(v.get_number("session"));
+    s.game = v.get_string("game");
+    s.started = v.get_bool("started");
+    s.server = static_cast<std::uint64_t>(v.get_number("server"));
+    s.gpu = static_cast<int>(v.get_number("gpu", -1));
+    out = s;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool read_jsonl(std::istream& is, std::vector<Event>& out) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    JsonValue v;
+    if (!json_parse(line, v) || !v.is_object()) return false;
+    Event e;
+    e.t = static_cast<TimeMs>(v.get_number("t"));
+    if (!payload_from_json(v, e.payload)) return false;
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+EventLog& events() {
+  static EventLog* log = new EventLog();  // never freed
+  return *log;
+}
+
+}  // namespace cocg::obs

@@ -1,0 +1,124 @@
+// Structured event log — typed decision records keyed on sim time.
+//
+// Every consequential decision in the CoCG control loop (Fig. 8) appends
+// one record: admissions with Algorithm 1's verdict reason, monitor
+// judgements, prediction outcomes (predicted vs actual stage, model used,
+// redundancy applied), regulator interventions (loading holds / time
+// stealing), session lifecycle, and §IV-D profile migrations. The log
+// answers "why did the system do X at time T" without printf archaeology.
+//
+// Export format is JSON Lines: one flat JSON object per record, `t` and
+// `kind` always present. read_jsonl() parses the format back, so logs
+// round-trip (tests) and post-processing scripts need no schema.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cocg::obs {
+
+/// Admission verdict for one request on one control round (Algorithm 1).
+struct AdmissionEvent {
+  std::uint64_t request = 0;
+  std::string game;
+  bool admitted = false;
+  std::string reason;           ///< distributor verdict / rejection cause
+  std::uint64_t server = 0;     ///< chosen server (admitted only)
+  int gpu = -1;                 ///< chosen GPU view (admitted only)
+  DurationMs waited_ms = 0;     ///< request arrival → this decision
+};
+
+/// One OnlineMonitor judgement that changed state (stage transitions,
+/// pending jumps, rehearsal callbacks — kSameStage is not logged).
+struct MonitorRecord {
+  std::uint64_t session = 0;
+  std::string game;
+  std::string event;  ///< monitor_event_name() string
+  int stage = -1;     ///< judged stage after the observation
+};
+
+/// A scored next-stage prediction (resolved when the stage ends).
+struct PredictionOutcome {
+  std::uint64_t session = 0;
+  std::string game;
+  int predicted = -1;
+  int actual = -1;
+  bool hit = false;
+  std::string model;          ///< active model kind (dtc/rf/gbdt)
+  double redundancy_gpu = 0;  ///< Eq. 1's S on the GPU dim at scoring time
+};
+
+/// Regulator verdict applied to one session (loading-time stealing).
+struct RegulatorIntervention {
+  std::uint64_t session = 0;
+  std::string game;
+  bool hold = false;          ///< loading frozen this control period
+  DurationMs stolen_ms = 0;   ///< cumulative steal in this loading stage
+};
+
+/// §IV-D profile migration between SKUs.
+struct MigrationEvent {
+  std::string game;
+  std::string from_sku;
+  std::string to_sku;
+};
+
+/// Session lifecycle (platform-side ground truth).
+struct SessionEvent {
+  std::uint64_t session = 0;
+  std::string game;
+  bool started = false;  ///< true: admitted+placed; false: finished
+  std::uint64_t server = 0;
+  int gpu = -1;
+};
+
+using EventPayload =
+    std::variant<AdmissionEvent, MonitorRecord, PredictionOutcome,
+                 RegulatorIntervention, MigrationEvent, SessionEvent>;
+
+struct Event {
+  TimeMs t = 0;
+  EventPayload payload;
+};
+
+/// The JSONL `kind` tag of a payload.
+const char* event_kind_name(const EventPayload& payload);
+
+class EventLog {
+ public:
+  EventLog() = default;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Append one record. No-op while observability is disabled.
+  void record(TimeMs t, EventPayload payload);
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// One JSON object per line, in record order.
+  void write_jsonl(std::ostream& os) const;
+  std::string to_jsonl() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Serialize one event as a single JSONL line (no trailing newline).
+std::string event_to_json(const Event& e);
+
+/// Parse JSONL produced by write_jsonl back into typed events. Returns
+/// false (and stops) on the first malformed or unknown-kind line.
+bool read_jsonl(std::istream& is, std::vector<Event>& out);
+
+/// Process-global event log used by the scheduler/platform wiring.
+EventLog& events();
+
+}  // namespace cocg::obs

@@ -1,0 +1,85 @@
+// Minimal JSON support for the observability layer: a streaming writer for
+// the exporters and a small recursive-descent parser used to validate and
+// round-trip our own output (metrics JSON, event JSONL, Chrome trace JSON).
+// Not a general-purpose JSON library — it handles exactly the subset the
+// obs exporters emit (finite numbers, UTF-8 strings, objects, arrays).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cocg::obs {
+
+/// Escape a string for embedding inside JSON double quotes.
+std::string json_escape(const std::string& s);
+
+/// Format a double the way the exporters do: integral values print without
+/// a fractional part, everything else with enough digits to round-trip.
+std::string json_number(double v);
+
+/// Helper that writes one `{...}` object with comma management. Values are
+/// appended pre-serialized (via the typed overloads).
+class JsonObjectWriter {
+ public:
+  explicit JsonObjectWriter(std::ostream& os);
+  ~JsonObjectWriter();
+
+  JsonObjectWriter(const JsonObjectWriter&) = delete;
+  JsonObjectWriter& operator=(const JsonObjectWriter&) = delete;
+
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value);
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::int64_t value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);
+  /// Emit `"key":` followed by nothing — the caller writes the raw value
+  /// (nested array/object) directly to the stream.
+  std::ostream& raw_field(const std::string& key);
+
+  /// Write the closing `}` now (idempotent; the destructor otherwise does
+  /// it). Needed when the stream's contents are read while the writer is
+  /// still in scope, e.g. `os.str()` on a stringstream.
+  void close();
+
+ private:
+  void comma();
+  std::ostream& os_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// Parsed JSON value (tests and JSONL ingestion).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Typed getters with defaults (convenience for flat records).
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_number(const std::string& key, double fallback = 0.0) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+};
+
+/// Parse one JSON document. Returns false on malformed input (partial
+/// results in `out` are unspecified). Trailing whitespace is allowed;
+/// trailing garbage is an error.
+bool json_parse(const std::string& text, JsonValue& out);
+
+}  // namespace cocg::obs

@@ -1,0 +1,11 @@
+#include "obs/obs.h"
+
+namespace cocg::obs {
+
+void reset() {
+  metrics().reset_values();
+  events().clear();
+  trace().clear();
+}
+
+}  // namespace cocg::obs

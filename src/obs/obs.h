@@ -1,0 +1,24 @@
+// Umbrella header for the observability layer.
+//
+//   obs::set_enabled(true);            // master switch (off by default)
+//   obs::set_trace_enabled(true);      // opt into timeline collection
+//   ... run the experiment ...
+//   obs::metrics().write_json(os);     // counters/gauges/histograms
+//   obs::events().write_jsonl(os);     // decision event log
+//   obs::trace().write_json(os);       // Perfetto-compatible timeline
+//
+// See docs/observability.md for the metric and event catalog.
+#pragma once
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace cocg::obs {
+
+/// Zero all metric values and clear the event log and trace. Metric cells
+/// (and therefore pre-resolved handles held by live components) stay
+/// valid. Used between experiments in one process and by tests.
+void reset();
+
+}  // namespace cocg::obs

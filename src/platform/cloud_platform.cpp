@@ -9,6 +9,22 @@
 
 namespace cocg::platform {
 
+namespace {
+
+/// Trace pid of one server (pid 0 is reserved for the scheduler track).
+int trace_pid(ServerId id) { return static_cast<int>(id.value) + 1; }
+
+/// Stage-span key of a ground-truth observation: -1 loading, else stage.
+int stage_key(bool loading, int stage_type) {
+  return loading ? -1 : stage_type;
+}
+
+std::string stage_span_name(int key) {
+  return key < 0 ? "loading" : "exec:" + std::to_string(key);
+}
+
+}  // namespace
+
 CloudPlatform::CloudPlatform(PlatformConfig cfg,
                              std::unique_ptr<Scheduler> scheduler)
     : cfg_(cfg),
@@ -18,6 +34,17 @@ CloudPlatform::CloudPlatform(PlatformConfig cfg,
   COCG_EXPECTS(scheduler_ != nullptr);
   COCG_EXPECTS(cfg_.tick_ms > 0);
   COCG_EXPECTS(cfg_.control_period_ms >= cfg_.tick_ms);
+  auto& reg = obs::metrics();
+  obs_requests_ = reg.counter("platform.requests_submitted");
+  obs_admitted_ = reg.counter("platform.sessions_admitted");
+  obs_completed_ = reg.counter("platform.sessions_completed");
+  obs_hw_ticks_ = reg.counter("platform.hardware_ticks");
+  obs_control_ticks_ = reg.counter("platform.control_ticks");
+  obs_queue_depth_ = reg.gauge("platform.queue_depth");
+  obs_running_ = reg.gauge("platform.running_sessions");
+  obs_wait_ms_ = reg.histogram(
+      "platform.admission_wait_ms",
+      {1000, 5000, 15000, 30000, 60000, 120000, 300000});
 }
 
 CloudPlatform::~CloudPlatform() = default;
@@ -25,6 +52,17 @@ CloudPlatform::~CloudPlatform() = default;
 ServerId CloudPlatform::add_server(const hw::ServerSpec& spec) {
   const ServerId id{servers_.size()};
   servers_.emplace_back(id, spec);
+  auto& gauges = obs_util_.emplace_back();
+  const std::string base = "platform.util.s" + std::to_string(id.value);
+  for (int g = 0; g < spec.num_gpus; ++g) {
+    gauges.push_back(obs::metrics().gauge(
+        base + ".g" + std::to_string(g) + ".max_dim_fraction"));
+  }
+  if (obs::trace_enabled()) {
+    obs::trace().set_process_name(
+        trace_pid(id), "server" + std::to_string(id.value) + " (" +
+                           spec.name + ")");
+  }
   return id;
 }
 
@@ -47,6 +85,7 @@ RequestId CloudPlatform::submit(const game::GameSpec* spec,
   req.player_id = player_id;
   req.arrival = engine_.now();
   queue_.push_back(req);
+  obs_requests_.add();
   return req.id;
 }
 
@@ -130,14 +169,43 @@ void CloudPlatform::try_admit_queue() {
     as.request_arrival = req.arrival;
     as.trace.set_label(req.spec->name + "#" + std::to_string(sid.value));
     as.session->begin(engine_.now());
+    obs_admitted_.add();
+    obs_wait_ms_.record(
+        static_cast<double>(engine_.now() - req.arrival));
+    obs::events().record(
+        engine_.now(),
+        obs::SessionEvent{sid.value, req.spec->name, /*started=*/true,
+                          placement->server.value, placement->gpu_index});
+    if (obs::trace_enabled()) {
+      obs::trace().set_thread_name(
+          trace_pid(placement->server), static_cast<int>(sid.value),
+          req.spec->name + "#" + std::to_string(sid.value));
+    }
     sessions_.emplace(sid, std::move(as));
     scheduler_->on_session_start(*this, sid);
   }
   queue_ = std::move(remaining);
 }
 
+void CloudPlatform::roll_stage_span(ActiveSession& as, SessionId sid,
+                                    int key, TimeMs t) {
+  if (as.span_stage == key) return;
+  auto& tb = obs::trace();
+  const int pid = trace_pid(as.server);
+  const int tid = static_cast<int>(sid.value);
+  if (as.span_stage != -2 && t > as.span_start) {
+    tb.add_complete(pid, tid, stage_span_name(as.span_stage), "stage",
+                    as.span_start, t - as.span_start);
+  }
+  as.span_stage = key;
+  as.span_start = t;
+}
+
 void CloudPlatform::hardware_tick() {
   const TimeMs t = engine_.now();
+  obs_hw_ticks_.add();
+  const bool obs_on = obs::enabled();
+  const bool trace_on = obs::trace_enabled();
 
   // Per server: gather draws, resolve contention, advance sessions.
   for (auto& srv : servers_) {
@@ -158,8 +226,10 @@ void CloudPlatform::hardware_tick() {
     if (draws.empty()) continue;
     const auto supplies = hw::resolve_server(srv.spec(), draws);
 
-    // Utilization snapshots (per GPU view).
-    if (record_utilization_) {
+    // Utilization snapshots (per GPU view). The registry gauges and trace
+    // counter tracks are the metrics-facing export; util_log_ keeps the
+    // Fig. 9 accessors working.
+    if (record_utilization_ || obs_on) {
       const ResourceVector cap = srv.spec().per_gpu_capacity();
       for (int g = 0; g < srv.spec().num_gpus; ++g) {
         UtilizationPoint up;
@@ -181,7 +251,16 @@ void CloudPlatform::hardware_tick() {
           up.max_dim_fraction = std::max(
               up.max_dim_fraction, up.total_supplied.at(d) / cap.at(d));
         }
-        util_log_.push_back(up);
+        obs_util_[srv.id().value][static_cast<std::size_t>(g)].set(
+            up.max_dim_fraction);
+        if (trace_on) {
+          obs::trace().add_counter(
+              trace_pid(srv.id()), "gpu" + std::to_string(g) + " util", t,
+              {{"gpu_pct", up.total_supplied.gpu()},
+               {"cpu_pct", up.total_supplied.cpu()},
+               {"max_dim_pct", 100.0 * up.max_dim_fraction}});
+        }
+        if (record_utilization_) util_log_.push_back(up);
       }
     }
 
@@ -200,6 +279,10 @@ void CloudPlatform::hardware_tick() {
       s.true_loading =
           as.session->stage_kind() == game::StageKind::kLoading;
       s.true_cluster = as.session->current_cluster();
+      if (trace_on) {
+        roll_stage_span(as, sids[i],
+                        stage_key(s.true_loading, s.true_stage_type), t);
+      }
       const ResourceVector demand_before = draws[i].draw.demand;
       as.session->tick(t, supplies[i].supplied);
       s.fps = as.session->last_fps();
@@ -274,6 +357,17 @@ void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
   run.latency_violation_ms = as.latency_violation_ms;
   completed_.push_back(run);
 
+  obs_completed_.add();
+  obs::events().record(
+      end, obs::SessionEvent{sid.value, run.game, /*started=*/false,
+                             as.server.value, as.gpu_index});
+  if (obs::trace_enabled() && as.span_stage != -2 && end > as.span_start) {
+    obs::trace().add_complete(trace_pid(as.server),
+                              static_cast<int>(sid.value),
+                              stage_span_name(as.span_stage), "stage",
+                              as.span_start, end - as.span_start);
+  }
+
   scheduler_->on_session_end(*this, sid);
   server_mut(as.server).remove(sid);
 
@@ -292,6 +386,9 @@ void CloudPlatform::control_tick() {
   pump_open_loop_arrivals();
   try_admit_queue();
   scheduler_->control(*this);
+  obs_control_ticks_.add();
+  obs_queue_depth_.set(static_cast<double>(queue_.size()));
+  obs_running_.set(static_cast<double>(sessions_.size()));
 }
 
 void CloudPlatform::run(DurationMs duration_ms) {

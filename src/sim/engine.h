@@ -70,13 +70,17 @@ class Engine {
 
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t periodic_fires() const { return periodic_fires_; }
 
  private:
   friend class PeriodicTask;
+  void count_dispatch();
+
   EventQueue queue_;
   TimeMs now_ = 0;
   bool stop_requested_ = false;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t periodic_fires_ = 0;
 };
 
 }  // namespace cocg::sim

@@ -60,5 +60,44 @@ TEST(Log, DirectEmission) {
   EXPECT_NE(err.find("[INFO] direct"), std::string::npos);
 }
 
+class LogClockGuard {
+ public:
+  ~LogClockGuard() { set_log_clock(nullptr); }
+};
+
+TEST(Log, ClockPrefixesSimTime) {
+  LogClockGuard guard;
+  TimeMs now = 125000;
+  set_log_clock([&now] { return now; });
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kWarn, "tick");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN] [t=125.000s] tick"), std::string::npos);
+}
+
+TEST(Log, ClockTracksTheBoundSource) {
+  LogClockGuard guard;
+  TimeMs now = 500;
+  set_log_clock([&now] { return now; });
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kError, "a");
+  now = 1750;
+  log_message(LogLevel::kError, "b");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[t=0.500s] a"), std::string::npos);
+  EXPECT_NE(err.find("[t=1.750s] b"), std::string::npos);
+}
+
+TEST(Log, NullClockRemovesPrefix) {
+  LogClockGuard guard;
+  set_log_clock([] { return TimeMs{1}; });
+  set_log_clock(nullptr);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "plain");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO] plain"), std::string::npos);
+  EXPECT_EQ(err.find("[t="), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cocg

@@ -1,0 +1,145 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cocg::obs {
+namespace {
+
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool on) : saved_(enabled()) { set_enabled(on); }
+  ~ObsGuard() { set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void fill_sample_log(EventLog& log) {
+  log.record(1000, AdmissionEvent{7, "DOTA2", true, "empty server", 2, 1,
+                                  250});
+  log.record(1500, AdmissionEvent{8, "CSGO", false,
+                                  "expected combined consumption exceeds "
+                                  "limit",
+                                  0, -1, 0});
+  log.record(2000, MonitorRecord{3, "DOTA2", "entered_execution", 4});
+  log.record(2500,
+             PredictionOutcome{3, "DOTA2", 4, 4, true, "dtc", 12.5});
+  log.record(3000, RegulatorIntervention{5, "CSGO", true, 5000});
+  log.record(3500, MigrationEvent{"Contra", "baseline", "flagship"});
+  log.record(4000, SessionEvent{3, "DOTA2", true, 2, 1});
+}
+
+TEST(EventLog, RecordGatedByGlobalSwitch) {
+  ObsGuard guard(false);
+  EventLog log;
+  log.record(1, MigrationEvent{"g", "a", "b"});
+  EXPECT_EQ(log.size(), 0u);
+  set_enabled(true);
+  log.record(1, MigrationEvent{"g", "a", "b"});
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(EventLog, KindNames) {
+  EXPECT_STREQ(event_kind_name(AdmissionEvent{}), "admission");
+  EXPECT_STREQ(event_kind_name(MonitorRecord{}), "monitor");
+  EXPECT_STREQ(event_kind_name(PredictionOutcome{}), "prediction");
+  EXPECT_STREQ(event_kind_name(RegulatorIntervention{}), "regulator");
+  EXPECT_STREQ(event_kind_name(MigrationEvent{}), "migration");
+  EXPECT_STREQ(event_kind_name(SessionEvent{}), "session");
+}
+
+TEST(EventLog, EveryLineIsValidJson) {
+  ObsGuard guard(true);
+  EventLog log;
+  fill_sample_log(log);
+  std::istringstream is(log.to_jsonl());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    JsonValue v;
+    EXPECT_TRUE(json_parse(line, v)) << "bad line: " << line;
+    EXPECT_TRUE(v.is_object());
+    EXPECT_NE(v.find("t"), nullptr);
+    EXPECT_NE(v.find("kind"), nullptr);
+    ++lines;
+  }
+  EXPECT_EQ(lines, log.size());
+}
+
+TEST(EventLog, JsonlRoundTrip) {
+  ObsGuard guard(true);
+  EventLog log;
+  fill_sample_log(log);
+  const std::string first = log.to_jsonl();
+
+  std::istringstream is(first);
+  std::vector<Event> parsed;
+  ASSERT_TRUE(read_jsonl(is, parsed));
+  ASSERT_EQ(parsed.size(), log.size());
+
+  // Re-serialize the parsed events: byte-identical means every field
+  // survived the trip.
+  std::ostringstream os;
+  for (const auto& e : parsed) os << event_to_json(e) << '\n';
+  EXPECT_EQ(os.str(), first);
+
+  // Spot-check typed contents.
+  const auto* adm = std::get_if<AdmissionEvent>(&parsed[0].payload);
+  ASSERT_NE(adm, nullptr);
+  EXPECT_EQ(parsed[0].t, 1000);
+  EXPECT_EQ(adm->request, 7u);
+  EXPECT_TRUE(adm->admitted);
+  EXPECT_EQ(adm->server, 2u);
+  EXPECT_EQ(adm->gpu, 1);
+  EXPECT_EQ(adm->waited_ms, 250);
+  const auto* rej = std::get_if<AdmissionEvent>(&parsed[1].payload);
+  ASSERT_NE(rej, nullptr);
+  EXPECT_FALSE(rej->admitted);
+  const auto* pred = std::get_if<PredictionOutcome>(&parsed[3].payload);
+  ASSERT_NE(pred, nullptr);
+  EXPECT_EQ(pred->model, "dtc");
+  EXPECT_DOUBLE_EQ(pred->redundancy_gpu, 12.5);
+}
+
+TEST(EventLog, ReasonStringsAreEscaped) {
+  ObsGuard guard(true);
+  EventLog log;
+  log.record(1, AdmissionEvent{1, "we\"ird\ngame", false, "a\\b", 0, -1, 0});
+  std::istringstream is(log.to_jsonl());
+  std::vector<Event> parsed;
+  ASSERT_TRUE(read_jsonl(is, parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  const auto* a = std::get_if<AdmissionEvent>(&parsed[0].payload);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->game, "we\"ird\ngame");
+  EXPECT_EQ(a->reason, "a\\b");
+}
+
+TEST(EventLog, ReadRejectsMalformedAndUnknownKind) {
+  std::vector<Event> out;
+  std::istringstream bad_json("{not json\n");
+  EXPECT_FALSE(read_jsonl(bad_json, out));
+  std::istringstream bad_kind("{\"t\":1,\"kind\":\"martian\"}\n");
+  EXPECT_FALSE(read_jsonl(bad_kind, out));
+  std::istringstream blank_ok("\n\n");
+  EXPECT_TRUE(read_jsonl(blank_ok, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EventLog, ClearEmptiesTheLog) {
+  ObsGuard guard(true);
+  EventLog log;
+  fill_sample_log(log);
+  EXPECT_GT(log.size(), 0u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.to_jsonl(), "");
+}
+
+}  // namespace
+}  // namespace cocg::obs

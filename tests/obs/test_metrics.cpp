@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace cocg::obs {
+namespace {
+
+/// Flip the global switch for one test and restore it after.
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool on) : saved_(enabled()) { set_enabled(on); }
+  ~ObsGuard() { set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(Metrics, DisabledByDefault) { EXPECT_FALSE(enabled()); }
+
+TEST(Metrics, CounterMonotonicity) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.count");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.add(0);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Metrics, RecordingGatedByGlobalSwitch) {
+  ObsGuard guard(false);
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.gated");
+  Gauge g = reg.gauge("test.gated_gauge");
+  Histogram h = reg.histogram("test.gated_hist", {1.0, 2.0});
+  c.add();
+  g.set(3.0);
+  h.record(1.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+
+  set_enabled(true);
+  c.add();
+  g.set(3.0);
+  h.record(1.5);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(g.value(), 3.0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInertAndSafe) {
+  ObsGuard guard(true);
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  c.add();      // must not crash
+  g.set(1.0);   // must not crash
+  h.record(1);  // must not crash
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.num_buckets(), 0u);
+}
+
+TEST(Metrics, HandleReuseSameCell) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  Counter a = reg.counter("shared.name");
+  Counter b = reg.counter("shared.name");
+  a.add(2);
+  b.add(3);
+  // Both handles aggregate into the one cell (per-game metrics resolved by
+  // independent monitors rely on this).
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(b.value(), 5u);
+  EXPECT_EQ(reg.counter_value("shared.name"), 5u);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  // Buckets: [-inf,10), [10,20), [20,+inf) overflow.
+  Histogram h = reg.histogram("test.hist", {10.0, 20.0});
+  ASSERT_EQ(h.num_buckets(), 3u);
+  h.record(0.0);    // bucket 0
+  h.record(9.999);  // bucket 0
+  h.record(10.0);   // bucket 1 (edges are upper bounds, half-open)
+  h.record(19.0);   // bucket 1
+  h.record(20.0);   // overflow
+  h.record(500.0);  // overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0 + 9.999 + 10.0 + 19.0 + 20.0 + 500.0);
+}
+
+TEST(Metrics, HistogramFirstRegistrationLayoutWins) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  Histogram a = reg.histogram("test.layout", {1.0, 2.0, 3.0});
+  Histogram b = reg.histogram("test.layout", {100.0});
+  EXPECT_EQ(a.num_buckets(), 4u);
+  EXPECT_EQ(b.num_buckets(), 4u);
+  b.record(2.5);
+  EXPECT_EQ(a.bucket(2), 1u);
+}
+
+TEST(Metrics, ResetKeepsHandlesValid) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  Counter c = reg.counter("test.reset");
+  Gauge g = reg.gauge("test.reset_gauge");
+  Histogram h = reg.histogram("test.reset_hist", {5.0});
+  c.add(7);
+  g.set(2.5);
+  h.record(1.0);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+  // The zeroed cells are still live — recording resumes on old handles.
+  c.add();
+  h.record(1.0);
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(reg.counter_value("test.reset"), 1u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Metrics, JsonExportParsesAndCarriesValues) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("c.one").add(3);
+  reg.gauge("g.one").set(1.5);
+  Histogram h = reg.histogram("h.one", {10.0, 20.0});
+  h.record(5.0);
+  h.record(15.0);
+
+  JsonValue v;
+  ASSERT_TRUE(json_parse(reg.to_json(), v));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->get_number("c.one"), 3.0);
+  const JsonValue* gauges = v.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->get_number("g.one"), 1.5);
+  const JsonValue* hists = v.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hist = hists->find("h.one");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->get_number("count"), 2.0);
+  EXPECT_EQ(hist->get_number("sum"), 20.0);
+  const JsonValue* buckets = hist->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_EQ(buckets->array.size(), 3u);
+  EXPECT_EQ(buckets->array[0].number, 1.0);
+  EXPECT_EQ(buckets->array[1].number, 1.0);
+  EXPECT_EQ(buckets->array[2].number, 0.0);
+}
+
+TEST(Metrics, SnapshotAccessors) {
+  ObsGuard guard(true);
+  MetricsRegistry reg;
+  reg.counter("x");
+  reg.gauge("y");
+  reg.histogram("z", {1.0});
+  EXPECT_TRUE(reg.has_counter("x"));
+  EXPECT_FALSE(reg.has_counter("y"));
+  EXPECT_TRUE(reg.has_gauge("y"));
+  EXPECT_TRUE(reg.has_histogram("z"));
+  const auto names = reg.counter_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "x");
+}
+
+}  // namespace
+}  // namespace cocg::obs

@@ -1,0 +1,120 @@
+#include "obs/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace cocg::obs {
+namespace {
+
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool on, bool trace_on = false)
+      : saved_(enabled()), saved_trace_(false) {
+    set_enabled(on);
+    set_trace_enabled(trace_on);
+  }
+  ~ObsGuard() {
+    set_enabled(saved_);
+    set_trace_enabled(saved_trace_);
+  }
+
+ private:
+  bool saved_;
+  bool saved_trace_;
+};
+
+TEST(TraceExport, EnableRequiresBothSwitches) {
+  ObsGuard guard(false, false);
+  EXPECT_FALSE(trace_enabled());
+  set_trace_enabled(true);
+  EXPECT_FALSE(trace_enabled());  // master switch still off
+  set_enabled(true);
+  EXPECT_TRUE(trace_enabled());
+  set_trace_enabled(false);
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(TraceExport, GoldenChromeTraceJson) {
+  TraceBuilder b;
+  b.set_process_name(1, "server0");
+  b.set_thread_name(1, 2, "DOTA2#2");
+  b.add_complete(1, 2, "exec:1", "stage", 1000, 5000);
+  b.add_counter(1, "gpu0 util", 1000, {{"gpu_pct", 55.5}});
+  b.add_instant(1, 2, "hold", "regulator", 2000, {{"why", "over limit"}});
+
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"server0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"DOTA2#2\"}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":2,\"ts\":1000000,\"dur\":5000000,"
+      "\"name\":\"exec:1\",\"cat\":\"stage\"},\n"
+      "{\"ph\":\"C\",\"pid\":1,\"ts\":1000000,\"name\":\"gpu0 util\","
+      "\"args\":{\"gpu_pct\":55.5}},\n"
+      "{\"ph\":\"i\",\"pid\":1,\"tid\":2,\"ts\":2000000,\"name\":\"hold\","
+      "\"cat\":\"regulator\",\"s\":\"t\","
+      "\"args\":{\"why\":\"over limit\"}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(b.to_json(), expected);
+}
+
+TEST(TraceExport, OutputIsValidJsonWithRequiredStructure) {
+  TraceBuilder b;
+  b.set_process_name(3, "server2");
+  b.add_complete(3, 1, "loading", "stage", 0, 12000);
+  b.add_counter(3, "gpu0 util", 5000,
+                {{"gpu_pct", 80.0}, {"cpu_pct", 40.0}});
+
+  JsonValue v;
+  ASSERT_TRUE(json_parse(b.to_json(), v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("displayTimeUnit"), "ms");
+  const JsonValue* evs = v.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+  ASSERT_EQ(evs->array.size(), 3u);  // 1 metadata + 2 payload
+  for (const auto& e : evs->array) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_NE(e.find("ph"), nullptr);
+    EXPECT_NE(e.find("pid"), nullptr);
+    EXPECT_NE(e.find("name"), nullptr);
+  }
+  // Metadata first; sim ms scaled to trace microseconds.
+  EXPECT_EQ(evs->array[0].get_string("ph"), "M");
+  EXPECT_EQ(evs->array[1].get_string("ph"), "X");
+  EXPECT_EQ(evs->array[1].get_number("ts"), 0.0);
+  EXPECT_EQ(evs->array[1].get_number("dur"), 12000000.0);
+  EXPECT_EQ(evs->array[2].get_number("ts"), 5000000.0);
+  const JsonValue* args = evs->array[2].find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->get_number("gpu_pct"), 80.0);
+  EXPECT_EQ(args->get_number("cpu_pct"), 40.0);
+}
+
+TEST(TraceExport, EmptyBuilderStillProducesValidJson) {
+  TraceBuilder b;
+  JsonValue v;
+  ASSERT_TRUE(json_parse(b.to_json(), v));
+  const JsonValue* evs = v.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  EXPECT_TRUE(evs->is_array());
+  EXPECT_TRUE(evs->array.empty());
+}
+
+TEST(TraceExport, ClearDropsEventsAndNames) {
+  TraceBuilder b;
+  b.set_process_name(1, "p");
+  b.add_complete(1, 1, "x", "c", 0, 1);
+  EXPECT_EQ(b.size(), 1u);
+  b.clear();
+  EXPECT_EQ(b.size(), 0u);
+  JsonValue v;
+  ASSERT_TRUE(json_parse(b.to_json(), v));
+  EXPECT_TRUE(v.find("traceEvents")->array.empty());
+}
+
+}  // namespace
+}  // namespace cocg::obs

@@ -1,22 +1,28 @@
 // cocg_colocate — run a co-location experiment from the command line.
 //
 //   cocg_colocate <scheduler> <gameA> <gameB> [minutes] [gpus] [seed]
+//                 [--metrics-out m.json] [--events-out e.jsonl]
+//                 [--trace-out t.json]
 //
 //   scheduler: cocg | vbp | gaugur | improved
 //   games:     DOTA2, CSGO, "Genshin Impact", "Devil May Cry", Contra
 //
 // Trains the suite, runs the pair closed-loop, and prints throughput,
 // per-game completions, QoS and latency statistics — the Fig. 11 cell of
-// your choosing.
+// your choosing. The observability flags additionally dump the metrics
+// registry, the decision event log, and a Perfetto-loadable trace.
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/log.h"
 #include "common/table.h"
 #include "core/baselines.h"
 #include "core/cocg_scheduler.h"
 #include "core/offline.h"
 #include "game/library.h"
+#include "obs/cli.h"
 #include "platform/cloud_platform.h"
 
 using namespace cocg;
@@ -27,7 +33,8 @@ int usage() {
   std::cerr << "usage: cocg_colocate <cocg|vbp|gaugur|improved> <gameA>"
                " <gameB> [minutes=120] [gpus=1] [seed=1]\n"
                "games: DOTA2, CSGO, 'Genshin Impact', 'Devil May Cry',"
-               " Contra\n";
+               " Contra\n"
+            << obs::cli_usage();
   return 2;
 }
 
@@ -51,24 +58,28 @@ std::unique_ptr<platform::Scheduler> make_scheduler(
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) return usage();
   try {
-    const std::string sched_name = argv[1];
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+    if (args.size() < 3) return usage();
+    const std::string sched_name = args[0];
     static const std::vector<game::GameSpec> suite = game::paper_suite();
     const game::GameSpec* a = nullptr;
     const game::GameSpec* b = nullptr;
     for (const auto& g : suite) {
-      if (g.name == argv[2]) a = &g;
-      if (g.name == argv[3]) b = &g;
+      if (g.name == args[1]) a = &g;
+      if (g.name == args[2]) b = &g;
     }
     if (a == nullptr || b == nullptr) {
       std::cerr << "error: unknown game name\n";
       return usage();
     }
-    const int minutes = argc > 4 ? std::max(1, std::atoi(argv[4])) : 120;
-    const int gpus = argc > 5 ? std::max(1, std::atoi(argv[5])) : 1;
+    const int minutes =
+        args.size() > 3 ? std::max(1, std::atoi(args[3].c_str())) : 120;
+    const int gpus =
+        args.size() > 4 ? std::max(1, std::atoi(args[4].c_str())) : 1;
     const std::uint64_t seed =
-        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1;
+        args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 1;
 
     std::cout << "training models...\n";
     core::OfflineConfig ocfg;
@@ -81,6 +92,7 @@ int main(int argc, char** argv) {
     pcfg.seed = seed;
     platform::CloudPlatform cloud(
         pcfg, make_scheduler(sched_name, std::move(models)));
+    set_log_clock([&cloud] { return cloud.now(); });
     hw::ServerSpec spec;
     spec.num_gpus = gpus;
     cloud.add_server(spec);
@@ -128,6 +140,8 @@ int main(int argc, char** argv) {
                          TablePrinter::fmt_pct(100 * gs.mean_fps_ratio, 1)});
     }
     table.print(std::cout);
+    obs::write_outputs(obs_opts);
+    set_log_clock(nullptr);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

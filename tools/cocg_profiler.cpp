@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "core/frame_profiler.h"
@@ -24,6 +25,7 @@
 #include "core/profile_io.h"
 #include "game/library.h"
 #include "game/tracegen.h"
+#include "obs/cli.h"
 
 using namespace cocg;
 
@@ -35,7 +37,8 @@ int usage() {
             << "  cocg_profiler show <profile.cocg>\n"
             << "  cocg_profiler migrate <in.cocg> <out.cocg> <from> <to>\n"
             << "     (<from>/<to> in {baseline, budget, flagship})\n"
-            << "  cocg_profiler plan [baseline|budget|flagship]\n";
+            << "  cocg_profiler plan [baseline|budget|flagship]\n"
+            << obs::cli_usage();
   return 2;
 }
 
@@ -161,16 +164,27 @@ int cmd_plan(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
   try {
-    if (cmd == "profile") return cmd_profile(argc, argv);
-    if (cmd == "show") return cmd_show(argc, argv);
-    if (cmd == "migrate") return cmd_migrate(argc, argv);
-    if (cmd == "plan") return cmd_plan(argc, argv);
+    // Strip the observability flags, then hand the subcommands a rebuilt
+    // argv so their positional parsing is unchanged.
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+    std::vector<char*> av{argv[0]};
+    for (auto& s : args) av.push_back(s.data());
+    const int ac = static_cast<int>(av.size());
+    if (ac < 2) return usage();
+    const std::string cmd = av[1];
+
+    int rc = -1;
+    if (cmd == "profile") rc = cmd_profile(ac, av.data());
+    else if (cmd == "show") rc = cmd_show(ac, av.data());
+    else if (cmd == "migrate") rc = cmd_migrate(ac, av.data());
+    else if (cmd == "plan") rc = cmd_plan(ac, av.data());
+    else return usage();
+    if (rc == 0) obs::write_outputs(obs_opts);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
 }
