@@ -1,0 +1,170 @@
+// bench_fleet_scale — fleet sharding scalability.
+//
+// Runs the same open-loop workload (fixed total server count, fixed
+// per-game Poisson arrival stream) on K ∈ {1, 2, 4, 8} shards with
+// threads = K and compares wall-clock simulation speed. Sharding wins
+// twice: shard event loops run concurrently on the EpochPool, and each
+// shard's CoCG admission pass scans a K× smaller cluster against a K×
+// smaller queue (the distributor's per-request cost is O(servers ×
+// hosted sessions), so splitting the cluster shrinks total scheduler
+// work even on one core).
+//
+// A second sweep holds K = 4 fixed and compares router policies.
+//
+// Emits BENCH_fleet_scale.json (per-row wall seconds, simulated-seconds
+// per wall-second, speedup vs. the 1-shard baseline, and fleet results)
+// for the perf trajectory. Acceptance target: ≥ 2.5× simulated-time
+// throughput speedup at 4 shards / 4 threads vs. 1 shard.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/cocg_scheduler.h"
+#include "core/offline.h"
+#include "fleet/fleet.h"
+#include "game/library.h"
+
+using namespace cocg;
+
+namespace {
+
+constexpr int kTotalServers = 8;
+constexpr int kGpusPerServer = 2;
+constexpr int kMinutes = 15;
+constexpr double kArrivalsPerHourPerGame = 150.0;
+constexpr std::uint64_t kSeed = 2024;
+
+struct RunResult {
+  double wall_s = 0.0;
+  double sim_per_wall = 0.0;
+  fleet::FleetReport report;
+};
+
+RunResult run_config(int shards, int threads, fleet::RouterPolicy policy) {
+  // Each shard trains its own scheduler (TrainedGame is move-only); the
+  // training cost is setup and excluded from the timed window.
+  core::OfflineConfig ocfg;
+  ocfg.profiling_runs = 6;
+  ocfg.corpus_runs = 30;
+  ocfg.seed = kSeed;
+
+  fleet::FleetConfig fcfg;
+  fcfg.shards = shards;
+  fcfg.threads = threads;
+  fcfg.policy = policy;
+  fcfg.seed = kSeed;
+  fleet::Fleet sim(fcfg, [&](int) {
+    return std::make_unique<core::CocgScheduler>(
+        core::train_suite(bench::paper_suite_static(), ocfg));
+  });
+
+  hw::ServerSpec spec;
+  spec.num_gpus = kGpusPerServer;
+  for (int i = 0; i < kTotalServers; ++i) sim.add_server(spec);
+  for (const auto& g : bench::paper_suite_static()) {
+    sim.add_global_source({&g, kArrivalsPerHourPerGame, 16});
+  }
+
+  const DurationMs horizon = static_cast<DurationMs>(kMinutes) * 60 * 1000;
+  const auto wall0 = std::chrono::steady_clock::now();
+  sim.run(horizon);
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wall0)
+                 .count();
+  r.sim_per_wall = ms_to_sec(horizon) / r.wall_s;
+  r.report = sim.report();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("fleet_scale",
+                "sharded fleet scalability (fixed total servers)");
+  std::cout << kTotalServers << " servers x " << kGpusPerServer
+            << " GPUs, " << kMinutes << " simulated minutes, "
+            << kArrivalsPerHourPerGame
+            << " arrivals/hour per game (open loop, 5 games)\n\n";
+
+  bench::BenchJson json("fleet_scale");
+  json.set("total_servers", static_cast<double>(kTotalServers));
+  json.set("gpus_per_server", static_cast<double>(kGpusPerServer));
+  json.set("simulated_minutes", static_cast<double>(kMinutes));
+  json.set("arrivals_per_hour_per_game", kArrivalsPerHourPerGame);
+
+  TablePrinter table({"shards", "threads", "policy", "wall s",
+                      "sim-s/wall-s", "speedup", "arrivals", "completed",
+                      "T (game-s)", "queue@end"});
+  std::vector<std::vector<std::string>> csv;
+  csv.push_back({"shards", "threads", "policy", "wall_s", "sim_per_wall",
+                 "speedup", "arrivals", "completed", "throughput"});
+
+  double baseline_sim_per_wall = 0.0;
+  double speedup_4shards = 0.0;
+
+  struct Config {
+    int shards;
+    fleet::RouterPolicy policy;
+  };
+  std::vector<Config> configs;
+  for (int k : {1, 2, 4, 8}) {
+    configs.push_back({k, fleet::RouterPolicy::kLeastLoaded});
+  }
+  configs.push_back({4, fleet::RouterPolicy::kRoundRobin});
+  configs.push_back({4, fleet::RouterPolicy::kPowerOfTwo});
+
+  for (const auto& c : configs) {
+    const RunResult r = run_config(c.shards, c.shards, c.policy);
+    if (c.shards == 1) baseline_sim_per_wall = r.sim_per_wall;
+    const double speedup =
+        baseline_sim_per_wall > 0.0 ? r.sim_per_wall / baseline_sim_per_wall
+                                    : 1.0;
+    if (c.shards == 4 && c.policy == fleet::RouterPolicy::kLeastLoaded) {
+      speedup_4shards = speedup;
+    }
+    std::size_t queued_end = 0;
+    for (const auto& row : r.report.shards) queued_end += row.queued_end;
+    const std::string policy = fleet::router_policy_name(c.policy);
+    table.add_row({std::to_string(c.shards), std::to_string(c.shards),
+                   policy, TablePrinter::fmt(r.wall_s, 2),
+                   TablePrinter::fmt(r.sim_per_wall, 0),
+                   TablePrinter::fmt(speedup, 2) + "x",
+                   std::to_string(r.report.arrivals),
+                   std::to_string(r.report.completed),
+                   TablePrinter::fmt(r.report.throughput, 0),
+                   std::to_string(queued_end)});
+    csv.push_back({std::to_string(c.shards), std::to_string(c.shards),
+                   policy, TablePrinter::fmt(r.wall_s, 4),
+                   TablePrinter::fmt(r.sim_per_wall, 1),
+                   TablePrinter::fmt(speedup, 3),
+                   std::to_string(r.report.arrivals),
+                   std::to_string(r.report.completed),
+                   TablePrinter::fmt(r.report.throughput, 1)});
+    json.row()
+        .set("shards", static_cast<double>(c.shards))
+        .set("threads", static_cast<double>(c.shards))
+        .set("policy", policy)
+        .set("wall_s", r.wall_s)
+        .set("sim_seconds_per_wall_second", r.sim_per_wall)
+        .set("speedup_vs_1_shard", speedup)
+        .set("arrivals", static_cast<double>(r.report.arrivals))
+        .set("completed", static_cast<double>(r.report.completed))
+        .set("throughput_game_seconds", r.report.throughput)
+        .set("qos_violation_s", r.report.qos_violation_s)
+        .set("mean_wait_s", r.report.mean_wait_s)
+        .set("queued_end", static_cast<double>(queued_end));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nspeedup at 4 shards / 4 threads vs 1 shard: "
+            << TablePrinter::fmt(speedup_4shards, 2)
+            << "x (target >= 2.50x)\n";
+  json.set("speedup_4_shards_4_threads", speedup_4shards);
+  json.set("speedup_target", 2.5);
+
+  bench::write_csv("fleet_scale", csv);
+  json.write();
+  return speedup_4shards >= 2.5 ? 0 : 1;
+}

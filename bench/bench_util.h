@@ -6,13 +6,17 @@
 // binary for plotting.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 #include "core/offline.h"
 #include "game/library.h"
+#include "obs/json.h"
 
 namespace cocg::bench {
 
@@ -40,6 +44,71 @@ inline core::OfflineConfig bench_offline_config(std::uint64_t seed = 2024) {
   cfg.seed = seed;
   return cfg;
 }
+
+/// Machine-readable experiment results: top-level scalar metrics plus an
+/// array of per-configuration rows, written as BENCH_<experiment>.json
+/// beside the binary. The perf trajectory tracks these files across PRs,
+/// so keys should stay stable (wall-clock and throughput numbers
+/// especially).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  void set(const std::string& key, double v) {
+    top_.emplace_back(key, obs::json_number(v));
+  }
+  void set(const std::string& key, const std::string& v) {
+    top_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+  }
+
+  class Row {
+   public:
+    Row& set(const std::string& key, double v) {
+      fields_.emplace_back(key, obs::json_number(v));
+      return *this;
+    }
+    Row& set(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, "\"" + obs::json_escape(v) + "\"");
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& row() { return rows_.emplace_back(); }
+
+  /// Write BENCH_<experiment>.json; returns the path written.
+  std::string write() const {
+    const std::string path = "BENCH_" + experiment_ + ".json";
+    std::ofstream os(path);
+    os << "{\"experiment\":\"" << obs::json_escape(experiment_) << "\"";
+    for (const auto& [k, v] : top_) {
+      os << ",\"" << obs::json_escape(k) << "\":" << v;
+    }
+    os << ",\"rows\":[";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (i != 0) os << ',';
+      os << '{';
+      for (std::size_t j = 0; j < rows_[i].fields_.size(); ++j) {
+        if (j != 0) os << ',';
+        os << '"' << obs::json_escape(rows_[i].fields_[j].first)
+           << "\":" << rows_[i].fields_[j].second;
+      }
+      os << '}';
+    }
+    os << "]}\n";
+    std::cout << "[json] " << path << "\n";
+    return path;
+  }
+
+ private:
+  std::string experiment_;
+  std::vector<std::pair<std::string, std::string>> top_;
+  std::vector<Row> rows_;
+};
 
 /// Write a CSV beside the binary; returns the path written.
 inline std::string write_csv(const std::string& name,

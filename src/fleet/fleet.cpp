@@ -1,0 +1,271 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "fleet/runner.h"
+
+namespace cocg::fleet {
+
+namespace {
+
+/// Stable per-role seed derivation: shard i uses salt i, the arrival
+/// stream and router use reserved salts clear of any sane shard count.
+std::uint64_t derived_seed(std::uint64_t fleet_seed, std::uint64_t salt) {
+  SplitMix64 sm(fleet_seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1)));
+  return sm.next();
+}
+
+constexpr std::uint64_t kArrivalSalt = 1u << 20;
+constexpr std::uint64_t kRouterSalt = (1u << 20) + 1;
+
+}  // namespace
+
+Fleet::Fleet(FleetConfig cfg, const SchedulerFactory& make_scheduler)
+    : cfg_(cfg),
+      router_(cfg.policy, derived_seed(cfg.seed, kRouterSalt)),
+      arrivals_rng_(derived_seed(cfg.seed, kArrivalSalt)) {
+  COCG_EXPECTS(cfg_.shards >= 1);
+  COCG_EXPECTS(cfg_.threads >= 1);
+  COCG_EXPECTS(make_scheduler != nullptr);
+  shards_.reserve(static_cast<std::size_t>(cfg_.shards));
+  for (int i = 0; i < cfg_.shards; ++i) {
+    Shard s;
+    s.domain = std::make_unique<obs::Domain>();
+    // Construct scheduler + platform under the shard's domain so every
+    // pre-resolved obs handle points into the shard's own registry.
+    obs::ScopedDomain sd(*s.domain);
+    auto pcfg = cfg_.platform;
+    pcfg.seed = derived_seed(cfg_.seed, static_cast<std::uint64_t>(i));
+    s.platform = std::make_unique<platform::CloudPlatform>(
+        pcfg, make_scheduler(i));
+    shards_.push_back(std::move(s));
+  }
+  refresh_loads();
+}
+
+Fleet::~Fleet() = default;
+
+int Fleet::add_server(const hw::ServerSpec& spec) {
+  const int shard = static_cast<int>(next_server_shard_++ %
+                                     static_cast<std::size_t>(cfg_.shards));
+  add_server_to_shard(shard, spec);
+  return shard;
+}
+
+void Fleet::add_server_to_shard(int shard, const hw::ServerSpec& spec) {
+  COCG_EXPECTS(shard >= 0 && shard < num_shards());
+  auto& s = shards_[static_cast<std::size_t>(shard)];
+  {
+    obs::ScopedDomain sd(*s.domain);  // add_server resolves util gauges
+    s.platform->add_server(spec);
+  }
+  ++s.servers;
+  refresh_loads();  // keep pre-run snapshots (loads()) consistent
+}
+
+void Fleet::add_global_source(const platform::OpenLoopSource& source) {
+  COCG_EXPECTS(source.spec != nullptr);
+  COCG_EXPECTS(source.arrivals_per_hour > 0.0);
+  COCG_EXPECTS(source.player_pool >= 1);
+  sources_.push_back(GlobalSource{source, kTimeNever});
+}
+
+void Fleet::add_shard_source(int shard, const platform::SourceConfig& source) {
+  COCG_EXPECTS(shard >= 0 && shard < num_shards());
+  shards_[static_cast<std::size_t>(shard)].platform->add_source(source);
+}
+
+void Fleet::refresh_loads() {
+  loads_.resize(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto& p = *shards_[i].platform;
+    ShardLoad l;
+    l.shard = static_cast<int>(i);
+    l.servers = shards_[i].servers;
+    l.running = p.running_sessions();
+    l.queued = p.queued_requests();
+    double util_sum = 0.0;
+    std::size_t views = 0;
+    for (ServerId id : p.server_ids()) {
+      const auto& srv = p.server(id);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        util_sum += srv.utilization_on_gpu(g);
+        ++views;
+      }
+    }
+    l.gpu_views = views;
+    l.mean_utilization =
+        views > 0 ? util_sum / static_cast<double>(views) : 0.0;
+    l.forward_cost =
+        l.mean_utilization +
+        static_cast<double>(l.queued) /
+            static_cast<double>(std::max<std::size_t>(1, views));
+    loads_[i] = l;
+  }
+}
+
+void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
+  for (auto& src : sources_) {
+    const double mean_gap_ms = 3600.0 * 1000.0 / src.cfg.arrivals_per_hour;
+    if (src.next_due == kTimeNever) {
+      src.next_due =
+          t0 + static_cast<DurationMs>(
+                   std::max(1.0, arrivals_rng_.exponential(mean_gap_ms)));
+    }
+    while (src.next_due <= t1) {
+      const auto script = static_cast<std::size_t>(arrivals_rng_.uniform_int(
+          0, static_cast<std::int64_t>(src.cfg.spec->scripts.size()) - 1));
+      const auto player = static_cast<std::uint64_t>(
+          arrivals_rng_.uniform_int(1, src.cfg.player_pool));
+      const int shard = router_.route(loads_);
+      auto& s = shards_[static_cast<std::size_t>(shard)];
+      s.platform->schedule_request(src.cfg.spec, script, player,
+                                   src.next_due);
+      ++s.routed;
+      ++arrivals_;
+      src.next_due += static_cast<DurationMs>(
+          std::max(1.0, arrivals_rng_.exponential(mean_gap_ms)));
+    }
+  }
+}
+
+void Fleet::run(DurationMs duration_ms) {
+  COCG_EXPECTS(duration_ms > 0);
+  COCG_EXPECTS_MSG(!ran_, "Fleet::run is one-shot");
+  ran_ = true;
+  for (auto& s : shards_) {
+    COCG_EXPECTS_MSG(s.platform->now() == 0, "fleet shards must start fresh");
+    obs::ScopedDomain sd(*s.domain);
+    s.platform->begin(duration_ms);
+  }
+  refresh_loads();
+
+  EpochPool pool(cfg_.threads);
+  std::vector<std::function<void()>> jobs(shards_.size());
+  const DurationMs epoch = cfg_.platform.control_period_ms;
+  TimeMs t = 0;
+  while (t < duration_ms) {
+    const TimeMs t1 = std::min<TimeMs>(t + epoch, duration_ms);
+    // Routing first: every cross-shard input for this epoch is fixed
+    // before any shard advances, so thread scheduling cannot influence
+    // results.
+    generate_and_route(t, t1);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = shards_[i];
+      jobs[i] = [&s, t1] {
+        obs::ScopedDomain sd(*s.domain);
+        s.platform->advance_until(t1);
+      };
+    }
+    pool.run(jobs);
+    t = t1;
+    refresh_loads();  // barrier snapshot for the next epoch's routing
+  }
+  for (auto& s : shards_) {
+    obs::ScopedDomain sd(*s.domain);
+    s.platform->finish();
+  }
+}
+
+const platform::CloudPlatform& Fleet::shard(int i) const {
+  COCG_EXPECTS(i >= 0 && i < num_shards());
+  return *shards_[static_cast<std::size_t>(i)].platform;
+}
+
+obs::Domain& Fleet::shard_domain(int i) {
+  COCG_EXPECTS(i >= 0 && i < num_shards());
+  return *shards_[static_cast<std::size_t>(i)].domain;
+}
+
+std::size_t Fleet::routed_to(int i) const {
+  COCG_EXPECTS(i >= 0 && i < num_shards());
+  return shards_[static_cast<std::size_t>(i)].routed;
+}
+
+FleetReport Fleet::report() const {
+  FleetReport r;
+  r.arrivals = arrivals_;
+  double wait_sum_s = 0.0;
+  double fps_sum = 0.0;
+  std::map<std::string, double> ratio_sum, wait_sum_game;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto& p = *shards_[i].platform;
+    FleetReport::ShardRow row;
+    row.shard = static_cast<int>(i);
+    row.servers = shards_[i].servers;
+    row.routed = shards_[i].routed;
+    row.completed = p.completed_runs().size();
+    row.throughput = p.throughput();
+    row.queued_end = p.queued_requests();
+    row.running_end = p.running_sessions();
+    r.shards.push_back(row);
+
+    r.throughput += row.throughput;
+    r.completed += row.completed;
+    for (const auto& run : p.completed_runs()) {
+      auto& gs = r.per_game[run.game];
+      ++gs.completed;
+      gs.total_duration_s += ms_to_sec(run.duration_ms);
+      gs.qos_violation_s += ms_to_sec(run.qos_violation_ms);
+      ratio_sum[run.game] += run.mean_fps_ratio;
+      wait_sum_game[run.game] += ms_to_sec(run.wait_ms);
+      r.qos_violation_s += ms_to_sec(run.qos_violation_ms);
+      wait_sum_s += ms_to_sec(run.wait_ms);
+      fps_sum += run.mean_fps_ratio;
+    }
+  }
+  for (auto& [name, gs] : r.per_game) {
+    gs.mean_fps_ratio = ratio_sum[name] / std::max(1, gs.completed);
+    gs.mean_wait_s = wait_sum_game[name] / std::max(1, gs.completed);
+  }
+  if (r.completed > 0) {
+    r.mean_wait_s = wait_sum_s / static_cast<double>(r.completed);
+    r.mean_fps_ratio = fps_sum / static_cast<double>(r.completed);
+  }
+  return r;
+}
+
+void Fleet::merge_metrics(obs::MetricsRegistry& out) const {
+  for (const auto& s : shards_) out.merge_from(s.domain->metrics);
+}
+
+void Fleet::write_merged_events_jsonl(std::ostream& os) const {
+  struct Line {
+    TimeMs t = 0;
+    std::string json;
+  };
+  std::vector<Line> all;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto& log = shards_[i].domain->events;
+    for (const auto& e : log.events()) {
+      // Splice a leading "shard" field into the flat JSONL object.
+      all.push_back(Line{e.t, "{\"shard\":" + std::to_string(i) + "," +
+                                  obs::event_to_json(e).substr(1)});
+    }
+  }
+  // Stable: input is shard-major and per-shard time-ordered, so equal
+  // timestamps keep shard order — deterministic for any thread count.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Line& a, const Line& b) { return a.t < b.t; });
+  for (const auto& l : all) os << l.json << '\n';
+}
+
+std::string Fleet::merged_events_jsonl() const {
+  std::ostringstream os;
+  write_merged_events_jsonl(os);
+  return os.str();
+}
+
+void Fleet::write_merged_trace(std::ostream& os) const {
+  obs::TraceBuilder merged;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    merged.append(shards_[i].domain->trace,
+                  static_cast<int>(i) * kShardPidStride,
+                  "shard" + std::to_string(i) + "/");
+  }
+  merged.write_json(os);
+}
+
+}  // namespace cocg::fleet

@@ -1,0 +1,154 @@
+// Fleet — sharded multi-cluster simulation on top of CloudPlatform.
+//
+// A Fleet partitions N servers into K shards. Each shard is a complete,
+// independent single-cluster simulation — its own sim::Engine,
+// CloudPlatform, Scheduler instance and obs::Domain, seeded by a
+// splitmix64 expansion of the fleet seed — so the paper's per-cluster
+// semantics (§IV-C distributor/regulator, 5-second control loop) are
+// untouched.
+//
+// One global open-loop arrival stream replaces per-shard sources: the
+// fleet draws Poisson arrivals per epoch and a Router assigns each to a
+// shard using only the load snapshots taken at the previous epoch
+// barrier. Shards then advance one control period in parallel (EpochPool;
+// lock-free hot loop, shards share no mutable state), meet at the
+// barrier, publish fresh snapshots, and repeat. Because every cross-shard
+// input is fixed before an epoch starts, aggregate results are
+// bit-identical for any thread count (tests/fleet enforces this).
+//
+// Aggregation merges per-shard CompletedRuns, Eq. 2 throughput, QoS
+// stats, metrics registries (MetricsRegistry::merge_from), event logs
+// (time-ordered JSONL with a `shard` field) and Perfetto traces (each
+// shard a process group; see docs/fleet.md).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fleet/router.h"
+#include "obs/domain.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::fleet {
+
+struct FleetConfig {
+  int shards = 1;
+  int threads = 1;  ///< EpochPool size; never changes results, only speed
+  RouterPolicy policy = RouterPolicy::kRoundRobin;
+  std::uint64_t seed = 42;
+  /// Per-shard platform template. `platform.seed` is ignored — each shard
+  /// derives its own seed from `seed` — and `platform.control_period_ms`
+  /// doubles as the fleet epoch length.
+  platform::PlatformConfig platform;
+};
+
+/// Builds shard `i`'s scheduler. Called once per shard at construction,
+/// under the shard's obs domain.
+using SchedulerFactory =
+    std::function<std::unique_ptr<platform::Scheduler>(int shard)>;
+
+/// Fleet-level results merged across shards.
+struct FleetReport {
+  double throughput = 0.0;  ///< Σ shards' Eq. 2 throughput (game-seconds)
+  std::size_t completed = 0;
+  std::size_t arrivals = 0;  ///< global open-loop arrivals generated
+  double qos_violation_s = 0.0;
+  double mean_wait_s = 0.0;       ///< over completed runs
+  double mean_fps_ratio = 0.0;    ///< over completed runs
+  std::map<std::string, platform::GameStats> per_game;
+
+  struct ShardRow {
+    int shard = 0;
+    std::size_t servers = 0;
+    std::size_t routed = 0;  ///< arrivals the router sent here
+    std::size_t completed = 0;
+    double throughput = 0.0;
+    std::size_t queued_end = 0;
+    std::size_t running_end = 0;
+  };
+  std::vector<ShardRow> shards;
+};
+
+/// Pid stride between shards in the merged Perfetto trace: shard i's
+/// server pids render as i*stride + original pid.
+inline constexpr int kShardPidStride = 100000;
+
+class Fleet {
+ public:
+  Fleet(FleetConfig cfg, const SchedulerFactory& make_scheduler);
+  ~Fleet();
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const FleetConfig& config() const { return cfg_; }
+
+  /// Add a server to the fleet; servers are partitioned round-robin
+  /// across shards. Returns the shard it landed on.
+  int add_server(const hw::ServerSpec& spec);
+  /// Targeted placement (heterogeneous / skewed fleets).
+  void add_server_to_shard(int shard, const hw::ServerSpec& spec);
+
+  /// Register a global open-loop Poisson source; arrivals are routed
+  /// across shards by the configured policy.
+  void add_global_source(const platform::OpenLoopSource& source);
+
+  /// Attach a closed-loop source to one shard (background load skew for
+  /// stress experiments; bypasses the router by design).
+  void add_shard_source(int shard, const platform::SourceConfig& source);
+
+  /// Run every shard for `duration_ms` of simulated time in lockstep
+  /// epochs of one control period. One-shot.
+  void run(DurationMs duration_ms);
+
+  // --- per-shard access (read-only after run) ---
+  const platform::CloudPlatform& shard(int i) const;
+  obs::Domain& shard_domain(int i);
+  const std::vector<ShardLoad>& loads() const { return loads_; }
+  std::size_t arrivals_generated() const { return arrivals_; }
+  std::size_t routed_to(int i) const;
+
+  // --- aggregation ---
+  FleetReport report() const;
+  /// Fold every shard's metrics registry into `out`, in shard order.
+  void merge_metrics(obs::MetricsRegistry& out) const;
+  /// All shards' decision events, time-ordered (ties: shard order), one
+  /// JSONL object per line with a leading "shard" field.
+  void write_merged_events_jsonl(std::ostream& os) const;
+  std::string merged_events_jsonl() const;
+  /// One Chrome/Perfetto trace with each shard as a process group.
+  void write_merged_trace(std::ostream& os) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<obs::Domain> domain;
+    std::unique_ptr<platform::CloudPlatform> platform;
+    std::size_t servers = 0;
+    std::size_t routed = 0;
+  };
+  struct GlobalSource {
+    platform::OpenLoopSource cfg;
+    TimeMs next_due = kTimeNever;
+  };
+
+  void refresh_loads();
+  /// Draw arrivals in (t0, t1] and route them onto shard event queues.
+  void generate_and_route(TimeMs t0, TimeMs t1);
+
+  FleetConfig cfg_;
+  std::vector<Shard> shards_;
+  std::vector<ShardLoad> loads_;
+  Router router_;
+  Rng arrivals_rng_;
+  std::vector<GlobalSource> sources_;
+  std::size_t arrivals_ = 0;
+  std::size_t next_server_shard_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace cocg::fleet

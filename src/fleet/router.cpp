@@ -1,0 +1,85 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cocg::fleet {
+
+const char* router_policy_name(RouterPolicy policy) {
+  switch (policy) {
+    case RouterPolicy::kRoundRobin: return "round_robin";
+    case RouterPolicy::kLeastLoaded: return "least_loaded";
+    case RouterPolicy::kPowerOfTwo: return "power_of_two";
+  }
+  return "?";
+}
+
+std::optional<RouterPolicy> parse_router_policy(const std::string& name) {
+  if (name == "round_robin" || name == "rr") {
+    return RouterPolicy::kRoundRobin;
+  }
+  if (name == "least_loaded" || name == "ll") {
+    return RouterPolicy::kLeastLoaded;
+  }
+  if (name == "power_of_two" || name == "p2c") {
+    return RouterPolicy::kPowerOfTwo;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Outstanding work per GPU view — the least-loaded ordering key.
+double occupancy(const ShardLoad& l) {
+  return static_cast<double>(l.running + l.queued) /
+         static_cast<double>(std::max<std::size_t>(1, l.gpu_views));
+}
+
+}  // namespace
+
+Router::Router(RouterPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+int Router::pick(const std::vector<ShardLoad>& loads) {
+  const auto n = static_cast<std::int64_t>(loads.size());
+  switch (policy_) {
+    case RouterPolicy::kRoundRobin:
+      return static_cast<int>(next_rr_++ % loads.size());
+    case RouterPolicy::kLeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < loads.size(); ++i) {
+        const double d = occupancy(loads[i]) - occupancy(loads[best]);
+        if (d < 0.0 ||
+            (d == 0.0 &&
+             loads[i].mean_utilization < loads[best].mean_utilization)) {
+          best = i;
+        }
+      }
+      return static_cast<int>(best);
+    }
+    case RouterPolicy::kPowerOfTwo: {
+      const auto a = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+      auto b = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+      if (loads.size() > 1 && b == a) b = (b + 1) % loads.size();
+      const std::size_t lo = std::min(a, b);
+      const std::size_t hi = std::max(a, b);
+      return static_cast<int>(loads[hi].forward_cost < loads[lo].forward_cost
+                                  ? hi
+                                  : lo);
+    }
+  }
+  return 0;
+}
+
+int Router::route(std::vector<ShardLoad>& loads) {
+  COCG_EXPECTS(!loads.empty());
+  const int chosen = pick(loads);
+  auto& l = loads[static_cast<std::size_t>(chosen)];
+  ++l.queued;
+  l.forward_cost +=
+      1.0 / static_cast<double>(std::max<std::size_t>(1, l.gpu_views));
+  return chosen;
+}
+
+}  // namespace cocg::fleet

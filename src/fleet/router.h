@@ -1,0 +1,70 @@
+// Global request router — splits one open-loop arrival stream across
+// shards (§IV-C's distributor stays per-shard; this layer only picks
+// *which* cluster sees a request).
+//
+// Policies operate on immutable per-shard load snapshots refreshed at
+// every epoch barrier, never on live shard state, so routing decisions —
+// and therefore the whole fleet — are independent of how many threads
+// execute the shards:
+//  * round_robin        — arrival counter modulo shard count;
+//  * least_loaded       — fewest outstanding sessions+requests per GPU
+//                         view, utilization snapshot as the tiebreak;
+//  * power_of_two       — sample two shards, keep the one whose
+//                         forward-combined-consumption estimate (the
+//                         allocation mass the distributor admitted
+//                         against, Eq. 1 redundancy included, plus queue
+//                         pressure) is lower.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cocg::fleet {
+
+enum class RouterPolicy { kRoundRobin, kLeastLoaded, kPowerOfTwo };
+
+const char* router_policy_name(RouterPolicy policy);
+
+/// Parse "round_robin"/"rr", "least_loaded"/"ll", "power_of_two"/"p2c".
+std::optional<RouterPolicy> parse_router_policy(const std::string& name);
+
+/// Immutable load snapshot of one shard, taken at an epoch barrier.
+struct ShardLoad {
+  int shard = 0;
+  std::size_t servers = 0;
+  std::size_t gpu_views = 0;      ///< Σ servers × num_gpus
+  std::size_t running = 0;        ///< active sessions
+  std::size_t queued = 0;         ///< requests awaiting admission
+  /// Mean over GPU views of the allocated binding-dimension fraction.
+  double mean_utilization = 0.0;
+  /// Forward combined-consumption estimate: the allocations the per-shard
+  /// distributor committed to (stage peak + Eq. 1 redundancy) plus queue
+  /// pressure, normalized per GPU view. The p2c cost function.
+  double forward_cost = 0.0;
+};
+
+class Router {
+ public:
+  Router(RouterPolicy policy, std::uint64_t seed);
+
+  /// Pick a shard for the next arrival. Mutates `loads` in place to
+  /// account for the routed request (queued count + forward cost), so
+  /// several arrivals inside one epoch spread instead of herding onto the
+  /// snapshot's minimum.
+  int route(std::vector<ShardLoad>& loads);
+
+  RouterPolicy policy() const { return policy_; }
+
+ private:
+  int pick(const std::vector<ShardLoad>& loads);
+
+  RouterPolicy policy_;
+  Rng rng_;
+  std::uint64_t next_rr_ = 0;
+};
+
+}  // namespace cocg::fleet

@@ -1,0 +1,89 @@
+#include "fleet/runner.h"
+
+#include "common/check.h"
+
+namespace cocg::fleet {
+
+EpochPool::EpochPool(int threads) : threads_(threads) {
+  COCG_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EpochPool::~EpochPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool EpochPool::claim_and_run() {
+  const std::function<void()>* job = nullptr;
+  std::size_t idx = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (jobs_ == nullptr || next_job_ >= jobs_->size()) return false;
+    idx = next_job_++;
+    job = &(*jobs_)[idx];
+  }
+  std::exception_ptr err;
+  try {
+    (*job)();
+  } catch (...) {
+    err = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (err && (error_ == nullptr || idx < first_error_idx_)) {
+      error_ = err;
+      first_error_idx_ = idx;
+    }
+    ++done_jobs_;
+    if (done_jobs_ == jobs_->size()) done_cv_.notify_all();
+  }
+  return true;
+}
+
+void EpochPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] {
+        return shutdown_ || (epoch_ != seen && jobs_ != nullptr &&
+                             next_job_ < jobs_->size());
+      });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    while (claim_and_run()) {
+    }
+  }
+}
+
+void EpochPool::run(const std::vector<std::function<void()>>& jobs) {
+  if (jobs.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_ = &jobs;
+    next_job_ = 0;
+    done_jobs_ = 0;
+    error_ = nullptr;
+    first_error_idx_ = jobs.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller claims jobs too: K shards on K threads run fully parallel.
+  while (claim_and_run()) {
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] { return done_jobs_ == jobs.size(); });
+  jobs_ = nullptr;
+  if (error_ != nullptr) std::rethrow_exception(error_);
+}
+
+}  // namespace cocg::fleet

@@ -1,0 +1,61 @@
+// EpochPool — a small persistent thread pool with barrier semantics.
+//
+// The fleet advances its shards in lockstep epochs: every epoch it hands
+// the pool one job per shard, and run() returns only when every job has
+// finished (the barrier). Jobs must be mutually independent — each shard
+// job installs its own obs domain and touches only that shard's state, so
+// the hot loop needs no locks; shards communicate solely through the
+// immutable load snapshots the fleet takes between run() calls.
+//
+// With threads == 1 the jobs execute inline on the caller's thread in
+// order, which is also the degenerate (and bitwise-reference) execution
+// of the determinism contract: results must not depend on thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cocg::fleet {
+
+class EpochPool {
+ public:
+  /// `threads` >= 1. One worker thread per slot beyond the first; the
+  /// caller claims jobs too during run(), so K shards on K threads run
+  /// fully parallel and threads == 1 spawns no threads at all.
+  explicit EpochPool(int threads);
+  ~EpochPool();
+
+  EpochPool(const EpochPool&) = delete;
+  EpochPool& operator=(const EpochPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Execute every job, return when all are done. Rethrows the first job
+  /// exception (by job index) on the calling thread after the barrier.
+  void run(const std::vector<std::function<void()>>& jobs);
+
+ private:
+  void worker_loop();
+  bool claim_and_run();  ///< returns false when the epoch's jobs ran out
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for a new epoch
+  std::condition_variable done_cv_;   ///< caller waits for the barrier
+  const std::vector<std::function<void()>>* jobs_ = nullptr;
+  std::uint64_t epoch_ = 0;           ///< bumped per run() to wake workers
+  std::size_t next_job_ = 0;
+  std::size_t done_jobs_ = 0;
+  std::size_t first_error_idx_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+};
+
+}  // namespace cocg::fleet

@@ -1,0 +1,36 @@
+#include "obs/domain.h"
+
+namespace cocg::obs {
+
+namespace {
+thread_local Domain* tls_domain = nullptr;
+}  // namespace
+
+void Domain::reset() {
+  metrics.reset_values();
+  events.clear();
+  trace.clear();
+}
+
+Domain& global_domain() {
+  static Domain* d = new Domain();  // never freed
+  return *d;
+}
+
+Domain& current_domain() {
+  return tls_domain != nullptr ? *tls_domain : global_domain();
+}
+
+ScopedDomain::ScopedDomain(Domain& d) : prev_(tls_domain) { tls_domain = &d; }
+
+ScopedDomain::~ScopedDomain() { tls_domain = prev_; }
+
+// The accessor functions the rest of the system uses live here so that all
+// three resolve through the same thread-local indirection.
+MetricsRegistry& metrics() { return current_domain().metrics; }
+
+EventLog& events() { return current_domain().events; }
+
+TraceBuilder& trace() { return current_domain().trace; }
+
+}  // namespace cocg::obs

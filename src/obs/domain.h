@@ -1,0 +1,55 @@
+// Observability domains — swappable metric/event/trace sinks.
+//
+// The obs accessors (`metrics()`, `events()`, `trace()`) historically
+// returned process-global singletons, which is exactly right for one
+// single-threaded simulation per process. The fleet layer runs K shard
+// simulations, possibly on different threads, and each shard must record
+// into its own sinks so results are independent of the thread count and
+// can be merged deterministically afterwards.
+//
+// A Domain bundles one registry + event log + trace builder. Installing
+// one via ScopedDomain redirects the global accessors *for the current
+// thread* for the guard's lifetime; with nothing installed they fall back
+// to the process-global domain, so existing single-simulation code is
+// unchanged. Handles resolved while a domain is installed (e.g. a
+// CloudPlatform constructed under ScopedDomain) point into that domain's
+// cells permanently — the cheap hot-path recording story is unchanged.
+#pragma once
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/trace_export.h"
+
+namespace cocg::obs {
+
+/// One self-contained set of observability sinks.
+struct Domain {
+  MetricsRegistry metrics;
+  EventLog events;
+  TraceBuilder trace;
+
+  /// Zero metric values (handles stay valid) and clear events + trace.
+  void reset();
+};
+
+/// The process-global domain the accessors use when none is installed.
+Domain& global_domain();
+
+/// The domain the obs accessors resolve to on this thread.
+Domain& current_domain();
+
+/// RAII guard: redirects this thread's obs accessors to `d`. Nests; the
+/// previous domain is restored on destruction.
+class ScopedDomain {
+ public:
+  explicit ScopedDomain(Domain& d);
+  ~ScopedDomain();
+
+  ScopedDomain(const ScopedDomain&) = delete;
+  ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+ private:
+  Domain* prev_;
+};
+
+}  // namespace cocg::obs

@@ -174,9 +174,4 @@ bool read_jsonl(std::istream& is, std::vector<Event>& out) {
   return true;
 }
 
-EventLog& events() {
-  static EventLog* log = new EventLog();  // never freed
-  return *log;
-}
-
 }  // namespace cocg::obs

@@ -118,7 +118,8 @@ std::string event_to_json(const Event& e);
 /// false (and stops) on the first malformed or unknown-kind line.
 bool read_jsonl(std::istream& is, std::vector<Event>& out);
 
-/// Process-global event log used by the scheduler/platform wiring.
+/// The current domain's event log (process-global unless a ScopedDomain
+/// is installed on this thread — see obs/domain.h).
 EventLog& events();
 
 }  // namespace cocg::obs

@@ -81,6 +81,27 @@ void MetricsRegistry::reset_values() {
   }
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, cell] : other.counters_) {
+    counter(name).cell_->value += cell->value;
+  }
+  for (const auto& [name, cell] : other.gauges_) {
+    auto* dst = gauge(name).cell_;
+    if (cell->updates > 0) dst->value = cell->value;
+    dst->updates += cell->updates;
+  }
+  for (const auto& [name, cell] : other.histograms_) {
+    auto* dst = histogram(name, cell->edges).cell_;
+    COCG_EXPECTS_MSG(dst->edges == cell->edges,
+                     "merge_from: histogram bucket layouts differ");
+    for (std::size_t i = 0; i < cell->buckets.size(); ++i) {
+      dst->buckets[i] += cell->buckets[i];
+    }
+    dst->count += cell->count;
+    dst->sum += cell->sum;
+  }
+}
+
 bool MetricsRegistry::has_counter(const std::string& name) const {
   return counters_.count(name) != 0;
 }
@@ -164,11 +185,6 @@ std::string MetricsRegistry::to_json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
-}
-
-MetricsRegistry& metrics() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
-  return *registry;
 }
 
 }  // namespace cocg::obs

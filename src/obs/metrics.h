@@ -131,6 +131,14 @@ class MetricsRegistry {
   /// Zero every cell in place; handles stay valid.
   void reset_values();
 
+  /// Fold another registry's values into this one: counters and histogram
+  /// buckets/count/sum are summed, gauges take the other side's value when
+  /// it was ever set (last-write-wins, with update counts summed). Missing
+  /// instruments are created; histogram bucket layouts must agree for
+  /// shared names. Used by the fleet layer to aggregate per-shard
+  /// registries — merging shards in index order is deterministic.
+  void merge_from(const MetricsRegistry& other);
+
   /// Snapshot accessors (registration-map lookup; for tests/exporters).
   bool has_counter(const std::string& name) const;
   bool has_gauge(const std::string& name) const;
@@ -160,7 +168,9 @@ class MetricsRegistry {
   std::map<std::string, detail::HistogramCell*> histograms_;
 };
 
-/// Process-global registry used by the engine/platform/scheduler wiring.
+/// The current domain's registry (the process-global one unless a
+/// ScopedDomain is installed on this thread — see obs/domain.h). Used by
+/// the engine/platform/scheduler wiring.
 MetricsRegistry& metrics();
 
 }  // namespace cocg::obs

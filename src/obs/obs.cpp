@@ -2,10 +2,6 @@
 
 namespace cocg::obs {
 
-void reset() {
-  metrics().reset_values();
-  events().clear();
-  trace().clear();
-}
+void reset() { current_domain().reset(); }
 
 }  // namespace cocg::obs

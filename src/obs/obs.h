@@ -10,15 +10,17 @@
 // See docs/observability.md for the metric and event catalog.
 #pragma once
 
+#include "obs/domain.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace_export.h"
 
 namespace cocg::obs {
 
-/// Zero all metric values and clear the event log and trace. Metric cells
-/// (and therefore pre-resolved handles held by live components) stay
-/// valid. Used between experiments in one process and by tests.
+/// Zero all metric values and clear the event log and trace of the
+/// current domain (see obs/domain.h). Metric cells (and therefore
+/// pre-resolved handles held by live components) stay valid. Used between
+/// experiments in one process and by tests.
 void reset();
 
 }  // namespace cocg::obs

@@ -67,6 +67,27 @@ void TraceBuilder::add_counter(int pid, const std::string& name, TimeMs t,
   events_.push_back(std::move(r));
 }
 
+void TraceBuilder::append(const TraceBuilder& other, int pid_offset,
+                          const std::string& process_prefix) {
+  for (const auto& [pid, name] : other.process_names_) {
+    process_names_[pid + pid_offset] = process_prefix + name;
+  }
+  for (const auto& [key, name] : other.thread_names_) {
+    thread_names_[{key.first + pid_offset, key.second}] = name;
+  }
+  events_.reserve(events_.size() + other.events_.size());
+  for (Record r : other.events_) {
+    // Give event-carrying pids the source never named a stable label so
+    // shards stay distinguishable in the merged view.
+    if (process_names_.count(r.pid + pid_offset) == 0) {
+      process_names_[r.pid + pid_offset] =
+          process_prefix + "pid" + std::to_string(r.pid);
+    }
+    r.pid += pid_offset;
+    events_.push_back(std::move(r));
+  }
+}
+
 void TraceBuilder::clear() {
   events_.clear();
   process_names_.clear();
@@ -132,11 +153,6 @@ std::string TraceBuilder::to_json() const {
   std::ostringstream os;
   write_json(os);
   return os.str();
-}
-
-TraceBuilder& trace() {
-  static TraceBuilder* builder = new TraceBuilder();  // never freed
-  return *builder;
 }
 
 }  // namespace cocg::obs

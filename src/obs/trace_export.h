@@ -58,6 +58,14 @@ class TraceBuilder {
   void add_counter(int pid, const std::string& name, TimeMs t,
                    NumberArgs series);
 
+  /// Copy every record and name from `other`, shifting its pids by
+  /// `pid_offset` and prefixing its process names with `process_prefix`
+  /// (unnamed pids carrying events get a synthesized "<prefix>pid<N>"
+  /// name). The fleet exporter uses this to render each shard as its own
+  /// process group in one merged timeline.
+  void append(const TraceBuilder& other, int pid_offset,
+              const std::string& process_prefix);
+
   std::size_t size() const { return events_.size(); }
   void clear();
 
@@ -85,7 +93,8 @@ class TraceBuilder {
   std::map<std::pair<int, int>, std::string> thread_names_;
 };
 
-/// Process-global trace builder used by the platform wiring.
+/// The current domain's trace builder (process-global unless a
+/// ScopedDomain is installed on this thread — see obs/domain.h).
 TraceBuilder& trace();
 
 }  // namespace cocg::obs

@@ -391,26 +391,47 @@ void CloudPlatform::control_tick() {
   obs_running_.set(static_cast<double>(sessions_.size()));
 }
 
+void CloudPlatform::schedule_request(const game::GameSpec* spec,
+                                     std::size_t script_idx,
+                                     std::uint64_t player_id, TimeMs at) {
+  COCG_EXPECTS(spec != nullptr);
+  COCG_EXPECTS(script_idx < spec->scripts.size());
+  engine_.schedule_at(at, [this, spec, script_idx, player_id] {
+    submit(spec, script_idx, player_id);
+  });
+}
+
 void CloudPlatform::run(DurationMs duration_ms) {
+  begin(duration_ms);
+  advance_until(horizon_);
+  finish();
+}
+
+void CloudPlatform::begin(DurationMs duration_ms) {
   COCG_EXPECTS(duration_ms > 0);
+  COCG_EXPECTS_MSG(!hw_task_.active(), "begin() while already running");
   horizon_ = engine_.now() + duration_ms;
 
   replenish_sources();
   try_admit_queue();
 
-  auto hw_task = engine_.schedule_periodic(
+  hw_task_ = engine_.schedule_periodic(
       cfg_.tick_ms, cfg_.tick_ms, [this](TimeMs t) {
         hardware_tick();
         return t < horizon_;
       });
-  auto ctl_task = engine_.schedule_periodic(
+  ctl_task_ = engine_.schedule_periodic(
       cfg_.control_period_ms, cfg_.control_period_ms, [this](TimeMs t) {
         control_tick();
         return t < horizon_;
       });
-  engine_.run_until(horizon_);
-  hw_task.stop();
-  ctl_task.stop();
+}
+
+TimeMs CloudPlatform::advance_until(TimeMs t) { return engine_.run_until(t); }
+
+void CloudPlatform::finish() {
+  hw_task_.stop();
+  ctl_task_.stop();
 }
 
 // --- PlatformView ---

@@ -5,23 +5,13 @@
 
 namespace cocg::sim {
 
-namespace {
-
-// Event-loop stats shared by every Engine in the process. Handles are
-// resolved once; recording is a flag check + pointer write (the event loop
-// is the hottest path in the system — see bench_fig12).
-struct EngineMetrics {
-  obs::Counter dispatched = obs::metrics().counter("sim.events_dispatched");
-  obs::Counter periodic = obs::metrics().counter("sim.periodic_fires");
-  obs::Gauge queue_depth = obs::metrics().gauge("sim.queue_depth");
-};
-
-EngineMetrics& engine_metrics() {
-  static EngineMetrics m;
-  return m;
-}
-
-}  // namespace
+// Handles are resolved once per engine (against the obs domain active at
+// construction); recording is a flag check + pointer write (the event
+// loop is the hottest path in the system — see bench_fig12).
+Engine::Engine()
+    : obs_dispatched_(obs::metrics().counter("sim.events_dispatched")),
+      obs_periodic_(obs::metrics().counter("sim.periodic_fires")),
+      obs_queue_depth_(obs::metrics().gauge("sim.queue_depth")) {}
 
 struct PeriodicTask::State {
   Engine* engine = nullptr;
@@ -65,7 +55,7 @@ PeriodicTask Engine::schedule_periodic(DurationMs first_delay,
       st->pending = st->engine->schedule_in(delay, [st] {
         if (st->stopped) return;
         ++st->engine->periodic_fires_;
-        engine_metrics().periodic.add();
+        st->engine->obs_periodic_.add();
         const bool keep = st->fn(st->engine->now());
         if (keep && !st->stopped) {
           arm(st, st->period);
@@ -81,9 +71,8 @@ PeriodicTask Engine::schedule_periodic(DurationMs first_delay,
 
 void Engine::count_dispatch() {
   ++events_processed_;
-  auto& m = engine_metrics();
-  m.dispatched.add();
-  m.queue_depth.set(static_cast<double>(queue_.size()));
+  obs_dispatched_.add();
+  obs_queue_depth_.set(static_cast<double>(queue_.size()));
 }
 
 TimeMs Engine::run_until(TimeMs until) {

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace cocg::sim {
@@ -37,7 +38,7 @@ class PeriodicTask {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -81,6 +82,13 @@ class Engine {
   bool stop_requested_ = false;
   std::uint64_t events_processed_ = 0;
   std::uint64_t periodic_fires_ = 0;
+
+  // Event-loop metrics, resolved per engine against the obs domain active
+  // at construction — fleet shards each run their own Engine under their
+  // own domain, so these must not be process-wide statics.
+  obs::Counter obs_dispatched_;
+  obs::Counter obs_periodic_;
+  obs::Gauge obs_queue_depth_;
 };
 
 }  // namespace cocg::sim

@@ -1,0 +1,257 @@
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "game/library.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+namespace cocg::fleet {
+namespace {
+
+/// Greedy admit-everything scheduler: model-free, so fleet tests exercise
+/// the sharding machinery without offline training cost.
+class GreedyScheduler final : public platform::Scheduler {
+ public:
+  explicit GreedyScheduler(ResourceVector alloc = {60, 90, 4000, 4000})
+      : alloc_(alloc) {}
+
+  std::string name() const override { return "greedy"; }
+
+  std::optional<platform::Placement> admit(
+      platform::PlatformView& view, const platform::GameRequest& req) override {
+    (void)req;
+    for (ServerId server : view.server_ids()) {
+      const auto& srv = view.server(server);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        if (alloc_.fits_within(srv.free_on_gpu(g))) {
+          return platform::Placement{server, g, alloc_};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  ResourceVector alloc_;
+};
+
+/// Flip the obs switches for one test and restore them after.
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool trace = false)
+      : saved_(obs::enabled()), saved_trace_(obs::trace_enabled()) {
+    obs::set_enabled(true);
+    obs::set_trace_enabled(trace);
+  }
+  ~ObsGuard() {
+    obs::set_enabled(saved_);
+    obs::set_trace_enabled(saved_trace_);
+  }
+
+ private:
+  bool saved_;
+  bool saved_trace_;
+};
+
+const game::GameSpec& contra() {
+  static const game::GameSpec g = game::make_contra();
+  return g;
+}
+const game::GameSpec& csgo() {
+  static const game::GameSpec g = game::make_csgo();
+  return g;
+}
+
+SchedulerFactory greedy_factory() {
+  return [](int) { return std::make_unique<GreedyScheduler>(); };
+}
+
+FleetConfig small_config(int shards, int threads,
+                         RouterPolicy policy = RouterPolicy::kLeastLoaded) {
+  FleetConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.policy = policy;
+  cfg.seed = 99;
+  return cfg;
+}
+
+/// Standard small fleet: `shards` shards, 2 servers each, two open-loop
+/// game streams.
+std::unique_ptr<Fleet> make_small_fleet(int shards, int threads,
+                                        RouterPolicy policy =
+                                            RouterPolicy::kLeastLoaded) {
+  auto f = std::make_unique<Fleet>(small_config(shards, threads, policy),
+                                   greedy_factory());
+  for (int i = 0; i < 2 * shards; ++i) f->add_server(hw::ServerSpec{});
+  f->add_global_source({&contra(), 60.0, 8});
+  f->add_global_source({&csgo(), 40.0, 8});
+  return f;
+}
+
+TEST(Fleet, ServersPartitionRoundRobin) {
+  Fleet f(small_config(2, 1), greedy_factory());
+  EXPECT_EQ(f.add_server(hw::ServerSpec{}), 0);
+  EXPECT_EQ(f.add_server(hw::ServerSpec{}), 1);
+  EXPECT_EQ(f.add_server(hw::ServerSpec{}), 0);
+  EXPECT_EQ(f.loads()[0].servers, 2u);
+  EXPECT_EQ(f.loads()[1].servers, 1u);
+  EXPECT_EQ(f.loads()[0].gpu_views, 4u);
+}
+
+TEST(Fleet, OpenLoopArrivalsAreConserved) {
+  auto f = make_small_fleet(3, 1);
+  f->run(30 * 60 * 1000);
+  const auto rep = f->report();
+  EXPECT_GT(rep.arrivals, 10u);
+  std::size_t routed = 0;
+  for (int i = 0; i < f->num_shards(); ++i) routed += f->routed_to(i);
+  EXPECT_EQ(routed, rep.arrivals);
+  // Every routed request is still accounted for: finished, running, or
+  // queued. Nothing lost, nothing duplicated.
+  for (const auto& row : rep.shards) {
+    EXPECT_EQ(row.routed,
+              row.completed + row.running_end + row.queued_end)
+        << "shard " << row.shard;
+  }
+  EXPECT_GT(rep.completed, 0u);
+  EXPECT_GT(rep.throughput, 0.0);
+}
+
+// The determinism contract (docs/fleet.md): thread count affects wall
+// clock only. Aggregated events, metrics, traces and results must be
+// byte-identical between a serial and a parallel run.
+TEST(Fleet, AggregateResultsIdenticalAcrossThreadCounts) {
+  ObsGuard guard(/*trace=*/true);
+  auto run_with = [](int threads) {
+    auto f = make_small_fleet(4, threads);
+    f->run(30 * 60 * 1000);
+    struct Out {
+      std::string events, metrics, trace;
+      FleetReport rep;
+      std::vector<std::size_t> routed;
+    } out;
+    out.events = f->merged_events_jsonl();
+    obs::MetricsRegistry merged;
+    f->merge_metrics(merged);
+    out.metrics = merged.to_json();
+    std::ostringstream tr;
+    f->write_merged_trace(tr);
+    out.trace = tr.str();
+    out.rep = f->report();
+    for (int i = 0; i < f->num_shards(); ++i) {
+      out.routed.push_back(f->routed_to(i));
+    }
+    return out;
+  };
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+  EXPECT_EQ(serial.events, parallel.events);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.routed, parallel.routed);
+  EXPECT_DOUBLE_EQ(serial.rep.throughput, parallel.rep.throughput);
+  EXPECT_EQ(serial.rep.completed, parallel.rep.completed);
+  EXPECT_EQ(serial.rep.arrivals, parallel.rep.arrivals);
+  ASSERT_FALSE(serial.events.empty());
+  ASSERT_GT(serial.rep.completed, 0u);
+}
+
+TEST(Fleet, SameSeedReproducesDifferentSeedDiverges) {
+  ObsGuard guard;
+  auto run_with = [](std::uint64_t seed) {
+    auto cfg = small_config(2, 2);
+    cfg.seed = seed;
+    Fleet f(cfg, greedy_factory());
+    for (int i = 0; i < 4; ++i) f.add_server(hw::ServerSpec{});
+    f.add_global_source({&contra(), 60.0, 8});
+    f.run(20 * 60 * 1000);
+    return f.merged_events_jsonl();
+  };
+  EXPECT_EQ(run_with(5), run_with(5));
+  EXPECT_NE(run_with(5), run_with(6));
+}
+
+TEST(Fleet, MergedEventsCarryShardFieldTimeOrdered) {
+  ObsGuard guard;
+  auto f = make_small_fleet(2, 2);
+  f->run(20 * 60 * 1000);
+  std::istringstream is(f->merged_events_jsonl());
+  std::string line;
+  double prev_t = -1.0;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    obs::JsonValue v;
+    ASSERT_TRUE(obs::json_parse(line, v)) << line;
+    const double shard = v.get_number("shard", -1.0);
+    EXPECT_GE(shard, 0.0);
+    EXPECT_LT(shard, 2.0);
+    const double t = v.get_number("t", -1.0);
+    EXPECT_GE(t, prev_t);
+    prev_t = t;
+  }
+  EXPECT_GT(lines, 0u);
+}
+
+TEST(Fleet, MergedTraceRendersShardsAsProcessGroups) {
+  ObsGuard guard(/*trace=*/true);
+  auto f = make_small_fleet(2, 2);
+  f->run(20 * 60 * 1000);
+  std::ostringstream os;
+  f->write_merged_trace(os);
+  const std::string trace = os.str();
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(trace, v));
+  EXPECT_NE(trace.find("shard0/"), std::string::npos);
+  EXPECT_NE(trace.find("shard1/"), std::string::npos);
+  // Shard 1's pids live in the second stride block (platform pids are
+  // 1-based server ids).
+  EXPECT_NE(trace.find("\"pid\":" + std::to_string(kShardPidStride + 1)),
+            std::string::npos);
+}
+
+TEST(Fleet, MergedMetricsSumShardCounters) {
+  ObsGuard guard;
+  auto f = make_small_fleet(2, 1);
+  f->run(20 * 60 * 1000);
+  std::uint64_t per_shard_sum = 0;
+  for (int i = 0; i < 2; ++i) {
+    per_shard_sum += f->shard_domain(i).metrics.counter_value(
+        "platform.requests_submitted");
+  }
+  obs::MetricsRegistry merged;
+  f->merge_metrics(merged);
+  EXPECT_EQ(merged.counter_value("platform.requests_submitted"),
+            per_shard_sum);
+  EXPECT_EQ(per_shard_sum, f->arrivals_generated());
+  // The process-global registry saw none of the shard activity.
+  EXPECT_EQ(obs::global_domain().metrics.counter_value(
+                "platform.requests_submitted"),
+            0u);
+}
+
+TEST(Fleet, ShardSourceBypassesRouter) {
+  auto cfg = small_config(2, 1);
+  Fleet f(cfg, greedy_factory());
+  for (int i = 0; i < 4; ++i) f.add_server(hw::ServerSpec{});
+  f.add_shard_source(0, {&contra(), 2, 4});
+  f.run(40 * 60 * 1000);
+  EXPECT_EQ(f.arrivals_generated(), 0u);
+  EXPECT_EQ(f.routed_to(0), 0u);
+  const auto rep = f.report();
+  EXPECT_GT(rep.shards[0].completed, 0u);
+  EXPECT_EQ(rep.shards[1].completed, 0u);
+}
+
+TEST(Fleet, RunIsOneShot) {
+  auto f = make_small_fleet(1, 1);
+  f->run(60 * 1000);
+  EXPECT_THROW(f->run(60 * 1000), ContractError);
+}
+
+}  // namespace
+}  // namespace cocg::fleet

@@ -1,0 +1,113 @@
+#include "fleet/router.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace cocg::fleet {
+namespace {
+
+std::vector<ShardLoad> uniform_loads(int n, std::size_t views = 4) {
+  std::vector<ShardLoad> loads(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    loads[static_cast<std::size_t>(i)].shard = i;
+    loads[static_cast<std::size_t>(i)].gpu_views = views;
+  }
+  return loads;
+}
+
+TEST(RouterPolicyNames, RoundTripAndAliases) {
+  for (auto p : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+                 RouterPolicy::kPowerOfTwo}) {
+    const auto parsed = parse_router_policy(router_policy_name(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+  EXPECT_EQ(parse_router_policy("rr"), RouterPolicy::kRoundRobin);
+  EXPECT_EQ(parse_router_policy("ll"), RouterPolicy::kLeastLoaded);
+  EXPECT_EQ(parse_router_policy("p2c"), RouterPolicy::kPowerOfTwo);
+  EXPECT_FALSE(parse_router_policy("bogus").has_value());
+}
+
+TEST(Router, RoundRobinCycles) {
+  Router r(RouterPolicy::kRoundRobin, 1);
+  auto loads = uniform_loads(3);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(r.route(loads), i % 3);
+  }
+}
+
+TEST(Router, LeastLoadedPicksFewestPerView) {
+  Router r(RouterPolicy::kLeastLoaded, 1);
+  auto loads = uniform_loads(3);
+  loads[0].running = 8;
+  loads[1].running = 2;
+  loads[2].running = 5;
+  EXPECT_EQ(r.route(loads), 1);
+}
+
+TEST(Router, LeastLoadedNormalizesByGpuViews) {
+  Router r(RouterPolicy::kLeastLoaded, 1);
+  // Shard 0 has more sessions but far more views: 10/16 < 4/2.
+  auto loads = uniform_loads(2);
+  loads[0].gpu_views = 16;
+  loads[0].running = 10;
+  loads[1].gpu_views = 2;
+  loads[1].running = 4;
+  EXPECT_EQ(r.route(loads), 0);
+}
+
+TEST(Router, LeastLoadedTieBreaksOnUtilization) {
+  Router r(RouterPolicy::kLeastLoaded, 1);
+  auto loads = uniform_loads(2);
+  loads[0].mean_utilization = 0.9;
+  loads[1].mean_utilization = 0.1;
+  EXPECT_EQ(r.route(loads), 1);
+}
+
+TEST(Router, RouteSpreadsWithinEpoch) {
+  // The snapshot is only refreshed at epoch barriers; route() accounts for
+  // its own decisions so a burst does not herd onto the snapshot minimum.
+  Router r(RouterPolicy::kLeastLoaded, 1);
+  auto loads = uniform_loads(4, 1);
+  std::map<int, int> picks;
+  for (int i = 0; i < 8; ++i) ++picks[r.route(loads)];
+  ASSERT_EQ(picks.size(), 4u);
+  for (const auto& [shard, n] : picks) EXPECT_EQ(n, 2) << shard;
+}
+
+TEST(Router, PowerOfTwoPrefersCheaperOfSampledPair) {
+  // With 2 shards the sampled pair is always {0, 1}; the pick must be the
+  // lower forward cost (plus this request's own cost contribution).
+  Router r(RouterPolicy::kPowerOfTwo, 7);
+  auto loads = uniform_loads(2, 1000000);  // huge views: route() cost ~0
+  loads[0].forward_cost = 5.0;
+  loads[1].forward_cost = 1.0;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.route(loads), 1);
+  loads[0].forward_cost = 0.5;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.route(loads), 0);
+}
+
+TEST(Router, PowerOfTwoIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Router r(RouterPolicy::kPowerOfTwo, seed);
+    auto loads = uniform_loads(8);
+    std::vector<int> picks;
+    for (int i = 0; i < 64; ++i) picks.push_back(r.route(loads));
+    return picks;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Router, SingleShardAlwaysZero) {
+  for (auto p : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
+                 RouterPolicy::kPowerOfTwo}) {
+    Router r(p, 9);
+    auto loads = uniform_loads(1);
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(r.route(loads), 0);
+  }
+}
+
+}  // namespace
+}  // namespace cocg::fleet

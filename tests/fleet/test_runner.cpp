@@ -1,0 +1,98 @@
+#include "fleet/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace cocg::fleet {
+namespace {
+
+TEST(EpochPool, RunsEveryJobExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    EpochPool pool(threads);
+    std::vector<std::atomic<int>> hits(13);
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      jobs.push_back([&hits, i] { ++hits[i]; });
+    }
+    pool.run(jobs);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads;
+  }
+}
+
+TEST(EpochPool, RunIsABarrierAcrossEpochs) {
+  EpochPool pool(4);
+  std::atomic<int> done{0};
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back([&done, epoch] {
+        // Every job of epoch N must observe all of epoch N-1 finished.
+        EXPECT_EQ(done.load() / 4, epoch);
+        ++done;
+      });
+    }
+    pool.run(jobs);
+    EXPECT_EQ(done.load(), (epoch + 1) * 4);
+  }
+}
+
+TEST(EpochPool, SingleThreadRunsInline) {
+  EpochPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(3);
+  std::vector<std::function<void()>> jobs;
+  std::vector<int> order;
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    jobs.push_back([&, i] {
+      seen[i] = std::this_thread::get_id();
+      order.push_back(static_cast<int>(i));
+    });
+  }
+  pool.run(jobs);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EpochPool, RethrowsFirstExceptionByJobIndex) {
+  EpochPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> jobs = {
+      [&] { ++ran; },
+      [] { throw std::runtime_error("job one"); },
+      [] { throw std::runtime_error("job two"); },
+      [&] { ++ran; },
+  };
+  try {
+    pool.run(jobs);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job one");
+  }
+  // The pool survives a throwing epoch.
+  std::vector<std::function<void()>> ok = {[&] { ++ran; }};
+  pool.run(ok);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(EpochPool, MoreJobsThanThreads) {
+  EpochPool pool(3);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> jobs;
+  for (int i = 1; i <= 100; ++i) {
+    jobs.push_back([&sum, i] { sum += i; });
+  }
+  pool.run(jobs);
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(EpochPool, EmptyJobListIsANoOp) {
+  EpochPool pool(2);
+  pool.run({});
+  pool.run({});
+}
+
+}  // namespace
+}  // namespace cocg::fleet

@@ -165,6 +165,64 @@ TEST(Metrics, JsonExportParsesAndCarriesValues) {
   EXPECT_EQ(buckets->array[2].number, 0.0);
 }
 
+TEST(MetricsMerge, CountersSumAcrossRegistries) {
+  ObsGuard guard(true);
+  MetricsRegistry a, b;
+  a.counter("shared").add(3);
+  b.counter("shared").add(4);
+  b.counter("only_b").add(7);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("shared"), 7u);
+  EXPECT_EQ(a.counter_value("only_b"), 7u);
+  // Source is untouched.
+  EXPECT_EQ(b.counter_value("shared"), 4u);
+}
+
+TEST(MetricsMerge, GaugeLastWriteWins) {
+  ObsGuard guard(true);
+  MetricsRegistry a, b, c;
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge("g").value(), 2.0);
+  // A registry that never wrote the gauge must not clobber the value.
+  c.gauge("g");
+  a.merge_from(c);
+  EXPECT_EQ(a.gauge("g").value(), 2.0);
+}
+
+TEST(MetricsMerge, HistogramsSumBucketwise) {
+  ObsGuard guard(true);
+  MetricsRegistry a, b;
+  Histogram ha = a.histogram("h", {10.0, 20.0});
+  Histogram hb = b.histogram("h", {10.0, 20.0});
+  ha.record(5.0);
+  hb.record(15.0);
+  hb.record(25.0);
+  a.merge_from(b);
+  Histogram merged = a.histogram("h", {10.0, 20.0});
+  EXPECT_EQ(merged.bucket(0), 1u);
+  EXPECT_EQ(merged.bucket(1), 1u);
+  EXPECT_EQ(merged.bucket(2), 1u);
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_DOUBLE_EQ(merged.sum(), 45.0);
+}
+
+TEST(MetricsMerge, MergeIntoEmptyCopiesEverything) {
+  ObsGuard guard(true);
+  MetricsRegistry src, dst;
+  src.counter("c").add(2);
+  src.gauge("g").set(9.0);
+  src.histogram("h", {1.0}).record(0.5);
+  dst.merge_from(src);
+  EXPECT_EQ(dst.counter_value("c"), 2u);
+  EXPECT_EQ(dst.gauge("g").value(), 9.0);
+  EXPECT_EQ(dst.histogram("h", {1.0}).count(), 1u);
+  // Merging is additive and repeatable (shard-order folds rely on this).
+  dst.merge_from(src);
+  EXPECT_EQ(dst.counter_value("c"), 4u);
+}
+
 TEST(Metrics, SnapshotAccessors) {
   ObsGuard guard(true);
   MetricsRegistry reg;

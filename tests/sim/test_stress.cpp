@@ -1,12 +1,15 @@
 // Stress and interplay properties for the discrete-event engine: large
 // random schedules with interleaved cancellations must preserve ordering,
-// liveness accounting, and determinism.
+// liveness accounting, and determinism — plus multi-shard fleet stress
+// (skewed load, router rebalance, arrival conservation).
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <vector>
 
 #include "common/rng.h"
+#include "fleet/fleet.h"
+#include "game/library.h"
 #include "sim/engine.h"
 
 namespace cocg::sim {
@@ -111,3 +114,125 @@ TEST(SimStress, PeriodicStopFromWithinCallback) {
 
 }  // namespace
 }  // namespace cocg::sim
+
+namespace cocg::fleet {
+namespace {
+
+/// Model-free admit-if-it-fits scheduler (no offline training) — the
+/// stress runs exercise routing and sharding, not admission policy.
+class GreedyScheduler final : public platform::Scheduler {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::optional<platform::Placement> admit(
+      platform::PlatformView& view, const platform::GameRequest& req) override {
+    (void)req;
+    // CPU 40% × 2 GPUs = 80% of the server: two concurrent sessions per
+    // server, one per GPU view.
+    const ResourceVector alloc{40, 90, 3500, 3500};
+    for (ServerId server : view.server_ids()) {
+      const auto& srv = view.server(server);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        if (alloc.fits_within(srv.free_on_gpu(g))) {
+          return platform::Placement{server, g, alloc};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+struct SkewOutcome {
+  std::size_t arrivals = 0;
+  std::vector<std::size_t> routed;
+  FleetReport report;
+};
+
+/// 4 shards x 1 server; shard 0 is pre-saturated by a closed-loop DOTA2
+/// source (long game — no run finishes inside the horizon) while a global
+/// open-loop Contra stream hits the router.
+SkewOutcome run_skewed(RouterPolicy policy, int threads) {
+  static const game::GameSpec dota = game::make_dota2();
+  static const game::GameSpec contra = game::make_contra();
+  constexpr int kShards = 4;
+  constexpr int kSkewSessions = 2;  // fills shard 0's two GPU views
+
+  FleetConfig cfg;
+  cfg.shards = kShards;
+  cfg.threads = threads;
+  cfg.policy = policy;
+  cfg.seed = 7;
+  Fleet f(cfg, [](int) { return std::make_unique<GreedyScheduler>(); });
+  for (int i = 0; i < kShards; ++i) f.add_server(hw::ServerSpec{});
+  f.add_shard_source(0, {&dota, kSkewSessions, 4});
+  // Light enough that the three healthy shards keep draining: a load-aware
+  // router has no reason to touch the saturated shard.
+  f.add_global_source({&contra, 60.0, 16});
+  f.run(20 * 60 * 1000);
+
+  SkewOutcome out;
+  out.arrivals = f.arrivals_generated();
+  for (int i = 0; i < kShards; ++i) out.routed.push_back(f.routed_to(i));
+  out.report = f.report();
+  // No arrival lost or duplicated: shards 1..3 see only routed requests.
+  // Shard 0 additionally carries the closed-loop skew: exactly
+  // kSkewSessions outstanding at all times (each completion re-issues),
+  // plus one completed run per finished skew session.
+  for (int i = 1; i < kShards; ++i) {
+    const auto& row = out.report.shards[static_cast<std::size_t>(i)];
+    EXPECT_EQ(row.routed, row.completed + row.running_end + row.queued_end)
+        << router_policy_name(policy) << " shard " << i;
+  }
+  const auto it = out.report.per_game.find("DOTA2");
+  const std::size_t skew_completed =
+      it != out.report.per_game.end()
+          ? static_cast<std::size_t>(it->second.completed)
+          : 0u;
+  const auto& s0 = out.report.shards[0];
+  EXPECT_EQ(s0.routed + kSkewSessions + skew_completed,
+            s0.completed + s0.running_end + s0.queued_end)
+      << router_policy_name(policy);
+  std::size_t total_routed = 0;
+  for (auto r : out.routed) total_routed += r;
+  EXPECT_EQ(total_routed, out.arrivals);
+  return out;
+}
+
+TEST(FleetStress, LoadAwarePoliciesRebalanceAwayFromSkewedShard) {
+  const auto rr = run_skewed(RouterPolicy::kRoundRobin, 2);
+  const auto ll = run_skewed(RouterPolicy::kLeastLoaded, 2);
+  const auto p2c = run_skewed(RouterPolicy::kPowerOfTwo, 2);
+
+  // All three policies saw the identical arrival stream (same fleet seed;
+  // routing does not consume the arrival RNG).
+  ASSERT_EQ(rr.arrivals, ll.arrivals);
+  ASSERT_EQ(rr.arrivals, p2c.arrivals);
+  ASSERT_GT(rr.arrivals, 20u);
+
+  // Round-robin is load-blind: the saturated shard keeps receiving its
+  // even share and a backlog piles up behind the skew sessions.
+  EXPECT_GE(rr.routed[0] * 5, rr.arrivals);  // >= 20% of the stream
+  EXPECT_GT(rr.report.shards[0].queued_end, 0u);
+
+  // The load-aware policies divert most of the skewed shard's share to
+  // the idle shards.
+  EXPECT_LT(ll.routed[0] * 2, rr.routed[0]);
+  EXPECT_LT(p2c.routed[0], rr.routed[0]);
+  EXPECT_LE(ll.report.shards[0].queued_end,
+            rr.report.shards[0].queued_end);
+  // Diverted work actually lands elsewhere, it does not evaporate.
+  EXPECT_GT(ll.routed[1] + ll.routed[2] + ll.routed[3],
+            rr.routed[1] + rr.routed[2] + rr.routed[3]);
+  EXPECT_GE(ll.report.completed, rr.report.completed);
+}
+
+TEST(FleetStress, SkewedFleetDeterministicAcrossThreadCounts) {
+  const auto serial = run_skewed(RouterPolicy::kLeastLoaded, 1);
+  const auto parallel = run_skewed(RouterPolicy::kLeastLoaded, 4);
+  EXPECT_EQ(serial.arrivals, parallel.arrivals);
+  EXPECT_EQ(serial.routed, parallel.routed);
+  EXPECT_EQ(serial.report.completed, parallel.report.completed);
+  EXPECT_DOUBLE_EQ(serial.report.throughput, parallel.report.throughput);
+}
+
+}  // namespace
+}  // namespace cocg::fleet

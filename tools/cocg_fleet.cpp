@@ -1,0 +1,248 @@
+// cocg_fleet — sharded multi-cluster simulation from the command line.
+//
+//   cocg_fleet [--shards K] [--threads T] [--policy rr|ll|p2c]
+//              [--servers N] [--gpus G] [--arrivals-per-hour X]
+//              [--minutes M] [--seed S] [--scheduler cocg|vbp|gaugur|improved]
+//              [--games "A,B,..."]
+//              [--metrics-out m.json] [--events-out e.jsonl]
+//              [--trace-out t.json]
+//
+// Partitions N servers round-robin into K shards (each its own engine +
+// platform + scheduler), feeds one global open-loop Poisson arrival
+// stream per game through the router, runs the shards in lockstep epochs
+// on T threads, and prints the merged fleet report. The observability
+// flags dump the *merged* per-shard registries, the time-ordered event
+// JSONL (with a shard field), and a Perfetto trace with one process
+// group per shard.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+#include "core/offline.h"
+#include "fleet/fleet.h"
+#include "game/library.h"
+#include "obs/cli.h"
+
+using namespace cocg;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: cocg_fleet [options]\n"
+         "  --shards K             number of shards (default 2)\n"
+         "  --threads T            runner threads (default = shards)\n"
+         "  --policy P             rr | ll | p2c (default ll)\n"
+         "  --servers N            total servers, split round-robin"
+         " (default 2*shards)\n"
+         "  --gpus G               GPUs per server (default 2)\n"
+         "  --arrivals-per-hour X  per-game Poisson rate (default 30)\n"
+         "  --minutes M            horizon in simulated minutes"
+         " (default 30)\n"
+         "  --seed S               fleet seed (default 42)\n"
+         "  --scheduler NAME       cocg | vbp | gaugur | improved"
+         " (default cocg)\n"
+         "  --games \"A,B\"          comma-separated subset of the paper"
+         " suite (default: all)\n"
+      << obs::cli_usage();
+  return 2;
+}
+
+std::unique_ptr<platform::Scheduler> make_scheduler(
+    const std::string& name, std::map<std::string, core::TrainedGame> m) {
+  if (name == "cocg") {
+    return std::make_unique<core::CocgScheduler>(std::move(m));
+  }
+  if (name == "vbp") {
+    return std::make_unique<core::VbpScheduler>(std::move(m));
+  }
+  if (name == "gaugur") {
+    return std::make_unique<core::GaugurScheduler>(std::move(m));
+  }
+  if (name == "improved") {
+    return std::make_unique<core::ImprovedScheduler>(std::move(m));
+  }
+  throw std::runtime_error("unknown scheduler: " + name);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+
+    int shards = 2;
+    int threads = 0;  // 0 → match shards
+    std::string policy_name = "ll";
+    int servers = 0;  // 0 → 2 per shard
+    int gpus = 2;
+    double arrivals_per_hour = 30.0;
+    int minutes = 30;
+    std::uint64_t seed = 42;
+    std::string sched_name = "cocg";
+    std::string games_csv;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= args.size()) {
+          throw std::runtime_error("missing value for " + a);
+        }
+        return args[++i];
+      };
+      if (a == "--shards") shards = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--threads") threads = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--policy") policy_name = next();
+      else if (a == "--servers") servers = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--gpus") gpus = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--arrivals-per-hour") arrivals_per_hour = std::atof(next().c_str());
+      else if (a == "--minutes") minutes = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+      else if (a == "--scheduler") sched_name = next();
+      else if (a == "--games") games_csv = next();
+      else if (a == "--help" || a == "-h") return usage();
+      else {
+        std::cerr << "unknown flag: " << a << "\n";
+        return usage();
+      }
+    }
+    const auto policy = fleet::parse_router_policy(policy_name);
+    if (!policy) {
+      std::cerr << "unknown policy: " << policy_name << "\n";
+      return usage();
+    }
+    if (threads == 0) threads = shards;
+    if (servers == 0) servers = 2 * shards;
+
+    static const std::vector<game::GameSpec> suite = game::paper_suite();
+    std::vector<const game::GameSpec*> games;
+    if (games_csv.empty()) {
+      for (const auto& g : suite) games.push_back(&g);
+    } else {
+      for (const auto& name : split_csv(games_csv)) {
+        const game::GameSpec* found = nullptr;
+        for (const auto& g : suite) {
+          if (g.name == name) found = &g;
+        }
+        if (found == nullptr) {
+          std::cerr << "unknown game: " << name << "\n";
+          return usage();
+        }
+        games.push_back(found);
+      }
+    }
+
+    std::cout << "training models (once per shard, same seed)...\n";
+    core::OfflineConfig ocfg;
+    ocfg.profiling_runs = 8;
+    ocfg.corpus_runs = 40;
+    ocfg.seed = seed;
+
+    fleet::FleetConfig fcfg;
+    fcfg.shards = shards;
+    fcfg.threads = threads;
+    fcfg.policy = *policy;
+    fcfg.seed = seed;
+    fleet::Fleet sim(fcfg, [&](int) {
+      return make_scheduler(sched_name, core::train_suite(suite, ocfg));
+    });
+
+    hw::ServerSpec spec;
+    spec.num_gpus = gpus;
+    for (int i = 0; i < servers; ++i) sim.add_server(spec);
+    for (const auto* g : games) {
+      sim.add_global_source({g, arrivals_per_hour, 16});
+    }
+
+    std::cout << "running " << shards << " shard(s) x " << servers
+              << " server(s) under " << sched_name << ", policy "
+              << fleet::router_policy_name(*policy) << ", " << threads
+              << " thread(s), " << minutes << " min...\n";
+    const auto wall0 = std::chrono::steady_clock::now();
+    const DurationMs horizon = static_cast<DurationMs>(minutes) * 60 * 1000;
+    sim.run(horizon);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+
+    const auto rep = sim.report();
+    TablePrinter table({"metric", "value"});
+    table.add_row({"simulated minutes", std::to_string(minutes)});
+    table.add_row({"wall seconds", TablePrinter::fmt(wall_s, 2)});
+    table.add_row({"sim-seconds per wall-second",
+                   TablePrinter::fmt(ms_to_sec(horizon) / wall_s, 0)});
+    table.add_row({"arrivals generated", std::to_string(rep.arrivals)});
+    table.add_row({"completed runs", std::to_string(rep.completed)});
+    table.add_row({"throughput T (game-seconds)",
+                   TablePrinter::fmt(rep.throughput, 0)});
+    table.add_row({"QoS violations (s)",
+                   TablePrinter::fmt(rep.qos_violation_s, 0)});
+    table.add_row({"mean admission wait (s)",
+                   TablePrinter::fmt(rep.mean_wait_s, 1)});
+    table.print(std::cout);
+
+    TablePrinter per_shard({"shard", "servers", "routed", "completed",
+                            "T (game-s)", "queued@end", "running@end"});
+    for (const auto& row : rep.shards) {
+      per_shard.add_row({std::to_string(row.shard),
+                         std::to_string(row.servers),
+                         std::to_string(row.routed),
+                         std::to_string(row.completed),
+                         TablePrinter::fmt(row.throughput, 0),
+                         std::to_string(row.queued_end),
+                         std::to_string(row.running_end)});
+    }
+    per_shard.print(std::cout);
+
+    // Merged observability outputs (the global-domain sinks the generic
+    // obs::write_outputs would dump stay empty — shards record into their
+    // own domains).
+    if (!obs_opts.metrics_out.empty()) {
+      obs::MetricsRegistry merged;
+      sim.merge_metrics(merged);
+      std::ofstream os(obs_opts.metrics_out);
+      if (!os) throw std::runtime_error("cannot open " + obs_opts.metrics_out);
+      merged.write_json(os);
+      std::cout << "wrote merged metrics to " << obs_opts.metrics_out << "\n";
+    }
+    if (!obs_opts.events_out.empty()) {
+      std::ofstream os(obs_opts.events_out);
+      if (!os) throw std::runtime_error("cannot open " + obs_opts.events_out);
+      sim.write_merged_events_jsonl(os);
+      std::cout << "wrote merged events to " << obs_opts.events_out << "\n";
+    }
+    if (!obs_opts.trace_out.empty()) {
+      std::ofstream os(obs_opts.trace_out);
+      if (!os) throw std::runtime_error("cannot open " + obs_opts.trace_out);
+      sim.write_merged_trace(os);
+      std::cout << "wrote merged trace to " << obs_opts.trace_out << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
