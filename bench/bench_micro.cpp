@@ -2,16 +2,34 @@
 // and the ML substrate: event-queue churn, whole-server contention
 // resolution, session ticking, K-means fitting, tree training and the
 // stage predictor's online inference.
+//
+// After the google-benchmark suite, main() runs a hand-timed
+// compiled-inference harness (legacy tree walk vs CompiledForest, scalar
+// vs batch) and writes BENCH_micro_inference.json via bench::BenchJson —
+// the acceptance gate asserts >= 2x for batched inference over the
+// legacy per-row tree walk on the RF-25 model.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/rng.h"
+#include "common/table.h"
 #include "core/offline.h"
 #include "game/library.h"
 #include "game/plan.h"
 #include "game/session.h"
 #include "hw/contention.h"
 #include "hw/server.h"
+#include "ml/compiled.h"
+#include "ml/gbdt.h"
 #include "ml/kmeans.h"
+#include "ml/random_forest.h"
 #include "ml/tree.h"
 #include "sim/engine.h"
 
@@ -130,7 +148,214 @@ void BM_OfflineTrainGame(benchmark::State& state) {
 }
 BENCHMARK(BM_OfflineTrainGame);
 
+// ---------------------------------------------------------------------------
+// Compiled-inference harness (hand-timed; emits BENCH_micro_inference.json)
+// ---------------------------------------------------------------------------
+
+/// Synthetic multiclass stage-prediction-shaped dataset: a few threshold
+/// rules over 8 features plus label noise, so trees of realistic depth
+/// emerge.
+ml::Dataset synth_dataset(std::size_t rows, int classes, Rng& rng) {
+  ml::Dataset d({"f0", "f1", "f2", "f3", "f4", "f5", "f6", "f7"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    ml::FeatureRow x(8);
+    for (auto& v : x) v = rng.uniform(0.0, 10.0);
+    int label = (x[0] + x[1] > 10.0 ? 1 : 0) + (x[2] > 5.0 ? 2 : 0) +
+                (x[3] + x[4] > 9.0 ? 1 : 0) + (x[5] > 7.0 ? 1 : 0);
+    if (rng.uniform(0.0, 1.0) < 0.08) {
+      label = static_cast<int>(rng.uniform_int(0, classes - 1));
+    }
+    d.add(x, label % classes);
+  }
+  return d;
+}
+
+/// Best-of-`reps` throughput of `body` over `rows` rows; `body` returns a
+/// checksum that is fed to DoNotOptimize so nothing is dead-code-eliminated.
+template <typename F>
+double best_rows_per_s(std::size_t rows, int reps, F&& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    double checksum = body();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    benchmark::DoNotOptimize(checksum);
+    best = std::max(best, static_cast<double>(rows) / s);
+  }
+  return best;
+}
+
+struct InferenceResult {
+  std::string model;
+  std::size_t trees = 0;
+  double treewalk_rows_per_s = 0.0;        ///< legacy per-row predict_proba
+  double compiled_scalar_rows_per_s = 0.0; ///< predict_proba_into per row
+  double compiled_batch_rows_per_s = 0.0;  ///< predict_proba_batch
+  double batch_predict_rows_per_s = 0.0;   ///< predict_batch (labels only)
+  bool parity = true;  ///< compiled == legacy, bit for bit, on every row
+};
+
+template <typename Legacy>
+InferenceResult run_inference_bench(const std::string& name,
+                                    const Legacy& legacy,
+                                    const ml::CompiledForest& compiled,
+                                    const std::vector<ml::FeatureRow>& rows,
+                                    int reps) {
+  InferenceResult res;
+  res.model = name;
+  res.trees = compiled.num_trees();
+  const std::size_t n = rows.size();
+  const auto k = static_cast<std::size_t>(compiled.num_classes());
+  const ml::FeatureMatrix m = ml::FeatureMatrix::from_rows(rows);
+
+  for (const auto& x : rows) {
+    const auto want = legacy.predict_proba(x);
+    if (want != compiled.predict_proba(x)) res.parity = false;
+  }
+  std::vector<double> batch(n * k, 0.0);
+  compiled.predict_proba_batch(m, batch);
+  for (std::size_t i = 0; i < n && res.parity; ++i) {
+    const auto want = legacy.predict_proba(rows[i]);
+    for (std::size_t c = 0; c < k; ++c) {
+      if (batch[i * k + c] != want[c]) res.parity = false;
+    }
+  }
+
+  res.treewalk_rows_per_s = best_rows_per_s(n, reps, [&] {
+    double sum = 0.0;
+    for (const auto& x : rows) sum += legacy.predict_proba(x)[0];
+    return sum;
+  });
+  std::vector<double> scratch(k, 0.0);
+  res.compiled_scalar_rows_per_s = best_rows_per_s(n, reps, [&] {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      compiled.predict_proba_into(m.row(i), scratch);
+      sum += scratch[0];
+    }
+    return sum;
+  });
+  res.compiled_batch_rows_per_s = best_rows_per_s(n, reps, [&] {
+    compiled.predict_proba_batch(m, batch);
+    return batch[0];
+  });
+  std::vector<int> labels(n, 0);
+  res.batch_predict_rows_per_s = best_rows_per_s(n, reps, [&] {
+    compiled.predict_batch(m, labels);
+    return static_cast<double>(labels[0]);
+  });
+  return res;
+}
+
+int run_compiled_inference_harness() {
+  bench::banner("micro_inference",
+                "compiled vs tree-walk, batch vs scalar inference");
+  constexpr std::size_t kTrainRows = 1500;
+  constexpr std::size_t kEvalRows = 4000;
+  constexpr int kClasses = 6;
+  constexpr int kReps = 9;
+
+  Rng rng(20240806);
+  const ml::Dataset train = synth_dataset(kTrainRows, kClasses, rng);
+  std::vector<ml::FeatureRow> eval_rows;
+  eval_rows.reserve(kEvalRows);
+  {
+    const ml::Dataset held = synth_dataset(kEvalRows, kClasses, rng);
+    for (std::size_t i = 0; i < held.size(); ++i) {
+      eval_rows.push_back(held.x(i));
+    }
+  }
+
+  ml::TreeConfig dtc_cfg;
+  dtc_cfg.max_depth = 8;
+  ml::DecisionTreeClassifier dtc(dtc_cfg);
+  Rng fit_rng(1);
+  dtc.fit(train, fit_rng);
+  // Default RandomForestConfig is the paper-default 25-tree forest: the
+  // acceptance criterion's "RF-25".
+  ml::RandomForestClassifier rf;
+  rf.fit(train, fit_rng);
+  ml::GbdtClassifier gbdt;
+  gbdt.fit(train, fit_rng);
+
+  std::vector<InferenceResult> results;
+  results.push_back(run_inference_bench(
+      "DTC", dtc, ml::CompiledForest::compile(dtc), eval_rows, kReps));
+  results.push_back(run_inference_bench(
+      "RF-25", rf, ml::CompiledForest::compile(rf), eval_rows, kReps));
+  results.push_back(run_inference_bench(
+      "GBDT", gbdt, ml::CompiledForest::compile(gbdt), eval_rows, kReps));
+
+  bench::BenchJson json("micro_inference");
+  json.set("train_rows", static_cast<double>(kTrainRows));
+  json.set("eval_rows", static_cast<double>(kEvalRows));
+  json.set("classes", static_cast<double>(kClasses));
+
+  TablePrinter table({"model", "trees", "tree-walk rows/s",
+                      "compiled scalar rows/s", "compiled batch rows/s",
+                      "batch vs walk", "parity"});
+  bool all_parity = true;
+  for (const auto& r : results) {
+    all_parity = all_parity && r.parity;
+    const double speedup_batch =
+        r.compiled_batch_rows_per_s / r.treewalk_rows_per_s;
+    table.add_row({r.model, std::to_string(r.trees),
+                   TablePrinter::fmt(r.treewalk_rows_per_s, 0),
+                   TablePrinter::fmt(r.compiled_scalar_rows_per_s, 0),
+                   TablePrinter::fmt(r.compiled_batch_rows_per_s, 0),
+                   TablePrinter::fmt(speedup_batch, 2) + "x",
+                   r.parity ? "exact" : "MISMATCH"});
+    json.row()
+        .set("model", r.model)
+        .set("trees", static_cast<double>(r.trees))
+        .set("treewalk_proba_rows_per_s", r.treewalk_rows_per_s)
+        .set("compiled_scalar_proba_rows_per_s", r.compiled_scalar_rows_per_s)
+        .set("compiled_batch_proba_rows_per_s", r.compiled_batch_rows_per_s)
+        .set("compiled_batch_predict_rows_per_s", r.batch_predict_rows_per_s)
+        .set("speedup_batch_vs_treewalk", speedup_batch)
+        .set("speedup_scalar_vs_treewalk",
+             r.compiled_scalar_rows_per_s / r.treewalk_rows_per_s)
+        .set("speedup_batch_vs_scalar",
+             r.compiled_batch_rows_per_s / r.compiled_scalar_rows_per_s)
+        .set("parity", r.parity ? 1.0 : 0.0);
+  }
+  table.print(std::cout);
+
+  // The acceptance gate: batched predict_batch throughput vs the legacy
+  // per-row predict_proba tree walk, on the default 25-tree forest.
+  const auto& rf_res = results[1];
+  const double rf_speedup =
+      rf_res.batch_predict_rows_per_s / rf_res.treewalk_rows_per_s;
+  json.set("rf25_treewalk_proba_rows_per_s", rf_res.treewalk_rows_per_s);
+  json.set("rf25_compiled_scalar_proba_rows_per_s",
+           rf_res.compiled_scalar_rows_per_s);
+  json.set("rf25_compiled_batch_proba_rows_per_s",
+           rf_res.compiled_batch_rows_per_s);
+  json.set("rf25_compiled_batch_predict_rows_per_s",
+           rf_res.batch_predict_rows_per_s);
+  json.set("rf25_speedup_batch_vs_treewalk", rf_speedup);
+  json.set("parity_all_models", all_parity ? 1.0 : 0.0);
+  json.write();
+
+  const bool pass = all_parity && rf_speedup >= 2.0;
+  std::cout << (pass ? "PASS" : "FAIL")
+            << ": RF-25 batched predict_batch is "
+            << TablePrinter::fmt(rf_speedup, 2)
+            << "x the legacy per-row predict_proba tree walk (gate: >= 2x,"
+               " parity "
+            << (all_parity ? "exact" : "BROKEN") << ")\n";
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace cocg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return cocg::run_compiled_inference_harness();
+}

@@ -340,6 +340,18 @@ void CocgScheduler::control(platform::PlatformView& view) {
   }
   for (const auto& [game, _] : replace) {
     auto& tg = models_.at(game);
+    if (!tg.predictor->can_retrain()) {
+      // Bundle restored without its training corpus (§IV-B2 fallback
+      // unavailable): keep the current model and clear the streaks so the
+      // request does not repeat every control tick.
+      COCG_INFO("CoCG cannot replace model for "
+                << game << " (no training corpus in bundle), keeping "
+                << ml::model_kind_name(tg.predictor->model_kind()));
+      for (auto& [sid, st] : state_) {
+        if (st.game == game) st.monitor->reset_error_streak();
+      }
+      continue;
+    }
     tg.predictor->replace_model(rng_);
     ++model_replacements_;
     obs_replacements_.add();

@@ -4,11 +4,14 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/textio.h"
+
 namespace cocg::core {
 
 namespace {
 
 constexpr const char* kMagic = "cocg-profile-v1";
+constexpr const char* kVersionPrefix = "cocg-profile-";
 
 void write_vector(std::ostream& os, const ResourceVector& v) {
   for (std::size_t i = 0; i < kNumDims; ++i) {
@@ -16,31 +19,22 @@ void write_vector(std::ostream& os, const ResourceVector& v) {
   }
 }
 
-ResourceVector read_vector(std::istringstream& is, const std::string& ctx) {
+ResourceVector read_vector(LineReader& r, std::istringstream& is,
+                           const std::string& ctx) {
   ResourceVector v;
   for (std::size_t i = 0; i < kNumDims; ++i) {
-    if (!(is >> v.at(i))) {
-      throw std::runtime_error("profile parse error in " + ctx);
-    }
+    v.at(i) = r.field<double>(is, ctx);
   }
   return v;
-}
-
-std::istringstream expect_line(std::istream& is, const std::string& key) {
-  std::string line;
-  if (!std::getline(is, line)) {
-    throw std::runtime_error("profile truncated before '" + key + "'");
-  }
-  if (line.rfind(key, 0) != 0) {
-    throw std::runtime_error("profile expected '" + key + "', got '" +
-                             line + "'");
-  }
-  return std::istringstream(line.substr(key.size()));
 }
 
 }  // namespace
 
 void write_profile(const GameProfile& profile, std::ostream& os) {
+  // max_digits10 so the resource vectors round-trip to the exact bits —
+  // bundles depend on a reloaded profile being indistinguishable from the
+  // freshly profiled one.
+  FullPrecision precision(os);
   os << kMagic << '\n';
   os << "game " << profile.game_name << '\n';
   os << "norm_scale ";
@@ -78,71 +72,74 @@ void save_profile(const GameProfile& profile, const std::string& path) {
   if (!out) throw std::runtime_error("save_profile: write failed " + path);
 }
 
-GameProfile read_profile(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    throw std::runtime_error("profile: bad magic");
+GameProfile read_profile(LineReader& r) {
+  const std::string magic = r.line(kMagic);
+  if (magic != kMagic) {
+    if (magic.rfind(kVersionPrefix, 0) == 0) {
+      r.fail("unsupported profile format version '" + magic +
+             "' (expected " + kMagic + ")");
+    }
+    r.fail("bad magic '" + magic + "' (expected " + std::string(kMagic) +
+           ")");
   }
   GameProfile p;
   {
-    auto ls = expect_line(is, "game ");
+    auto ls = r.expect("game ");
     std::getline(ls, p.game_name);
   }
   {
-    auto ls = expect_line(is, "norm_scale ");
-    p.norm_scale = read_vector(ls, "norm_scale");
+    auto ls = r.expect("norm_scale ");
+    p.norm_scale = read_vector(r, ls, "norm_scale");
   }
   {
-    auto ls = expect_line(is, "peak_demand ");
-    p.peak_demand = read_vector(ls, "peak_demand");
+    auto ls = r.expect("peak_demand ");
+    p.peak_demand = read_vector(r, ls, "peak_demand");
   }
   {
-    auto ls = expect_line(is, "loading_stage_type ");
-    ls >> p.loading_stage_type;
+    auto ls = r.expect("loading_stage_type ");
+    p.loading_stage_type = r.field<int>(ls, "loading_stage_type");
   }
   std::size_t n_clusters = 0;
   {
-    auto ls = expect_line(is, "clusters ");
-    ls >> n_clusters;
+    auto ls = r.expect("clusters ");
+    n_clusters = r.field<std::size_t>(ls, "clusters");
   }
   for (std::size_t i = 0; i < n_clusters; ++i) {
-    auto ls = expect_line(is, "cluster ");
+    auto ls = r.expect("cluster ");
     ClusterInfo c;
-    int loading = 0;
-    if (!(ls >> c.id >> c.frames >> loading)) {
-      throw std::runtime_error("profile parse error in cluster");
-    }
-    c.loading = loading != 0;
-    c.centroid = read_vector(ls, "cluster centroid");
+    c.id = r.field<int>(ls, "cluster id");
+    c.frames = r.field<std::size_t>(ls, "cluster frames");
+    c.loading = r.field<int>(ls, "cluster loading") != 0;
+    c.centroid = read_vector(r, ls, "cluster centroid");
     p.clusters.push_back(c);
   }
   std::size_t n_stages = 0;
   {
-    auto ls = expect_line(is, "stage_types ");
-    ls >> n_stages;
+    auto ls = r.expect("stage_types ");
+    n_stages = r.field<std::size_t>(ls, "stage_types");
   }
   for (std::size_t i = 0; i < n_stages; ++i) {
-    auto ls = expect_line(is, "stage ");
+    auto ls = r.expect("stage ");
     StageTypeInfo st;
-    int loading = 0;
-    std::size_t n_members = 0;
-    if (!(ls >> st.id >> loading >> st.mean_duration_ms >>
-          st.max_duration_ms >> st.occurrences >> n_members)) {
-      throw std::runtime_error("profile parse error in stage");
-    }
-    st.loading = loading != 0;
+    st.id = r.field<int>(ls, "stage id");
+    st.loading = r.field<int>(ls, "stage loading") != 0;
+    st.mean_duration_ms = r.field<DurationMs>(ls, "stage mean duration");
+    st.max_duration_ms = r.field<DurationMs>(ls, "stage max duration");
+    st.occurrences = r.field<std::size_t>(ls, "stage occurrences");
+    const auto n_members = r.field<std::size_t>(ls, "stage member count");
     for (std::size_t m = 0; m < n_members; ++m) {
-      int c = 0;
-      if (!(ls >> c)) {
-        throw std::runtime_error("profile parse error in stage members");
-      }
-      st.clusters.push_back(c);
+      st.clusters.push_back(r.field<int>(ls, "stage member"));
     }
-    st.peak_demand = read_vector(ls, "stage peak");
-    st.mean_demand = read_vector(ls, "stage mean");
+    st.peak_demand = read_vector(r, ls, "stage peak");
+    st.mean_demand = read_vector(r, ls, "stage mean");
     p.stage_types.push_back(st);
   }
   return p;
+}
+
+GameProfile read_profile(std::istream& is) {
+  LineReader r(is, "profile");
+  return read_profile(r);
 }
 
 GameProfile load_profile(const std::string& path) {

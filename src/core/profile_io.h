@@ -9,16 +9,22 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/textio.h"
 #include "core/game_profile.h"
 
 namespace cocg::core {
 
-/// Serialize a profile. Throws std::runtime_error on I/O failure.
+/// Serialize a profile (doubles at max_digits10 → exact round trip).
+/// Throws std::runtime_error on I/O failure.
 void save_profile(const GameProfile& profile, const std::string& path);
 void write_profile(const GameProfile& profile, std::ostream& os);
 
-/// Deserialize. Throws std::runtime_error on I/O or format errors.
+/// Deserialize. Throws std::runtime_error with a line/field diagnostic on
+/// I/O or format errors.
 GameProfile load_profile(const std::string& path);
 GameProfile read_profile(std::istream& is);
+/// Embedded form: consumes one profile block from an outer artifact's
+/// reader (used by core/model_bank bundles).
+GameProfile read_profile(LineReader& r);
 
 }  // namespace cocg::core

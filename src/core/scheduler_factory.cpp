@@ -1,0 +1,34 @@
+#include "core/scheduler_factory.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/cocg_scheduler.h"
+
+namespace cocg::core {
+
+std::unique_ptr<platform::Scheduler> make_named_scheduler(
+    const std::string& name, std::map<std::string, TrainedGame> models) {
+  if (name == "cocg") {
+    return std::make_unique<CocgScheduler>(std::move(models));
+  }
+  if (name == "vbp") {
+    return std::make_unique<VbpScheduler>(std::move(models));
+  }
+  if (name == "gaugur") {
+    return std::make_unique<GaugurScheduler>(std::move(models));
+  }
+  if (name == "improved") {
+    return std::make_unique<ImprovedScheduler>(std::move(models));
+  }
+  throw std::runtime_error("unknown scheduler: " + name);
+}
+
+std::unique_ptr<platform::Scheduler> make_named_scheduler(
+    const std::string& name, const ModelBank& bank,
+    const std::vector<game::GameSpec>& suite) {
+  return make_named_scheduler(name, bank.instantiate_suite(suite));
+}
+
+}  // namespace cocg::core

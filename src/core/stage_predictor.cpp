@@ -1,9 +1,12 @@
 #include "core/stage_predictor.h"
 
 #include <algorithm>
+#include <ostream>
+#include <stdexcept>
 
 #include "common/check.h"
 #include "ml/metrics.h"
+#include "ml/model_io.h"
 
 namespace cocg::core {
 
@@ -134,12 +137,19 @@ ResourceVector StagePredictor::redundancy() const {
 }
 
 void StagePredictor::replace_model(Rng& rng) {
+  // Guard *before* rotating the kind: a failed swap must leave the active
+  // model and cfg_.model consistent.
+  if (!can_retrain()) {
+    throw std::runtime_error(
+        "replace_model: predictor was restored without its training corpus; "
+        "save the bundle with include_corpus=true to enable retraining");
+  }
   switch (cfg_.model) {
     case ml::ModelKind::kDtc: cfg_.model = ml::ModelKind::kRf; break;
     case ml::ModelKind::kRf: cfg_.model = ml::ModelKind::kGbdt; break;
     case ml::ModelKind::kGbdt: cfg_.model = ml::ModelKind::kDtc; break;
   }
-  if (!corpus_.empty()) fit_active(rng);
+  fit_active(rng);
 }
 
 void StagePredictor::rebind_profile(const GameProfile* profile) {
@@ -151,7 +161,11 @@ void StagePredictor::rebind_profile(const GameProfile* profile) {
 }
 
 double StagePredictor::evaluate_model(ml::ModelKind kind, Rng& rng) const {
-  COCG_EXPECTS(!corpus_.empty());
+  if (!can_retrain()) {
+    throw std::runtime_error(
+        "evaluate_model: predictor was restored without its training "
+        "corpus, nothing to evaluate on");
+  }
   const ml::Dataset all = build_dataset(corpus_);
   auto [train, test] = all.split(cfg_.train_fraction, rng);
   if (train.empty() || test.empty()) return 1.0;
@@ -164,6 +178,204 @@ double StagePredictor::evaluate_model(ml::ModelKind kind, Rng& rng) const {
     pred.push_back(model->predict(test.x(i)));
   }
   return ml::accuracy(test.labels(), pred);
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts and bundles
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr const char* kBundleMagic = "cocg-predictor-v1";
+constexpr const char* kBundleVersionPrefix = "cocg-predictor-";
+
+}  // namespace
+
+PredictorArtifact StagePredictor::to_artifact(bool include_corpus) const {
+  COCG_EXPECTS_MSG(trained(), "to_artifact before train");
+  PredictorArtifact art;
+  art.cfg = cfg_;
+  art.accuracy = accuracy_;
+  art.pooled = pooled_->compiled();
+  for (const auto& [pid, model] : per_player_) {
+    art.per_player[pid] = model->compiled();
+  }
+  if (include_corpus) art.corpus = corpus_;
+  return art;
+}
+
+std::unique_ptr<StagePredictor> StagePredictor::from_artifact(
+    const PredictorArtifact& artifact, const GameProfile* profile) {
+  if (artifact.pooled == nullptr || !artifact.pooled->trained()) {
+    throw std::runtime_error(
+        "predictor artifact has no trained pooled model");
+  }
+  auto p = std::make_unique<StagePredictor>(profile, artifact.cfg);
+  const auto width =
+      static_cast<int>(p->encoder_.feature_names().size());
+  if (artifact.pooled->num_features() > width) {
+    throw std::runtime_error(
+        "predictor artifact does not match the profile's stage-type "
+        "catalog (model expects more features than the encoder emits)");
+  }
+  if (artifact.pooled->num_classes() >
+      static_cast<int>(profile->num_stage_types())) {
+    throw std::runtime_error(
+        "predictor artifact does not match the profile's stage-type "
+        "catalog (model predicts stage types the profile lacks)");
+  }
+  p->corpus_ = artifact.corpus;
+  p->accuracy_ = artifact.accuracy;
+  p->pooled_ = ml::make_classifier(artifact.cfg.model);
+  p->pooled_->restore(artifact.pooled);
+  for (const auto& [pid, forest] : artifact.per_player) {
+    auto model = ml::make_classifier(artifact.cfg.model);
+    model->restore(forest);
+    p->per_player_[pid] = std::move(model);
+  }
+  return p;
+}
+
+void StagePredictor::save_bundle(std::ostream& os,
+                                 bool include_corpus) const {
+  COCG_EXPECTS_MSG(trained(), "save_bundle before train");
+  FullPrecision precision(os);
+  os << kBundleMagic << '\n';
+  os << "model " << ml::model_kind_name(cfg_.model) << '\n';
+  os << "category " << static_cast<int>(cfg_.category) << '\n';
+  os << "history_len " << cfg_.encoder.history_len << '\n';
+  os << "player_features " << (cfg_.encoder.player_features ? 1 : 0) << '\n';
+  os << "mode_feature " << (cfg_.encoder.mode_feature ? 1 : 0) << '\n';
+  os << "train_fraction " << cfg_.train_fraction << '\n';
+  os << "min_player_runs " << cfg_.min_player_runs << '\n';
+  os << "accuracy " << accuracy_ << '\n';
+  os << "corpus " << (include_corpus ? corpus_.size() : 0) << '\n';
+  if (include_corpus) {
+    for (const auto& run : corpus_) {
+      os << "run " << run.player_id << ' ' << run.script_idx << ' '
+         << run.stage_seq.size();
+      for (int st : run.stage_seq) os << ' ' << st;
+      os << '\n';
+    }
+  }
+  os << "pooled\n";
+  ml::write_model(*pooled_->compiled(), os);
+  os << "per_player " << per_player_.size() << '\n';
+  for (const auto& [pid, model] : per_player_) {
+    os << "player " << pid << '\n';
+    ml::write_model(*model->compiled(), os);
+  }
+  os << "end-predictor\n";
+}
+
+PredictorArtifact StagePredictor::read_artifact(LineReader& r) {
+  const std::string magic = r.line(kBundleMagic);
+  if (magic != kBundleMagic) {
+    if (magic.rfind(kBundleVersionPrefix, 0) == 0) {
+      r.fail("unsupported predictor format version '" + magic +
+             "' (expected " + kBundleMagic + ")");
+    }
+    r.fail("bad magic '" + magic + "' (expected " +
+           std::string(kBundleMagic) + ")");
+  }
+  PredictorArtifact art;
+  {
+    auto ls = r.expect("model ");
+    const auto name = r.field<std::string>(ls, "model");
+    if (!ml::parse_model_kind(name, art.cfg.model)) {
+      r.fail("unknown model kind '" + name + "'");
+    }
+  }
+  {
+    auto ls = r.expect("category ");
+    const int c = r.field<int>(ls, "category");
+    if (c < 0 || c > static_cast<int>(game::GameCategory::kMoba)) {
+      r.fail("category out of range");
+    }
+    art.cfg.category = static_cast<game::GameCategory>(c);
+  }
+  {
+    auto ls = r.expect("history_len ");
+    art.cfg.encoder.history_len = r.field<int>(ls, "history_len");
+  }
+  {
+    auto ls = r.expect("player_features ");
+    art.cfg.encoder.player_features =
+        r.field<int>(ls, "player_features") != 0;
+  }
+  {
+    auto ls = r.expect("mode_feature ");
+    art.cfg.encoder.mode_feature = r.field<int>(ls, "mode_feature") != 0;
+  }
+  {
+    auto ls = r.expect("train_fraction ");
+    art.cfg.train_fraction = r.field<double>(ls, "train_fraction");
+    if (art.cfg.train_fraction <= 0.0 || art.cfg.train_fraction >= 1.0) {
+      r.fail("train_fraction must be in (0, 1)");
+    }
+  }
+  {
+    auto ls = r.expect("min_player_runs ");
+    art.cfg.min_player_runs = r.field<std::size_t>(ls, "min_player_runs");
+  }
+  {
+    auto ls = r.expect("accuracy ");
+    art.accuracy = r.field<double>(ls, "accuracy");
+  }
+  std::size_t n_runs = 0;
+  {
+    auto ls = r.expect("corpus ");
+    n_runs = r.field<std::size_t>(ls, "corpus");
+  }
+  art.corpus.reserve(n_runs);
+  for (std::size_t i = 0; i < n_runs; ++i) {
+    auto ls = r.expect("run ");
+    TrainingRun run;
+    run.player_id = r.field<std::uint64_t>(ls, "run player");
+    run.script_idx = r.field<std::size_t>(ls, "run script");
+    const auto len = r.field<std::size_t>(ls, "run length");
+    run.stage_seq.reserve(len);
+    for (std::size_t s = 0; s < len; ++s) {
+      run.stage_seq.push_back(r.field<int>(ls, "run stage"));
+    }
+    art.corpus.push_back(std::move(run));
+  }
+  {
+    const std::string pooled = r.line("pooled");
+    if (pooled != "pooled") {
+      r.fail("expected 'pooled', got '" + pooled + "'");
+    }
+  }
+  art.pooled = std::make_shared<const ml::CompiledForest>(ml::read_model(r));
+  std::size_t n_players = 0;
+  {
+    auto ls = r.expect("per_player ");
+    n_players = r.field<std::size_t>(ls, "per_player");
+  }
+  for (std::size_t i = 0; i < n_players; ++i) {
+    auto ls = r.expect("player ");
+    const auto pid = r.field<std::uint64_t>(ls, "player id");
+    art.per_player[pid] =
+        std::make_shared<const ml::CompiledForest>(ml::read_model(r));
+  }
+  {
+    const std::string end = r.line("end-predictor");
+    if (end != "end-predictor") {
+      r.fail("expected 'end-predictor', got '" + end + "'");
+    }
+  }
+  return art;
+}
+
+std::unique_ptr<StagePredictor> StagePredictor::load_bundle(
+    LineReader& r, const GameProfile* profile) {
+  return from_artifact(read_artifact(r), profile);
+}
+
+std::unique_ptr<StagePredictor> StagePredictor::load_bundle(
+    std::istream& is, const GameProfile* profile) {
+  LineReader r(is, "predictor");
+  return load_bundle(r, profile);
 }
 
 }  // namespace cocg::core

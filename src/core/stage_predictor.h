@@ -12,12 +12,14 @@
 // errors persist (the "replacing model" fallback, §IV-B2).
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "common/resources.h"
 #include "common/rng.h"
+#include "common/textio.h"
 #include "core/features.h"
 #include "core/game_profile.h"
 #include "game/spec.h"
@@ -40,6 +42,21 @@ struct TrainingRun {
   std::vector<int> stage_seq;  ///< catalog stage types, loading included
   std::uint64_t player_id = 0;
   std::size_t script_idx = 0;  ///< launched mode (Table I script)
+};
+
+/// Everything a trained predictor is, minus the profile pointer: the
+/// immutable compiled models plus config and held-out accuracy P, and
+/// (optionally) the training corpus so replace_model can still retrain.
+/// This is the in-memory form of the on-disk predictor bundle and the
+/// unit the core ModelBank shares across sessions and fleet shards — the
+/// CompiledForest pointers are aliased, never deep-copied.
+struct PredictorArtifact {
+  PredictorConfig cfg;
+  double accuracy = 0.0;
+  std::shared_ptr<const ml::CompiledForest> pooled;
+  std::map<std::uint64_t, std::shared_ptr<const ml::CompiledForest>>
+      per_player;
+  std::vector<TrainingRun> corpus;  ///< empty → retraining unavailable
 };
 
 class StagePredictor {
@@ -79,12 +96,48 @@ class StagePredictor {
 
   ml::ModelKind model_kind() const { return cfg_.model; }
 
+  /// Whether replace_model/evaluate_model can retrain. False when the
+  /// predictor was restored from a bundle saved without its corpus —
+  /// callers (e.g. the CoCG scheduler's §IV-B2 fallback) must check this
+  /// before asking for a model swap.
+  bool can_retrain() const { return !corpus_.empty(); }
+
   /// Swap to the next algorithm in {DTC, RF, GBDT} and retrain (§IV-B2).
+  /// Throws std::runtime_error — without changing the active model — when
+  /// !can_retrain().
   void replace_model(Rng& rng);
 
   /// Evaluate a specific model kind on this predictor's corpus without
-  /// changing the active model (Fig. 15 sweeps).
+  /// changing the active model (Fig. 15 sweeps). Throws
+  /// std::runtime_error when !can_retrain().
   double evaluate_model(ml::ModelKind kind, Rng& rng) const;
+
+  /// Snapshot the trained state. Compiled models are shared, not copied;
+  /// the corpus is copied unless excluded (smaller artifact, but the
+  /// restored predictor cannot retrain — see can_retrain()).
+  PredictorArtifact to_artifact(bool include_corpus = true) const;
+
+  /// Reconstruct a trained predictor from an artifact. `profile` must
+  /// outlive the predictor, exactly as for the training constructor.
+  /// Throws std::runtime_error if the artifact is untrained or does not
+  /// match the profile's stage-type catalog.
+  static std::unique_ptr<StagePredictor> from_artifact(
+      const PredictorArtifact& artifact, const GameProfile* profile);
+
+  /// Serialize the trained state as a self-delimiting text block
+  /// (versioned, human-diffable, embeddable inside larger bundles).
+  void save_bundle(std::ostream& os, bool include_corpus = true) const;
+
+  /// Restore from save_bundle output. Throws std::runtime_error with a
+  /// line/field diagnostic on truncated, corrupt, or version-skewed input.
+  static std::unique_ptr<StagePredictor> load_bundle(
+      std::istream& is, const GameProfile* profile);
+  /// Embedded form: consumes one predictor block from an outer artifact's
+  /// reader (used by core/model_bank).
+  static std::unique_ptr<StagePredictor> load_bundle(
+      LineReader& r, const GameProfile* profile);
+  /// Parse just the artifact, without binding it to a profile.
+  static PredictorArtifact read_artifact(LineReader& r);
 
   const FeatureEncoder& encoder() const { return encoder_; }
 

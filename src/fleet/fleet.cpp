@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "fleet/runner.h"
+#include "obs/json.h"
 
 namespace cocg::fleet {
 
@@ -266,6 +267,45 @@ void Fleet::write_merged_trace(std::ostream& os) const {
                   "shard" + std::to_string(i) + "/");
   }
   merged.write_json(os);
+}
+
+void write_report_json(const FleetReport& rep, std::ostream& os) {
+  // Fixed key order and obs::json_number round-trip formatting: equal
+  // reports → equal bytes, the property the determinism tests assert.
+  os << "{\"throughput\":" << obs::json_number(rep.throughput)
+     << ",\"completed\":" << rep.completed << ",\"arrivals\":" << rep.arrivals
+     << ",\"qos_violation_s\":" << obs::json_number(rep.qos_violation_s)
+     << ",\"mean_wait_s\":" << obs::json_number(rep.mean_wait_s)
+     << ",\"mean_fps_ratio\":" << obs::json_number(rep.mean_fps_ratio)
+     << ",\"per_game\":{";
+  bool first = true;
+  for (const auto& [name, gs] : rep.per_game) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << obs::json_escape(name)
+       << "\":{\"completed\":" << gs.completed << ",\"total_duration_s\":"
+       << obs::json_number(gs.total_duration_s) << ",\"mean_fps_ratio\":"
+       << obs::json_number(gs.mean_fps_ratio) << ",\"qos_violation_s\":"
+       << obs::json_number(gs.qos_violation_s) << ",\"mean_wait_s\":"
+       << obs::json_number(gs.mean_wait_s) << '}';
+  }
+  os << "},\"shards\":[";
+  for (std::size_t i = 0; i < rep.shards.size(); ++i) {
+    const auto& row = rep.shards[i];
+    if (i != 0) os << ',';
+    os << "{\"shard\":" << row.shard << ",\"servers\":" << row.servers
+       << ",\"routed\":" << row.routed << ",\"completed\":" << row.completed
+       << ",\"throughput\":" << obs::json_number(row.throughput)
+       << ",\"queued_end\":" << row.queued_end
+       << ",\"running_end\":" << row.running_end << '}';
+  }
+  os << "]}\n";
+}
+
+std::string report_json(const FleetReport& rep) {
+  std::ostringstream os;
+  write_report_json(rep, os);
+  return os.str();
 }
 
 }  // namespace cocg::fleet

@@ -47,7 +47,11 @@ struct FleetConfig {
 };
 
 /// Builds shard `i`'s scheduler. Called once per shard at construction,
-/// under the shard's obs domain.
+/// under the shard's obs domain. The train-once pattern trains the suite
+/// a single time, snapshots it into a core::ModelBank, and has each
+/// factory call instantiate from the bank — every shard then shares the
+/// same immutable compiled models instead of retraining K times (see
+/// tools/cocg_fleet.cpp and docs/models.md).
 using SchedulerFactory =
     std::function<std::unique_ptr<platform::Scheduler>(int shard)>;
 
@@ -72,6 +76,14 @@ struct FleetReport {
   };
   std::vector<ShardRow> shards;
 };
+
+/// Canonical JSON encoding of a FleetReport: fixed key order, doubles at
+/// max_digits10 — two reports serialize to the same bytes iff they are
+/// equal. The determinism tests compare the train-once ModelBank path
+/// against retrain-per-shard, and thread counts against each other, as
+/// strings of this encoding.
+void write_report_json(const FleetReport& rep, std::ostream& os);
+std::string report_json(const FleetReport& rep);
 
 /// Pid stride between shards in the merged Perfetto trace: shard i's
 /// server pids render as i*stride + original pid.

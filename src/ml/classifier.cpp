@@ -1,14 +1,72 @@
 #include "ml/classifier.h"
 
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+
 namespace cocg::ml {
 
-const char* model_kind_name(ModelKind kind) {
-  switch (kind) {
-    case ModelKind::kDtc: return "DTC";
-    case ModelKind::kRf: return "RF";
-    case ModelKind::kGbdt: return "GBDT";
+int Classifier::predict(const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  return compiled_->predict(x);
+}
+
+std::vector<double> Classifier::predict_proba(const FeatureRow& x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  return compiled_->predict_proba(x);
+}
+
+std::vector<int> Classifier::predict_all(
+    const std::vector<FeatureRow>& xs) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  std::vector<int> out(xs.size());
+  const FeatureMatrix m = FeatureMatrix::from_rows(xs);
+  compiled_->predict_batch(m, out);
+  return out;
+}
+
+void Classifier::predict_batch(const FeatureMatrix& xs,
+                               std::span<int> out) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  compiled_->predict_batch(xs, out);
+}
+
+void Classifier::predict_proba_batch(const FeatureMatrix& xs,
+                                     std::span<double> out) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  compiled_->predict_proba_batch(xs, out);
+}
+
+void Classifier::restore(std::shared_ptr<const CompiledForest> forest) {
+  if (forest == nullptr || !forest->trained()) {
+    throw std::runtime_error("restore: null or untrained compiled model");
   }
-  return "?";
+  if (forest->kind() != kind()) {
+    throw std::runtime_error(
+        std::string("restore: model kind mismatch (artifact ") +
+        model_kind_name(forest->kind()) + ", classifier " +
+        model_kind_name(kind()) + ")");
+  }
+  compiled_ = std::move(forest);
+}
+
+void DtcModel::fit(const Dataset& data, Rng& rng) {
+  impl_.fit(data, rng);
+  compiled_ =
+      std::make_shared<const CompiledForest>(CompiledForest::compile(impl_));
+}
+
+void RfModel::fit(const Dataset& data, Rng& rng) {
+  impl_.fit(data, rng);
+  compiled_ =
+      std::make_shared<const CompiledForest>(CompiledForest::compile(impl_));
+}
+
+void GbdtModel::fit(const Dataset& data, Rng& rng) {
+  impl_.fit(data, rng);
+  compiled_ =
+      std::make_shared<const CompiledForest>(CompiledForest::compile(impl_));
 }
 
 std::unique_ptr<Classifier> make_classifier(ModelKind kind) {

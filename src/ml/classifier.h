@@ -1,15 +1,21 @@
 // Uniform classifier interface over DTC / RF / GBDT.
 //
 // The stage predictor's "replacing model" fallback (§IV-B2) swaps between
-// the three algorithms at runtime, so they share this small polymorphic
-// facade. Adapters are header-only thin wrappers.
+// the three algorithms at runtime, so they share this small facade. Since
+// the compiled-inference refactor, only *training* is polymorphic: `fit`
+// runs the per-algorithm learner and then compiles the result into an
+// immutable CompiledForest (ml/compiled.h), and every inference entry
+// point — scalar or batched — runs against that shared artifact. A
+// classifier can also be `restore`d directly from a deserialized artifact
+// (ml/model_io.h) without ever training.
 #pragma once
 
 #include <memory>
-#include <string>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
+#include "ml/compiled.h"
 #include "ml/dataset.h"
 #include "ml/gbdt.h"
 #include "ml/random_forest.h"
@@ -17,37 +23,41 @@
 
 namespace cocg::ml {
 
-enum class ModelKind { kDtc, kRf, kGbdt };
-
-const char* model_kind_name(ModelKind kind);
-
 class Classifier {
  public:
   virtual ~Classifier() = default;
 
+  /// Trains the underlying algorithm, then compiles it into the immutable
+  /// artifact all the inference calls below run against.
   virtual void fit(const Dataset& data, Rng& rng) = 0;
-  virtual int predict(const FeatureRow& x) const = 0;
-  virtual std::vector<double> predict_proba(const FeatureRow& x) const = 0;
-  virtual bool trained() const = 0;
   virtual ModelKind kind() const = 0;
 
-  std::vector<int> predict_all(const std::vector<FeatureRow>& xs) const {
-    std::vector<int> out;
-    out.reserve(xs.size());
-    for (const auto& x : xs) out.push_back(predict(x));
-    return out;
-  }
+  bool trained() const { return compiled_ != nullptr; }
+
+  int predict(const FeatureRow& x) const;
+  std::vector<double> predict_proba(const FeatureRow& x) const;
+  std::vector<int> predict_all(const std::vector<FeatureRow>& xs) const;
+  void predict_batch(const FeatureMatrix& xs, std::span<int> out) const;
+  void predict_proba_batch(const FeatureMatrix& xs,
+                           std::span<double> out) const;
+
+  /// The compiled artifact (null before fit/restore). Shared and immutable:
+  /// the ModelBank hands the same forest to every session of a game.
+  std::shared_ptr<const CompiledForest> compiled() const { return compiled_; }
+
+  /// Adopts a previously compiled or deserialized artifact. Throws
+  /// std::runtime_error if `forest` is null, untrained, or of a different
+  /// kind than this classifier.
+  void restore(std::shared_ptr<const CompiledForest> forest);
+
+ protected:
+  std::shared_ptr<const CompiledForest> compiled_;
 };
 
 class DtcModel final : public Classifier {
  public:
   explicit DtcModel(TreeConfig cfg = {}) : impl_(cfg) {}
-  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
-  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
-  std::vector<double> predict_proba(const FeatureRow& x) const override {
-    return impl_.predict_proba(x);
-  }
-  bool trained() const override { return impl_.trained(); }
+  void fit(const Dataset& data, Rng& rng) override;
   ModelKind kind() const override { return ModelKind::kDtc; }
 
  private:
@@ -57,12 +67,7 @@ class DtcModel final : public Classifier {
 class RfModel final : public Classifier {
  public:
   explicit RfModel(RandomForestConfig cfg = {}) : impl_(cfg) {}
-  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
-  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
-  std::vector<double> predict_proba(const FeatureRow& x) const override {
-    return impl_.predict_proba(x);
-  }
-  bool trained() const override { return impl_.trained(); }
+  void fit(const Dataset& data, Rng& rng) override;
   ModelKind kind() const override { return ModelKind::kRf; }
 
  private:
@@ -72,12 +77,7 @@ class RfModel final : public Classifier {
 class GbdtModel final : public Classifier {
  public:
   explicit GbdtModel(GbdtConfig cfg = {}) : impl_(cfg) {}
-  void fit(const Dataset& data, Rng& rng) override { impl_.fit(data, rng); }
-  int predict(const FeatureRow& x) const override { return impl_.predict(x); }
-  std::vector<double> predict_proba(const FeatureRow& x) const override {
-    return impl_.predict_proba(x);
-  }
-  bool trained() const override { return impl_.trained(); }
+  void fit(const Dataset& data, Rng& rng) override;
   ModelKind kind() const override { return ModelKind::kGbdt; }
 
  private:

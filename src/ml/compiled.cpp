@@ -1,0 +1,442 @@
+#include "ml/compiled.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/check.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml/tree.h"
+
+namespace cocg::ml {
+
+const char* model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDtc: return "DTC";
+    case ModelKind::kRf: return "RF";
+    case ModelKind::kGbdt: return "GBDT";
+  }
+  return "?";
+}
+
+bool parse_model_kind(const std::string& name, ModelKind& out) {
+  if (name == "DTC") out = ModelKind::kDtc;
+  else if (name == "RF") out = ModelKind::kRf;
+  else if (name == "GBDT") out = ModelKind::kGbdt;
+  else return false;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// FeatureMatrix
+// ---------------------------------------------------------------------------
+
+FeatureMatrix::FeatureMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+FeatureMatrix FeatureMatrix::from_rows(const std::vector<FeatureRow>& rows) {
+  FeatureMatrix m(rows.size(), rows.empty() ? 0 : rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    COCG_EXPECTS_MSG(rows[i].size() == m.cols_,
+                     "FeatureMatrix rows must have equal width");
+    std::copy(rows[i].begin(), rows[i].end(), m.row(i).begin());
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledForest — validation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw std::runtime_error("compiled model invalid: " + what);
+}
+
+/// First index of the strictly largest value — std::max_element semantics,
+/// which is what every legacy predict() tie-break uses.
+std::size_t argmax(std::span<const double> v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+/// Byte-for-byte the same computation as gbdt.cpp's softmax_inplace.
+void softmax_span(std::span<double> scores) {
+  const double mx = *std::max_element(scores.begin(), scores.end());
+  double total = 0.0;
+  for (auto& s : scores) {
+    s = std::exp(s - mx);
+    total += s;
+  }
+  for (auto& s : scores) s /= total;
+}
+
+}  // namespace
+
+CompiledForest::CompiledForest(Data data) : d_(std::move(data)) {
+  const std::size_t n = d_.feature.size();
+  if (n == 0) invalid("no nodes");
+  if (d_.num_classes < 1) invalid("num_classes must be >= 1");
+  if (d_.num_features < 1) invalid("num_features must be >= 1");
+  if (d_.threshold.size() != n || d_.left.size() != n || d_.right.size() != n) {
+    invalid("node arrays disagree in length");
+  }
+  if (d_.tree_first.size() < 2) invalid("needs at least one tree");
+  if (d_.tree_first.front() != 0 ||
+      d_.tree_first.back() != static_cast<std::int32_t>(n)) {
+    invalid("tree_first must span the node arrays");
+  }
+  const int expected_width =
+      d_.kind == ModelKind::kGbdt ? 1 : d_.num_classes;
+  if (d_.leaf_width != expected_width) {
+    invalid("leaf_width inconsistent with kind/num_classes");
+  }
+  if (d_.leaf_data.size() %
+          static_cast<std::size_t>(d_.leaf_width) != 0) {
+    invalid("leaf_data length not a multiple of leaf_width");
+  }
+  const auto leaves = static_cast<std::int32_t>(leaf_count());
+  if (d_.leaf_label.size() != leaf_count()) {
+    invalid("leaf_label length must equal the leaf count");
+  }
+  if (d_.kind == ModelKind::kDtc && num_trees() != 1) {
+    invalid("DTC must contain exactly one tree");
+  }
+  if (d_.kind == ModelKind::kGbdt) {
+    if (d_.learning_rate <= 0.0) invalid("GBDT learning_rate must be > 0");
+    if (d_.base_score.size() != static_cast<std::size_t>(d_.num_classes)) {
+      invalid("GBDT base_score must have num_classes entries");
+    }
+    if (num_trees() % static_cast<std::size_t>(d_.num_classes) != 0) {
+      invalid("GBDT tree count must be a multiple of num_classes");
+    }
+  } else if (!d_.base_score.empty()) {
+    invalid("base_score is only valid for GBDT");
+  }
+  for (std::size_t t = 0; t + 1 < d_.tree_first.size(); ++t) {
+    const std::int32_t lo = d_.tree_first[t];
+    const std::int32_t hi = d_.tree_first[t + 1];
+    if (lo >= hi) invalid("tree_first must be strictly increasing");
+    for (std::int32_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      if (d_.feature[u] >= 0) {
+        if (d_.feature[u] >= d_.num_features) {
+          invalid("node feature index out of range");
+        }
+        // Children strictly after the parent and inside the same tree:
+        // guarantees in-bounds reads and terminating walks.
+        if (d_.left[u] <= i || d_.left[u] >= hi || d_.right[u] <= i ||
+            d_.right[u] >= hi) {
+          invalid("node child index out of range");
+        }
+      } else {
+        if (d_.left[u] < 0 || d_.left[u] >= leaves) {
+          invalid("leaf index out of range");
+        }
+        const std::int32_t label =
+            d_.leaf_label[static_cast<std::size_t>(d_.left[u])];
+        if (label < 0 || label >= d_.num_classes) {
+          invalid("leaf label out of range");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation from the trained models
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Append one classifier tree; leaf probability rows are padded to
+/// `num_classes` with zeros (bootstrap subsets can miss trailing classes —
+/// adding 0.0 to the running sums is bit-identical to skipping them).
+void append_classifier_tree(CompiledForest::Data& d,
+                            const std::vector<TreeNode>& nodes,
+                            const std::vector<std::vector<double>>& proba,
+                            int num_classes) {
+  const auto base = static_cast<std::int32_t>(d.feature.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const TreeNode& nd = nodes[i];
+    d.threshold.push_back(nd.threshold);
+    if (nd.feature >= 0) {
+      d.feature.push_back(nd.feature);
+      d.left.push_back(base + nd.left);
+      d.right.push_back(base + nd.right);
+      d.num_features = std::max(d.num_features, nd.feature + 1);
+    } else {
+      d.feature.push_back(-1);
+      d.left.push_back(static_cast<std::int32_t>(d.leaf_label.size()));
+      d.right.push_back(-1);
+      d.leaf_label.push_back(nd.label);
+      for (int c = 0; c < num_classes; ++c) {
+        const auto uc = static_cast<std::size_t>(c);
+        d.leaf_data.push_back(uc < proba[i].size() ? proba[i][uc] : 0.0);
+      }
+    }
+  }
+  d.tree_first.push_back(static_cast<std::int32_t>(d.feature.size()));
+}
+
+void append_regression_tree(CompiledForest::Data& d,
+                            const std::vector<TreeNode>& nodes) {
+  const auto base = static_cast<std::int32_t>(d.feature.size());
+  for (const TreeNode& nd : nodes) {
+    d.threshold.push_back(nd.threshold);
+    if (nd.feature >= 0) {
+      d.feature.push_back(nd.feature);
+      d.left.push_back(base + nd.left);
+      d.right.push_back(base + nd.right);
+      d.num_features = std::max(d.num_features, nd.feature + 1);
+    } else {
+      d.feature.push_back(-1);
+      d.left.push_back(static_cast<std::int32_t>(d.leaf_label.size()));
+      d.right.push_back(-1);
+      d.leaf_label.push_back(0);
+      d.leaf_data.push_back(nd.value);
+    }
+  }
+  d.tree_first.push_back(static_cast<std::int32_t>(d.feature.size()));
+}
+
+}  // namespace
+
+CompiledForest CompiledForest::compile(const DecisionTreeClassifier& tree) {
+  COCG_EXPECTS_MSG(tree.trained(), "compile before fit");
+  Data d;
+  d.kind = ModelKind::kDtc;
+  d.num_classes = tree.num_classes();
+  d.leaf_width = d.num_classes;
+  d.num_features = 1;
+  d.tree_first.push_back(0);
+  append_classifier_tree(d, tree.nodes(), tree.leaf_probabilities(),
+                         d.num_classes);
+  return CompiledForest(std::move(d));
+}
+
+CompiledForest CompiledForest::compile(const RandomForestClassifier& forest) {
+  COCG_EXPECTS_MSG(forest.trained(), "compile before fit");
+  Data d;
+  d.kind = ModelKind::kRf;
+  d.num_classes = forest.num_classes();
+  d.leaf_width = d.num_classes;
+  d.num_features = 1;
+  d.tree_first.push_back(0);
+  for (const auto& tree : forest.trees()) {
+    append_classifier_tree(d, tree.nodes(), tree.leaf_probabilities(),
+                           d.num_classes);
+  }
+  return CompiledForest(std::move(d));
+}
+
+CompiledForest CompiledForest::compile(const GbdtClassifier& gbdt) {
+  COCG_EXPECTS_MSG(gbdt.trained(), "compile before fit");
+  Data d;
+  d.kind = ModelKind::kGbdt;
+  d.num_classes = gbdt.num_classes();
+  d.leaf_width = 1;
+  d.num_features = 1;
+  d.learning_rate = gbdt.config().learning_rate;
+  d.base_score = gbdt.base_scores();
+  d.tree_first.push_back(0);
+  // Round-major, class-minor: tree t corrects class t % K, in exactly the
+  // accumulation order of GbdtClassifier::raw_scores.
+  for (const auto& round : gbdt.trees()) {
+    for (const auto& tree : round) append_regression_tree(d, tree.nodes());
+  }
+  return CompiledForest(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// Inference
+// ---------------------------------------------------------------------------
+
+std::size_t CompiledForest::walk(std::size_t tree,
+                                 std::span<const double> x) const {
+  auto i = static_cast<std::size_t>(d_.tree_first[tree]);
+  while (d_.feature[i] >= 0) {
+    i = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(d_.feature[i])] <= d_.threshold[i]
+            ? d_.left[i]
+            : d_.right[i]);
+  }
+  return static_cast<std::size_t>(d_.left[i]);
+}
+
+void CompiledForest::predict_proba_into(std::span<const double> x,
+                                        std::span<double> out) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  COCG_EXPECTS(x.size() >= static_cast<std::size_t>(d_.num_features));
+  const auto k = static_cast<std::size_t>(d_.num_classes);
+  COCG_EXPECTS(out.size() == k);
+  const std::size_t trees = num_trees();
+  switch (d_.kind) {
+    case ModelKind::kDtc: {
+      const std::size_t leaf = walk(0, x);
+      for (std::size_t c = 0; c < k; ++c) {
+        out[c] = d_.leaf_data[leaf * k + c];
+      }
+      break;
+    }
+    case ModelKind::kRf: {
+      for (std::size_t c = 0; c < k; ++c) out[c] = 0.0;
+      for (std::size_t t = 0; t < trees; ++t) {
+        const std::size_t leaf = walk(t, x);
+        for (std::size_t c = 0; c < k; ++c) {
+          out[c] += d_.leaf_data[leaf * k + c];
+        }
+      }
+      for (std::size_t c = 0; c < k; ++c) {
+        out[c] /= static_cast<double>(trees);
+      }
+      break;
+    }
+    case ModelKind::kGbdt: {
+      for (std::size_t c = 0; c < k; ++c) out[c] = d_.base_score[c];
+      for (std::size_t t = 0; t < trees; ++t) {
+        out[t % k] += d_.learning_rate * d_.leaf_data[walk(t, x)];
+      }
+      softmax_span(out);
+      break;
+    }
+  }
+}
+
+std::vector<double> CompiledForest::predict_proba(
+    std::span<const double> x) const {
+  std::vector<double> out(static_cast<std::size_t>(d_.num_classes));
+  predict_proba_into(x, out);
+  return out;
+}
+
+int CompiledForest::predict(std::span<const double> x) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  COCG_EXPECTS(x.size() >= static_cast<std::size_t>(d_.num_features));
+  const auto k = static_cast<std::size_t>(d_.num_classes);
+  switch (d_.kind) {
+    case ModelKind::kDtc:
+      return d_.leaf_label[walk(0, x)];
+    case ModelKind::kRf: {
+      std::vector<double> votes(k, 0.0);
+      for (std::size_t t = 0; t < num_trees(); ++t) {
+        votes[static_cast<std::size_t>(d_.leaf_label[walk(t, x)])] += 1.0;
+      }
+      return static_cast<int>(argmax(votes));
+    }
+    case ModelKind::kGbdt: {
+      std::vector<double> s(d_.base_score.begin(), d_.base_score.end());
+      for (std::size_t t = 0; t < num_trees(); ++t) {
+        s[t % k] += d_.learning_rate * d_.leaf_data[walk(t, x)];
+      }
+      return static_cast<int>(argmax(s));
+    }
+  }
+  return 0;
+}
+
+void CompiledForest::accumulate(const FeatureMatrix& xs,
+                                std::span<double> acc, bool votes) const {
+  // Tree-outer, row-inner: each tree's node arrays stay cache-resident
+  // while the rows stream past. The per-(row, class) accumulation order is
+  // still "trees ascending", identical to the scalar walk.
+  const auto k = static_cast<std::size_t>(d_.num_classes);
+  const std::size_t n = xs.rows();
+  for (std::size_t t = 0; t < num_trees(); ++t) {
+    const std::size_t gbdt_class = t % k;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::size_t leaf = walk(t, xs.row(r));
+      switch (d_.kind) {
+        case ModelKind::kRf:
+          if (votes) {
+            acc[r * k + static_cast<std::size_t>(d_.leaf_label[leaf])] += 1.0;
+          } else {
+            for (std::size_t c = 0; c < k; ++c) {
+              acc[r * k + c] += d_.leaf_data[leaf * k + c];
+            }
+          }
+          break;
+        case ModelKind::kGbdt:
+          acc[r * k + gbdt_class] += d_.learning_rate * d_.leaf_data[leaf];
+          break;
+        case ModelKind::kDtc:
+          break;  // handled by the callers directly
+      }
+    }
+  }
+}
+
+void CompiledForest::predict_proba_batch(const FeatureMatrix& xs,
+                                         std::span<double> out) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  COCG_EXPECTS(xs.cols() >= static_cast<std::size_t>(d_.num_features));
+  const auto k = static_cast<std::size_t>(d_.num_classes);
+  const std::size_t n = xs.rows();
+  COCG_EXPECTS_MSG(out.size() == n * k,
+                   "predict_proba_batch: out needs rows()*num_classes slots");
+  switch (d_.kind) {
+    case ModelKind::kDtc:
+      for (std::size_t r = 0; r < n; ++r) {
+        const std::size_t leaf = walk(0, xs.row(r));
+        for (std::size_t c = 0; c < k; ++c) {
+          out[r * k + c] = d_.leaf_data[leaf * k + c];
+        }
+      }
+      break;
+    case ModelKind::kRf: {
+      std::fill(out.begin(), out.end(), 0.0);
+      accumulate(xs, out, /*votes=*/false);
+      const auto trees = static_cast<double>(num_trees());
+      for (auto& v : out) v /= trees;
+      break;
+    }
+    case ModelKind::kGbdt: {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < k; ++c) {
+          out[r * k + c] = d_.base_score[c];
+        }
+      }
+      accumulate(xs, out, /*votes=*/false);
+      for (std::size_t r = 0; r < n; ++r) {
+        softmax_span(out.subspan(r * k, k));
+      }
+      break;
+    }
+  }
+}
+
+void CompiledForest::predict_batch(const FeatureMatrix& xs,
+                                   std::span<int> out) const {
+  COCG_EXPECTS_MSG(trained(), "predict before fit");
+  COCG_EXPECTS(xs.cols() >= static_cast<std::size_t>(d_.num_features));
+  const auto k = static_cast<std::size_t>(d_.num_classes);
+  const std::size_t n = xs.rows();
+  COCG_EXPECTS_MSG(out.size() == n,
+                   "predict_batch: out needs rows() slots");
+  if (d_.kind == ModelKind::kDtc) {
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = d_.leaf_label[walk(0, xs.row(r))];
+    }
+    return;
+  }
+  // One scratch accumulator per call; no per-row allocation.
+  std::vector<double> acc(n * k, 0.0);
+  if (d_.kind == ModelKind::kGbdt) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < k; ++c) acc[r * k + c] = d_.base_score[c];
+    }
+  }
+  accumulate(xs, acc, /*votes=*/d_.kind == ModelKind::kRf);
+  for (std::size_t r = 0; r < n; ++r) {
+    out[r] = static_cast<int>(
+        argmax(std::span<const double>(acc.data() + r * k, k)));
+  }
+}
+
+}  // namespace cocg::ml

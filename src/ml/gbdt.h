@@ -36,6 +36,13 @@ class GbdtClassifier {
   int num_classes() const { return num_classes_; }
   int rounds_trained() const;
 
+  // Read-only views for compilation into a CompiledForest (ml/compiled.h).
+  const GbdtConfig& config() const { return cfg_; }
+  const std::vector<double>& base_scores() const { return base_score_; }
+  const std::vector<std::vector<RegressionTree>>& trees() const {
+    return trees_;
+  }
+
  private:
   std::vector<double> raw_scores(const FeatureRow& x) const;
 

@@ -1,0 +1,38 @@
+// CompiledForest persistence.
+//
+// Mirrors core/profile_io: a versioned, line-oriented, human-diffable text
+// format, so trained models can ship alongside game profiles and load on
+// any scheduler node ("profiling and training only need to be performed
+// once", §IV-B1). Doubles are written with max_digits10 significant
+// digits, so a round trip restores the exact bits and the restored model's
+// predictions are bit-identical to the original's.
+//
+// The block is self-delimiting (count-driven, closed by an `end-model`
+// line), so it can be embedded mid-stream inside larger artifacts — the
+// predictor bundles in core/stage_predictor.h do exactly that via the
+// LineReader overloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/textio.h"
+#include "ml/compiled.h"
+
+namespace cocg::ml {
+
+/// Serialize a trained compiled model. Throws std::runtime_error on I/O
+/// failure or if the model is untrained.
+void save_model(const CompiledForest& model, const std::string& path);
+void write_model(const CompiledForest& model, std::ostream& os);
+
+/// Deserialize and re-validate every structural invariant. Throws
+/// std::runtime_error with a line/field diagnostic on truncated, corrupt,
+/// or version-skewed input.
+CompiledForest load_model(const std::string& path);
+CompiledForest read_model(std::istream& is);
+/// Embedded form: consumes one model block from an outer artifact's
+/// reader, keeping its running line numbers in diagnostics.
+CompiledForest read_model(LineReader& r);
+
+}  // namespace cocg::ml

@@ -31,6 +31,7 @@ class RandomForestClassifier {
 
   std::size_t tree_count() const { return trees_.size(); }
   int num_classes() const { return num_classes_; }
+  const std::vector<DecisionTreeClassifier>& trees() const { return trees_; }
 
  private:
   RandomForestConfig cfg_;

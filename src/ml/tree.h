@@ -50,6 +50,12 @@ class DecisionTreeClassifier {
   int depth() const;
   int num_classes() const { return num_classes_; }
 
+  // Read-only views for compilation into a CompiledForest (ml/compiled.h).
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  const std::vector<std::vector<double>>& leaf_probabilities() const {
+    return leaf_proba_;
+  }
+
  private:
   struct BuildCtx;
   int build(BuildCtx& ctx, std::vector<std::size_t>& idx, int depth);
@@ -71,6 +77,7 @@ class RegressionTree {
   double predict(const FeatureRow& x) const;
 
   std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
 
  private:
   struct BuildCtx;

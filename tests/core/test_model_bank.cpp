@@ -1,0 +1,221 @@
+// GameBundle / ModelBank tests: the train-once / share-everywhere path.
+// Round trips must preserve predictions bit-for-bit and the training
+// corpus (so replace_model retrains exactly like the original); bundles
+// saved without the corpus must degrade gracefully; instantiation must
+// alias the compiled forests, not copy them.
+#include "core/model_bank.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/stage_predictor.h"
+#include "game/library.h"
+
+namespace cocg::core {
+namespace {
+
+OfflineConfig small_cfg(std::uint64_t seed = 11) {
+  OfflineConfig cfg;
+  cfg.profiling_runs = 6;
+  cfg.corpus_runs = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// A probe that exercises pooled and (if any) per-player models.
+void expect_same_predictions(const StagePredictor& a,
+                             const StagePredictor& b) {
+  for (std::uint64_t player = 1; player <= 4; ++player) {
+    for (std::size_t mode = 0; mode < 2; ++mode) {
+      EXPECT_EQ(a.predict_next({}, player, mode),
+                b.predict_next({}, player, mode));
+      EXPECT_EQ(a.predict_sequence({1}, player, mode, 3),
+                b.predict_sequence({1}, player, mode, 3));
+    }
+  }
+}
+
+TEST(GameBundle, StreamRoundTripIsExact) {
+  static const game::GameSpec g = game::make_genshin();
+  const TrainedGame tg = train_game(g, small_cfg());
+  const GameBundle bundle = ModelBank::bundle_from(tg);
+
+  std::stringstream ss;
+  write_bundle(bundle, ss);
+  const GameBundle back = read_bundle(ss);
+
+  EXPECT_EQ(back.game_name(), "Genshin Impact");  // spaces survive
+  EXPECT_EQ(back.chosen_k, tg.chosen_k);
+  EXPECT_EQ(back.mean_run_duration_ms, tg.mean_run_duration_ms);
+  EXPECT_EQ(back.sse_by_k, tg.sse_by_k);
+  EXPECT_EQ(back.predictor.accuracy, tg.predictor->accuracy());
+  EXPECT_EQ(back.predictor.corpus.size(),
+            bundle.predictor.corpus.size());
+
+  const auto restored =
+      StagePredictor::from_artifact(back.predictor, back.profile.get());
+  EXPECT_TRUE(restored->trained());
+  EXPECT_EQ(restored->accuracy(), tg.predictor->accuracy());
+  expect_same_predictions(*tg.predictor, *restored);
+}
+
+TEST(GameBundle, FileRoundTrip) {
+  static const game::GameSpec g = game::make_contra();
+  const TrainedGame tg = train_game(g, small_cfg());
+  const GameBundle bundle = ModelBank::bundle_from(tg);
+  const std::string path = "test_model_bank_tmp.cocgm";
+  save_bundle_file(bundle, path);
+  const GameBundle back = load_bundle_file(path);
+  EXPECT_EQ(back.game_name(), "Contra");
+  const auto restored =
+      StagePredictor::from_artifact(back.predictor, back.profile.get());
+  expect_same_predictions(*tg.predictor, *restored);
+  std::filesystem::remove(path);
+}
+
+TEST(GameBundle, ReplaceModelRetrainsIdentically) {
+  static const game::GameSpec g = game::make_contra();
+  const TrainedGame tg = train_game(g, small_cfg());
+  std::stringstream ss;
+  write_bundle(ModelBank::bundle_from(tg), ss);
+  const GameBundle back = read_bundle(ss);
+  const auto restored =
+      StagePredictor::from_artifact(back.predictor, back.profile.get());
+
+  // Same corpus + same seed → the §IV-B2 fallback retrains to the exact
+  // same model on both sides.
+  ASSERT_TRUE(restored->can_retrain());
+  Rng rng_a(1234), rng_b(1234);
+  tg.predictor->replace_model(rng_a);
+  restored->replace_model(rng_b);
+  EXPECT_EQ(restored->model_kind(), tg.predictor->model_kind());
+  EXPECT_EQ(restored->accuracy(), tg.predictor->accuracy());
+  expect_same_predictions(*tg.predictor, *restored);
+}
+
+TEST(GameBundle, CorpusFreeBundleDegradesGracefully) {
+  static const game::GameSpec g = game::make_contra();
+  const TrainedGame tg = train_game(g, small_cfg());
+  std::stringstream ss;
+  write_bundle(ModelBank::bundle_from(tg), ss, /*include_corpus=*/false);
+  const GameBundle back = read_bundle(ss);
+  EXPECT_TRUE(back.predictor.corpus.empty());
+
+  const auto restored =
+      StagePredictor::from_artifact(back.predictor, back.profile.get());
+  // Inference still works, bit-identical to the original...
+  expect_same_predictions(*tg.predictor, *restored);
+  // ...but retraining is a clear error, not UB, and the active model
+  // kind is left untouched.
+  EXPECT_FALSE(restored->can_retrain());
+  const ml::ModelKind kind_before = restored->model_kind();
+  Rng rng(5);
+  EXPECT_THROW(restored->replace_model(rng), std::runtime_error);
+  EXPECT_EQ(restored->model_kind(), kind_before);
+  EXPECT_THROW(restored->evaluate_model(ml::ModelKind::kRf, rng),
+               std::runtime_error);
+  EXPECT_NO_THROW(restored->predict_next({}, 1, 0));
+}
+
+TEST(GameBundle, TruncatedAndSkewedInputsRejected) {
+  static const game::GameSpec g = game::make_contra();
+  const TrainedGame tg = train_game(g, small_cfg());
+  std::stringstream ss;
+  write_bundle(ModelBank::bundle_from(tg), ss);
+  const std::string full = ss.str();
+
+  for (double frac : {0.05, 0.4, 0.8, 0.99}) {
+    std::stringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(read_bundle(cut), std::runtime_error) << "frac " << frac;
+  }
+  std::string skewed = full;
+  skewed.replace(skewed.find("cocg-bundle-v1"), 14, "cocg-bundle-v9");
+  std::stringstream sk(skewed);
+  try {
+    read_bundle(sk);
+    FAIL() << "version skew accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelBank, InstantiateSharesForestsCopiesProfile) {
+  static const game::GameSpec g = game::make_genshin();
+  const TrainedGame tg = train_game(g, small_cfg());
+  ModelBank bank;
+  bank.add_trained(tg);
+  ASSERT_TRUE(bank.has("Genshin Impact"));
+
+  const TrainedGame inst_a = bank.instantiate("Genshin Impact", &g);
+  const TrainedGame inst_b = bank.instantiate("Genshin Impact", &g);
+
+  // The compiled forests are one shared copy across the bank and every
+  // instantiation; the profiles are independent deep copies.
+  const auto& bank_pooled = bank.bundle("Genshin Impact").predictor.pooled;
+  EXPECT_EQ(inst_a.predictor->to_artifact(false).pooled.get(),
+            bank_pooled.get());
+  EXPECT_EQ(inst_b.predictor->to_artifact(false).pooled.get(),
+            bank_pooled.get());
+  EXPECT_NE(inst_a.profile.get(), inst_b.profile.get());
+  EXPECT_NE(inst_a.profile.get(),
+            bank.bundle("Genshin Impact").profile.get());
+
+  EXPECT_EQ(inst_a.spec, &g);
+  EXPECT_EQ(inst_a.chosen_k, tg.chosen_k);
+  expect_same_predictions(*tg.predictor, *inst_a.predictor);
+}
+
+TEST(ModelBank, UnknownGameThrows) {
+  ModelBank bank;
+  EXPECT_THROW(bank.bundle("Nope"), std::runtime_error);
+  static const game::GameSpec g = game::make_contra();
+  EXPECT_THROW(bank.instantiate("Nope", &g), std::runtime_error);
+}
+
+TEST(ModelBank, InstantiateSuiteNamesMissingGame) {
+  static const std::vector<game::GameSpec> suite = {game::make_contra(),
+                                                    game::make_genshin()};
+  ModelBank bank;
+  bank.add_trained(train_game(suite[0], small_cfg()));
+  try {
+    bank.instantiate_suite(suite);
+    FAIL() << "missing game accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("Genshin Impact"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelBank, SaveDirLoadDirRoundTrip) {
+  static const std::vector<game::GameSpec> suite = {game::make_contra(),
+                                                    game::make_genshin()};
+  ModelBank bank;
+  for (const auto& g : suite) bank.add_trained(train_game(g, small_cfg()));
+
+  const std::string dir = "test_model_bank_dir_tmp";
+  const auto paths = bank.save_dir(dir);
+  EXPECT_EQ(paths.size(), 2u);
+
+  const ModelBank loaded = ModelBank::load_dir(dir);
+  EXPECT_EQ(loaded.size(), 2u);
+  ASSERT_TRUE(loaded.has("Genshin Impact"));  // sanitized filename, real key
+  const auto models = loaded.instantiate_suite(suite);
+  ASSERT_EQ(models.size(), 2u);
+  expect_same_predictions(
+      *bank.instantiate("Contra", &suite[0]).predictor,
+      *models.at("Contra").predictor);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ModelBank, LoadDirMissingThrows) {
+  EXPECT_THROW(ModelBank::load_dir("no_such_dir_xyz"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cocg::core

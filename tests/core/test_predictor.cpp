@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "common/check.h"
 #include "core/features.h"
 #include "core/offline.h"
@@ -247,6 +250,81 @@ TEST(StagePredictor, Preconditions) {
   PredictorConfig bad;
   bad.train_fraction = 1.0;
   EXPECT_THROW(StagePredictor(&p, bad), ContractError);
+}
+
+// --- predictor bundles (save_bundle / load_bundle) ---
+
+TEST(StagePredictorBundle, RoundTripPreservesEverything) {
+  const GameProfile p = toy_profile();
+  PredictorConfig cfg;
+  cfg.category = game::GameCategory::kMobile;
+  cfg.min_player_runs = 3;
+  StagePredictor pred(&p, cfg);
+  Rng rng(41);
+  std::vector<TrainingRun> runs = deterministic_corpus(40);
+  for (int i = 0; i < 6; ++i) {
+    runs.push_back(TrainingRun{{0, 3, 0, 2, 0, 1, 0}, 9, 0});
+  }
+  pred.train(runs, rng);
+
+  std::stringstream ss;
+  pred.save_bundle(ss);
+  const auto back = StagePredictor::load_bundle(ss, &p);
+  EXPECT_TRUE(back->trained());
+  EXPECT_EQ(back->model_kind(), pred.model_kind());
+  EXPECT_EQ(back->accuracy(), pred.accuracy());
+  EXPECT_TRUE(back->can_retrain());
+  for (std::uint64_t player : {1u, 2u, 9u}) {
+    EXPECT_EQ(back->predict_next({}, player, 0),
+              pred.predict_next({}, player, 0));
+    EXPECT_EQ(back->predict_sequence({1}, player, 0, 3),
+              pred.predict_sequence({1}, player, 0, 3));
+  }
+}
+
+TEST(StagePredictorBundle, CorpusFreeLoadCannotRetrain) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(42);
+  pred.train(deterministic_corpus(40), rng);
+  std::stringstream ss;
+  pred.save_bundle(ss, /*include_corpus=*/false);
+  const auto back = StagePredictor::load_bundle(ss, &p);
+  EXPECT_FALSE(back->can_retrain());
+  EXPECT_EQ(back->predict_next({1}, 1, 0), pred.predict_next({1}, 1, 0));
+  EXPECT_THROW(back->replace_model(rng), std::runtime_error);
+  EXPECT_THROW(back->evaluate_model(ml::ModelKind::kRf, rng),
+               std::runtime_error);
+}
+
+TEST(StagePredictorBundle, TruncatedAndCorruptRejected) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(43);
+  pred.train(deterministic_corpus(40), rng);
+  std::stringstream ss;
+  pred.save_bundle(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 3));
+  EXPECT_THROW(StagePredictor::load_bundle(cut, &p), std::runtime_error);
+  std::string skewed = full;
+  skewed.replace(skewed.find("cocg-predictor-v1"), 17, "cocg-predictor-v8");
+  std::stringstream sk(skewed);
+  EXPECT_THROW(StagePredictor::load_bundle(sk, &p), std::runtime_error);
+}
+
+TEST(StagePredictorBundle, MismatchedProfileRejected) {
+  const GameProfile p = toy_profile();
+  StagePredictor pred(&p, PredictorConfig{});
+  Rng rng(44);
+  pred.train(deterministic_corpus(40), rng);
+  std::stringstream ss;
+  pred.save_bundle(ss);
+  // A profile with a different stage-type catalog cannot host the model.
+  GameProfile smaller = toy_profile();
+  smaller.stage_types.resize(2);
+  EXPECT_THROW(StagePredictor::load_bundle(ss, &smaller),
+               std::runtime_error);
 }
 
 // --- end-to-end offline pipeline (train_game) ---

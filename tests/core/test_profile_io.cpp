@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/frame_profiler.h"
 #include "game/library.h"
@@ -100,6 +101,53 @@ TEST(ProfileIo, TruncatedRejected) {
 
 TEST(ProfileIo, MissingFileThrows) {
   EXPECT_THROW(load_profile("no_such_profile_xyz.cocg"), std::runtime_error);
+}
+
+TEST(ProfileIo, VersionSkewNamesTheVersion) {
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  std::string text = ss.str();
+  text.replace(text.find("cocg-profile-v1"), 15, "cocg-profile-v3");
+  std::stringstream skewed(text);
+  try {
+    read_profile(skewed);
+    FAIL() << "version skew accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProfileIo, CorruptFieldDiagnosticNamesTheLine) {
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  std::string text = ss.str();
+  const auto pos = text.find("clusters ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "clusters banana");
+  std::stringstream corrupt(text);
+  try {
+    read_profile(corrupt);
+    FAIL() << "corrupt field accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProfileIo, RoundTripIsByteExact) {
+  // max_digits10 serialization: a load/save cycle reproduces the file
+  // byte for byte, so profiles behave as golden artifacts under diff.
+  const GameProfile p = sample_profile();
+  std::stringstream ss;
+  write_profile(p, ss);
+  const std::string text = ss.str();
+  const GameProfile back = read_profile(ss);
+  std::stringstream ss2;
+  write_profile(back, ss2);
+  EXPECT_EQ(ss2.str(), text);
 }
 
 TEST(ProfileIo, GameNameWithSpacesSurvives) {

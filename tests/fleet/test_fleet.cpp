@@ -4,6 +4,9 @@
 
 #include <sstream>
 
+#include "core/model_bank.h"
+#include "core/offline.h"
+#include "core/scheduler_factory.h"
 #include "game/library.h"
 #include "obs/json.h"
 #include "obs/obs.h"
@@ -251,6 +254,78 @@ TEST(Fleet, RunIsOneShot) {
   auto f = make_small_fleet(1, 1);
   f->run(60 * 1000);
   EXPECT_THROW(f->run(60 * 1000), ContractError);
+}
+
+TEST(Fleet, ReportJsonIsCanonical) {
+  auto f = make_small_fleet(2, 2);
+  f->run(20 * 60 * 1000);
+  const auto rep = f->report();
+  const std::string json = report_json(rep);
+  obs::JsonValue v;
+  ASSERT_TRUE(obs::json_parse(json, v)) << json;
+  EXPECT_EQ(v.get_number("completed", -1.0),
+            static_cast<double>(rep.completed));
+  std::ostringstream os;
+  write_report_json(rep, os);
+  EXPECT_EQ(os.str(), json);
+}
+
+// --- train-once model sharing (core::ModelBank) across shards ---
+
+/// Fleet run under the real CoCG scheduler; returns the canonical report
+/// JSON plus the merged event stream, the full determinism surface.
+struct CocgRunOut {
+  std::string report, events;
+};
+
+CocgRunOut run_cocg_fleet(const core::ModelBank* bank,
+                          const std::vector<game::GameSpec>& suite,
+                          const core::OfflineConfig& ocfg, int threads) {
+  ObsGuard guard;
+  FleetConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = threads;
+  cfg.policy = RouterPolicy::kLeastLoaded;
+  cfg.seed = 7;
+  Fleet f(cfg, [&](int) {
+    if (bank != nullptr) {
+      return core::make_named_scheduler("cocg", *bank, suite);
+    }
+    return core::make_named_scheduler("cocg", core::train_suite(suite, ocfg));
+  });
+  for (int i = 0; i < 4; ++i) f.add_server(hw::ServerSpec{});
+  for (const auto& g : suite) f.add_global_source({&g, 40.0, 8});
+  f.run(15 * 60 * 1000);
+  CocgRunOut out;
+  out.report = report_json(f.report());
+  out.events = f.merged_events_jsonl();
+  return out;
+}
+
+TEST(FleetModelBank, SharedBankMatchesRetrainPerShard) {
+  const std::vector<game::GameSpec> suite = {game::make_contra(),
+                                             game::make_csgo()};
+  core::OfflineConfig ocfg;
+  ocfg.profiling_runs = 5;
+  ocfg.corpus_runs = 8;
+  ocfg.seed = 7;
+
+  core::ModelBank bank;
+  for (const auto& [name, tg] : core::train_suite(suite, ocfg)) {
+    bank.add_trained(tg);
+  }
+
+  // One shared training pass vs. an independent retrain inside every
+  // shard: byte-identical reports and event streams (the acceptance
+  // criterion for the train-once path), at any thread count.
+  const auto shared_1 = run_cocg_fleet(&bank, suite, ocfg, 1);
+  const auto shared_2 = run_cocg_fleet(&bank, suite, ocfg, 2);
+  const auto retrain = run_cocg_fleet(nullptr, suite, ocfg, 2);
+  EXPECT_EQ(shared_1.report, shared_2.report);
+  EXPECT_EQ(shared_1.events, shared_2.events);
+  EXPECT_EQ(shared_1.report, retrain.report);
+  EXPECT_EQ(shared_1.events, retrain.events);
+  ASSERT_FALSE(shared_1.events.empty());
 }
 
 }  // namespace

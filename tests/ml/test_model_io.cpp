@@ -1,0 +1,194 @@
+// Serialization tests for ml/model_io: golden round trips per model kind
+// (bit-identical predictions AND byte-identical re-serialization), plus
+// the error paths — truncated, corrupt, and version-skewed inputs must
+// throw std::runtime_error carrying a line/field diagnostic.
+#include "ml/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml/tree.h"
+
+namespace cocg::ml {
+namespace {
+
+Dataset blobs(Rng& rng, int classes = 3, int n_per = 50) {
+  Dataset d({"a", "b"});
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < n_per; ++i) {
+      d.add({4.0 * c + rng.normal(0, 1.0), rng.normal(0, 1.0)}, c);
+    }
+  }
+  return d;
+}
+
+CompiledForest sample_model(ModelKind kind) {
+  Rng rng(77);
+  const Dataset d = blobs(rng);
+  Rng fit(78);
+  switch (kind) {
+    case ModelKind::kDtc: {
+      DecisionTreeClassifier m(TreeConfig{/*max_depth=*/6});
+      m.fit(d, fit);
+      return CompiledForest::compile(m);
+    }
+    case ModelKind::kRf: {
+      RandomForestConfig cfg;
+      cfg.n_trees = 7;
+      RandomForestClassifier m(cfg);
+      m.fit(d, fit);
+      return CompiledForest::compile(m);
+    }
+    case ModelKind::kGbdt: {
+      GbdtConfig cfg;
+      cfg.n_rounds = 10;
+      GbdtClassifier m(cfg);
+      m.fit(d, fit);
+      return CompiledForest::compile(m);
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+class ModelIoGolden : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(ModelIoGolden, RoundTripIsExact) {
+  const CompiledForest model = sample_model(GetParam());
+  std::stringstream ss;
+  write_model(model, ss);
+  const std::string text = ss.str();
+  const CompiledForest back = read_model(ss);
+
+  EXPECT_EQ(back.kind(), model.kind());
+  EXPECT_EQ(back.num_classes(), model.num_classes());
+  EXPECT_EQ(back.num_trees(), model.num_trees());
+  EXPECT_EQ(back.node_count(), model.node_count());
+
+  // Predictions are bit-identical on a probe grid.
+  Rng rng(79);
+  for (int i = 0; i < 150; ++i) {
+    const std::vector<double> x = {rng.uniform(-3.0, 12.0),
+                                   rng.uniform(-4.0, 4.0)};
+    EXPECT_EQ(back.predict(x), model.predict(x));
+    EXPECT_EQ(back.predict_proba(x), model.predict_proba(x));
+  }
+
+  // Re-serialization is byte-identical: the golden-file property.
+  std::stringstream ss2;
+  write_model(back, ss2);
+  EXPECT_EQ(ss2.str(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ModelIoGolden,
+                         ::testing::Values(ModelKind::kDtc, ModelKind::kRf,
+                                           ModelKind::kGbdt));
+
+TEST(ModelIo, FileRoundTrip) {
+  const CompiledForest model = sample_model(ModelKind::kRf);
+  const std::string path = "test_model_io_tmp.cocgm";
+  save_model(model, path);
+  const CompiledForest back = load_model(path);
+  EXPECT_EQ(back.num_trees(), model.num_trees());
+  EXPECT_EQ(back.predict(std::vector<double>{4.0, 0.0}),
+            model.predict(std::vector<double>{4.0, 0.0}));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, UntrainedModelRefusesToSerialize) {
+  std::stringstream ss;
+  EXPECT_THROW(write_model(CompiledForest{}, ss), std::runtime_error);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(load_model("no_such_model_xyz.cocgm"), std::runtime_error);
+}
+
+TEST(ModelIo, BadMagicRejected) {
+  std::stringstream ss("hello-world\n");
+  EXPECT_THROW(read_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, VersionSkewNamesTheVersion) {
+  const CompiledForest model = sample_model(ModelKind::kDtc);
+  std::stringstream ss;
+  write_model(model, ss);
+  std::string text = ss.str();
+  text.replace(text.find("cocg-model-v1"), 13, "cocg-model-v2");
+  std::stringstream skewed(text);
+  try {
+    read_model(skewed);
+    FAIL() << "version skew accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIo, TruncationRejectedAnywhere) {
+  const CompiledForest model = sample_model(ModelKind::kRf);
+  std::stringstream ss;
+  write_model(model, ss);
+  const std::string full = ss.str();
+  for (double frac : {0.1, 0.5, 0.9, 0.99}) {
+    std::stringstream cut(
+        full.substr(0, static_cast<std::size_t>(full.size() * frac)));
+    EXPECT_THROW(read_model(cut), std::runtime_error) << "frac " << frac;
+  }
+}
+
+TEST(ModelIo, CorruptFieldDiagnosticNamesTheLine) {
+  const CompiledForest model = sample_model(ModelKind::kDtc);
+  std::stringstream ss;
+  write_model(model, ss);
+  std::string text = ss.str();
+  // Make the class count unparsable.
+  const auto pos = text.find("classes ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, text.find('\n', pos) - pos, "classes banana");
+  std::stringstream corrupt(text);
+  try {
+    read_model(corrupt);
+    FAIL() << "corrupt field accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIo, OutOfRangeChildRejected) {
+  const CompiledForest model = sample_model(ModelKind::kDtc);
+  std::stringstream ss;
+  write_model(model, ss);
+  std::string text = ss.str();
+  // First internal node line: "node <f> <thr> <l> <r>" — point its left
+  // child far out of bounds. The re-validation in the reader must catch it.
+  const auto pos = text.find("\nnode ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = text.find('\n', pos + 1);
+  std::istringstream fields(text.substr(pos + 1, line_end - pos - 1));
+  std::string tag, f, thr;
+  fields >> tag >> f >> thr;
+  text.replace(pos + 1, line_end - pos - 1,
+               tag + " " + f + " " + thr + " 99999 99999");
+  std::stringstream corrupt(text);
+  EXPECT_THROW(read_model(corrupt), std::runtime_error);
+}
+
+TEST(ModelIo, UnknownKindRejected) {
+  const CompiledForest model = sample_model(ModelKind::kDtc);
+  std::stringstream ss;
+  write_model(model, ss);
+  std::string text = ss.str();
+  const auto pos = text.find("kind ");
+  text.replace(pos, text.find('\n', pos) - pos, "kind svm");
+  std::stringstream corrupt(text);
+  EXPECT_THROW(read_model(corrupt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cocg::ml

@@ -1,16 +1,19 @@
 // cocg_colocate — run a co-location experiment from the command line.
 //
 //   cocg_colocate <scheduler> <gameA> <gameB> [minutes] [gpus] [seed]
+//                 [--models-in dir] [--models-out dir]
 //                 [--metrics-out m.json] [--events-out e.jsonl]
 //                 [--trace-out t.json]
 //
 //   scheduler: cocg | vbp | gaugur | improved
 //   games:     DOTA2, CSGO, "Genshin Impact", "Devil May Cry", Contra
 //
-// Trains the suite, runs the pair closed-loop, and prints throughput,
-// per-game completions, QoS and latency statistics — the Fig. 11 cell of
-// your choosing. The observability flags additionally dump the metrics
-// registry, the decision event log, and a Perfetto-loadable trace.
+// Trains the suite (or loads pre-trained bundles via --models-in; write
+// them with --models-out or `cocg_profiler train-suite`), runs the pair
+// closed-loop, and prints throughput, per-game completions, QoS and
+// latency statistics — the Fig. 11 cell of your choosing. The
+// observability flags additionally dump the metrics registry, the
+// decision event log, and a Perfetto-loadable trace.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -18,9 +21,9 @@
 
 #include "common/log.h"
 #include "common/table.h"
-#include "core/baselines.h"
-#include "core/cocg_scheduler.h"
+#include "core/model_bank.h"
 #include "core/offline.h"
+#include "core/scheduler_factory.h"
 #include "game/library.h"
 #include "obs/cli.h"
 #include "platform/cloud_platform.h"
@@ -32,27 +35,31 @@ namespace {
 int usage() {
   std::cerr << "usage: cocg_colocate <cocg|vbp|gaugur|improved> <gameA>"
                " <gameB> [minutes=120] [gpus=1] [seed=1]\n"
+               "  --models-in DIR    load trained bundles instead of"
+               " retraining\n"
+               "  --models-out DIR   save the trained bundles for reuse\n"
                "games: DOTA2, CSGO, 'Genshin Impact', 'Devil May Cry',"
                " Contra\n"
             << obs::cli_usage();
   return 2;
 }
 
-std::unique_ptr<platform::Scheduler> make_scheduler(
-    const std::string& name, std::map<std::string, core::TrainedGame> m) {
-  if (name == "cocg") {
-    return std::make_unique<core::CocgScheduler>(std::move(m));
+/// Remove `--models-in X` / `--models-out X` before positional parsing.
+void strip_model_flags(std::vector<std::string>& args,
+                       std::string& models_in, std::string& models_out) {
+  std::vector<std::string> rest;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--models-in" || args[i] == "--models-out") {
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("missing value for " + args[i]);
+      }
+      const bool in = args[i] == "--models-in";
+      (in ? models_in : models_out) = args[++i];
+    } else {
+      rest.push_back(args[i]);
+    }
   }
-  if (name == "vbp") {
-    return std::make_unique<core::VbpScheduler>(std::move(m));
-  }
-  if (name == "gaugur") {
-    return std::make_unique<core::GaugurScheduler>(std::move(m));
-  }
-  if (name == "improved") {
-    return std::make_unique<core::ImprovedScheduler>(std::move(m));
-  }
-  throw std::runtime_error("unknown scheduler: " + name);
+  args = std::move(rest);
 }
 
 }  // namespace
@@ -61,6 +68,8 @@ int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
     const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+    std::string models_in, models_out;
+    strip_model_flags(args, models_in, models_out);
     if (args.size() < 3) return usage();
     const std::string sched_name = args[0];
     static const std::vector<game::GameSpec> suite = game::paper_suite();
@@ -81,17 +90,32 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 1;
 
-    std::cout << "training models...\n";
-    core::OfflineConfig ocfg;
-    ocfg.profiling_runs = 12;
-    ocfg.corpus_runs = 60;
-    ocfg.seed = seed;
-    auto models = core::train_suite(suite, ocfg);
+    std::map<std::string, core::TrainedGame> models;
+    if (!models_in.empty()) {
+      const auto bank = core::ModelBank::load_dir(models_in);
+      std::cout << "loaded " << bank.size() << " model bundle(s) from "
+                << models_in << "\n";
+      models = bank.instantiate_suite(suite);
+    } else {
+      std::cout << "training models...\n";
+      core::OfflineConfig ocfg;
+      ocfg.profiling_runs = 12;
+      ocfg.corpus_runs = 60;
+      ocfg.seed = seed;
+      models = core::train_suite(suite, ocfg);
+    }
+    if (!models_out.empty()) {
+      core::ModelBank bank;
+      for (const auto& [name, tg] : models) bank.add_trained(tg);
+      const auto paths = bank.save_dir(models_out);
+      std::cout << "wrote " << paths.size() << " bundle(s) to "
+                << models_out << "\n";
+    }
 
     platform::PlatformConfig pcfg;
     pcfg.seed = seed;
     platform::CloudPlatform cloud(
-        pcfg, make_scheduler(sched_name, std::move(models)));
+        pcfg, core::make_named_scheduler(sched_name, std::move(models)));
     set_log_clock([&cloud] { return cloud.now(); });
     hw::ServerSpec spec;
     spec.num_gpus = gpus;

@@ -4,16 +4,26 @@
 //              [--servers N] [--gpus G] [--arrivals-per-hour X]
 //              [--minutes M] [--seed S] [--scheduler cocg|vbp|gaugur|improved]
 //              [--games "A,B,..."]
+//              [--models-in dir] [--models-out dir] [--retrain-per-shard]
+//              [--report-out r.json]
 //              [--metrics-out m.json] [--events-out e.jsonl]
 //              [--trace-out t.json]
 //
 // Partitions N servers round-robin into K shards (each its own engine +
 // platform + scheduler), feeds one global open-loop Poisson arrival
 // stream per game through the router, runs the shards in lockstep epochs
-// on T threads, and prints the merged fleet report. The observability
-// flags dump the *merged* per-shard registries, the time-ordered event
-// JSONL (with a shard field), and a Perfetto trace with one process
-// group per shard.
+// on T threads, and prints the merged fleet report.
+//
+// Models are trained ONCE and shared across shards through a
+// core::ModelBank (every shard aliases the same immutable compiled
+// forests); --models-in skips training entirely by loading bundles
+// written by `cocg_profiler train-suite` or --models-out.
+// --retrain-per-shard restores the legacy K-independent-retrains path —
+// byte-identical aggregate results, K× the training cost (the
+// determinism tests rely on that equivalence). The observability flags
+// dump the *merged* per-shard registries, the time-ordered event JSONL
+// (with a shard field), and a Perfetto trace with one process group per
+// shard.
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -23,9 +33,9 @@
 
 #include "common/log.h"
 #include "common/table.h"
-#include "core/baselines.h"
-#include "core/cocg_scheduler.h"
+#include "core/model_bank.h"
 #include "core/offline.h"
+#include "core/scheduler_factory.h"
 #include "fleet/fleet.h"
 #include "game/library.h"
 #include "obs/cli.h"
@@ -51,25 +61,15 @@ int usage() {
          " (default cocg)\n"
          "  --games \"A,B\"          comma-separated subset of the paper"
          " suite (default: all)\n"
+         "  --models-in DIR        load trained bundles instead of"
+         " training\n"
+         "  --models-out DIR       save the trained bundles for reuse\n"
+         "  --retrain-per-shard    legacy path: every shard retrains"
+         " (same results, K x cost)\n"
+         "  --report-out FILE      write the merged report as canonical"
+         " JSON\n"
       << obs::cli_usage();
   return 2;
-}
-
-std::unique_ptr<platform::Scheduler> make_scheduler(
-    const std::string& name, std::map<std::string, core::TrainedGame> m) {
-  if (name == "cocg") {
-    return std::make_unique<core::CocgScheduler>(std::move(m));
-  }
-  if (name == "vbp") {
-    return std::make_unique<core::VbpScheduler>(std::move(m));
-  }
-  if (name == "gaugur") {
-    return std::make_unique<core::GaugurScheduler>(std::move(m));
-  }
-  if (name == "improved") {
-    return std::make_unique<core::ImprovedScheduler>(std::move(m));
-  }
-  throw std::runtime_error("unknown scheduler: " + name);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -103,6 +103,8 @@ int main(int argc, char** argv) {
     std::uint64_t seed = 42;
     std::string sched_name = "cocg";
     std::string games_csv;
+    std::string models_in, models_out, report_out;
+    bool retrain_per_shard = false;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& a = args[i];
@@ -122,6 +124,10 @@ int main(int argc, char** argv) {
       else if (a == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
       else if (a == "--scheduler") sched_name = next();
       else if (a == "--games") games_csv = next();
+      else if (a == "--models-in") models_in = next();
+      else if (a == "--models-out") models_out = next();
+      else if (a == "--retrain-per-shard") retrain_per_shard = true;
+      else if (a == "--report-out") report_out = next();
       else if (a == "--help" || a == "-h") return usage();
       else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -154,11 +160,30 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::cout << "training models (once per shard, same seed)...\n";
     core::OfflineConfig ocfg;
     ocfg.profiling_runs = 8;
     ocfg.corpus_runs = 40;
     ocfg.seed = seed;
+
+    core::ModelBank bank;
+    if (!models_in.empty()) {
+      bank = core::ModelBank::load_dir(models_in);
+      std::cout << "loaded " << bank.size() << " model bundle(s) from "
+                << models_in << "\n";
+    } else if (!retrain_per_shard || !models_out.empty()) {
+      std::cout << "training models once (shared across shards)...\n";
+      for (const auto& [name, tg] : core::train_suite(suite, ocfg)) {
+        bank.add_trained(tg);
+      }
+    }
+    if (!models_out.empty()) {
+      const auto paths = bank.save_dir(models_out);
+      std::cout << "wrote " << paths.size() << " bundle(s) to "
+                << models_out << "\n";
+    }
+    if (retrain_per_shard) {
+      std::cout << "training models (once per shard, same seed)...\n";
+    }
 
     fleet::FleetConfig fcfg;
     fcfg.shards = shards;
@@ -166,7 +191,11 @@ int main(int argc, char** argv) {
     fcfg.policy = *policy;
     fcfg.seed = seed;
     fleet::Fleet sim(fcfg, [&](int) {
-      return make_scheduler(sched_name, core::train_suite(suite, ocfg));
+      if (retrain_per_shard) {
+        return core::make_named_scheduler(sched_name,
+                                          core::train_suite(suite, ocfg));
+      }
+      return core::make_named_scheduler(sched_name, bank, suite);
     });
 
     hw::ServerSpec spec;
@@ -216,6 +245,13 @@ int main(int argc, char** argv) {
                          std::to_string(row.running_end)});
     }
     per_shard.print(std::cout);
+
+    if (!report_out.empty()) {
+      std::ofstream os(report_out);
+      if (!os) throw std::runtime_error("cannot open " + report_out);
+      fleet::write_report_json(rep, os);
+      std::cout << "wrote merged report to " << report_out << "\n";
+    }
 
     // Merged observability outputs (the global-domain sinks the generic
     // obs::write_outputs would dump stay empty — shards record into their

@@ -1,19 +1,27 @@
 // cocg_profiler — command-line profiling utility.
 //
 //   cocg_profiler profile <game> <out.cocg> [runs] [seed]
-//   cocg_profiler show <profile.cocg>
+//   cocg_profiler train <game> <out.cocgm> [profiling_runs] [corpus_runs]
+//                                          [seed]
+//   cocg_profiler train-suite <dir> [profiling_runs] [corpus_runs] [seed]
+//   cocg_profiler show <profile.cocg | bundle.cocgm>
 //   cocg_profiler migrate <in.cocg> <out.cocg> <baseline|budget|flagship>
 //                                              <baseline|budget|flagship>
 //   cocg_profiler plan [baseline|budget|flagship]
 //
 // `profile` runs laboratory play-throughs of a suite title, builds the
-// frame-cluster + stage-type catalog (§IV-A), and saves it. `show` pretty-
-// prints a saved profile. `migrate` rescales a profile between SKUs
-// (§IV-D). `plan` trains the whole suite and prints the maximal game mixes
-// one GPU view of the SKU can host under the distributor's expected-demand
-// rule. Game names: DOTA2, CSGO, "Genshin Impact", "Devil May Cry",
-// Contra.
+// frame-cluster + stage-type catalog (§IV-A), and saves it. `train` runs
+// the full offline pipeline (profile + predictor) and saves the game
+// bundle a scheduler can load instead of retraining ("train once",
+// §IV-B1); `train-suite` does that for every paper game into a directory
+// `cocg_colocate`/`cocg_fleet` accept via --models-in. `show` pretty-
+// prints a saved profile or bundle. `migrate` rescales a profile between
+// SKUs (§IV-D). `plan` trains the whole suite and prints the maximal game
+// mixes one GPU view of the SKU can host under the distributor's
+// expected-demand rule. Game names: DOTA2, CSGO, "Genshin Impact",
+// "Devil May Cry", Contra.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -22,6 +30,8 @@
 #include "core/frame_profiler.h"
 #include "core/capacity_planner.h"
 #include "core/migration.h"
+#include "core/model_bank.h"
+#include "core/offline.h"
 #include "core/profile_io.h"
 #include "game/library.h"
 #include "game/tracegen.h"
@@ -34,7 +44,11 @@ namespace {
 int usage() {
   std::cerr << "usage:\n"
             << "  cocg_profiler profile <game> <out.cocg> [runs] [seed]\n"
-            << "  cocg_profiler show <profile.cocg>\n"
+            << "  cocg_profiler train <game> <out.cocgm> [profiling_runs]"
+               " [corpus_runs] [seed]\n"
+            << "  cocg_profiler train-suite <dir> [profiling_runs]"
+               " [corpus_runs] [seed]\n"
+            << "  cocg_profiler show <profile.cocg | bundle.cocgm>\n"
             << "  cocg_profiler migrate <in.cocg> <out.cocg> <from> <to>\n"
             << "     (<from>/<to> in {baseline, budget, flagship})\n"
             << "  cocg_profiler plan [baseline|budget|flagship]\n"
@@ -109,9 +123,92 @@ int cmd_profile(int argc, char** argv) {
   return 0;
 }
 
+void print_bundle_summary(const core::GameBundle& b) {
+  const auto& art = b.predictor;
+  TablePrinter model({"bundle field", "value"});
+  model.add_row({"model", ml::model_kind_name(art.cfg.model)});
+  model.add_row({"held-out accuracy P",
+                 TablePrinter::fmt_pct(100 * art.accuracy, 1)});
+  model.add_row({"pooled trees",
+                 std::to_string(art.pooled ? art.pooled->num_trees() : 0)});
+  model.add_row({"pooled nodes",
+                 std::to_string(art.pooled ? art.pooled->node_count() : 0)});
+  model.add_row({"per-player models", std::to_string(art.per_player.size())});
+  model.add_row({"training runs in corpus",
+                 std::to_string(art.corpus.size())});
+  model.add_row({"replace_model available",
+                 art.corpus.empty() ? "no (corpus stripped)" : "yes"});
+  model.add_row({"chosen K", std::to_string(b.chosen_k)});
+  model.add_row({"mean run duration (s)",
+                 TablePrinter::fmt(ms_to_sec(b.mean_run_duration_ms), 0)});
+  model.print(std::cout);
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string out_path = argv[3];
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = argc > 4 ? std::max(1, std::atoi(argv[4])) : 12;
+  cfg.corpus_runs = argc > 5 ? std::max(1, std::atoi(argv[5])) : 60;
+  cfg.seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 2024;
+
+  const game::GameSpec spec = game::game_by_name(argv[2]);
+  std::cout << "training " << spec.name << " (" << cfg.profiling_runs
+            << " profiling runs, " << cfg.corpus_runs
+            << " corpus runs, seed " << cfg.seed << ")...\n";
+  const auto tg = core::train_game(spec, cfg);
+  const auto bundle = core::ModelBank::bundle_from(tg);
+  core::save_bundle_file(bundle, out_path);
+  print_bundle_summary(bundle);
+  std::cout << "saved bundle to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_train_suite(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string dir = argv[2];
+  core::OfflineConfig cfg;
+  cfg.profiling_runs = argc > 3 ? std::max(1, std::atoi(argv[3])) : 12;
+  cfg.corpus_runs = argc > 4 ? std::max(1, std::atoi(argv[4])) : 60;
+  cfg.seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2024;
+
+  static const std::vector<game::GameSpec> suite = game::paper_suite();
+  std::cout << "training the paper suite (" << cfg.profiling_runs
+            << " profiling runs, " << cfg.corpus_runs
+            << " corpus runs, seed " << cfg.seed << ")...\n";
+  core::ModelBank bank;
+  TablePrinter table({"game", "model", "accuracy P", "trees"});
+  for (const auto& [name, tg] : core::train_suite(suite, cfg)) {
+    bank.add_trained(tg);
+    table.add_row(
+        {name, ml::model_kind_name(tg.predictor->model_kind()),
+         TablePrinter::fmt_pct(100 * tg.predictor->accuracy(), 1),
+         std::to_string(tg.predictor->trained()
+                            ? bank.bundle(name).predictor.pooled->num_trees()
+                            : 0)});
+  }
+  table.print(std::cout);
+  const auto paths = bank.save_dir(dir);
+  std::cout << "wrote " << paths.size() << " bundle(s) to " << dir << "\n";
+  return 0;
+}
+
 int cmd_show(int argc, char** argv) {
   if (argc < 3) return usage();
-  print_profile(core::load_profile(argv[2]));
+  const std::string path = argv[2];
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::string first;
+  std::getline(in, first);
+  in.clear();
+  in.seekg(0);
+  if (first.rfind("cocg-bundle-", 0) == 0) {
+    const auto bundle = core::read_bundle(in);
+    print_profile(*bundle.profile);
+    print_bundle_summary(bundle);
+  } else {
+    print_profile(core::read_profile(in));
+  }
   return 0;
 }
 
@@ -177,6 +274,8 @@ int main(int argc, char** argv) {
 
     int rc = -1;
     if (cmd == "profile") rc = cmd_profile(ac, av.data());
+    else if (cmd == "train") rc = cmd_train(ac, av.data());
+    else if (cmd == "train-suite") rc = cmd_train_suite(ac, av.data());
     else if (cmd == "show") rc = cmd_show(ac, av.data());
     else if (cmd == "migrate") rc = cmd_migrate(ac, av.data());
     else if (cmd == "plan") rc = cmd_plan(ac, av.data());
