@@ -9,46 +9,6 @@
 
 namespace cocg {
 
-ResourceVector& ResourceVector::operator+=(const ResourceVector& o) {
-  for (std::size_t i = 0; i < kNumDims; ++i) v[i] += o.v[i];
-  return *this;
-}
-
-ResourceVector& ResourceVector::operator-=(const ResourceVector& o) {
-  for (std::size_t i = 0; i < kNumDims; ++i) v[i] -= o.v[i];
-  return *this;
-}
-
-ResourceVector& ResourceVector::operator*=(double s) {
-  for (std::size_t i = 0; i < kNumDims; ++i) v[i] *= s;
-  return *this;
-}
-
-bool ResourceVector::fits_within(const ResourceVector& cap) const {
-  for (std::size_t i = 0; i < kNumDims; ++i) {
-    if (v[i] > cap.v[i]) return false;
-  }
-  return true;
-}
-
-bool ResourceVector::non_negative() const {
-  return std::all_of(v.begin(), v.end(), [](double x) { return x >= 0.0; });
-}
-
-ResourceVector ResourceVector::max(const ResourceVector& a,
-                                   const ResourceVector& b) {
-  ResourceVector r;
-  for (std::size_t i = 0; i < kNumDims; ++i) r.v[i] = std::max(a.v[i], b.v[i]);
-  return r;
-}
-
-ResourceVector ResourceVector::min(const ResourceVector& a,
-                                   const ResourceVector& b) {
-  ResourceVector r;
-  for (std::size_t i = 0; i < kNumDims; ++i) r.v[i] = std::min(a.v[i], b.v[i]);
-  return r;
-}
-
 ResourceVector ResourceVector::clamped_to(const ResourceVector& hi) const {
   ResourceVector r;
   for (std::size_t i = 0; i < kNumDims; ++i) {
@@ -71,19 +31,6 @@ double ResourceVector::distance_sq(const ResourceVector& o,
 double ResourceVector::distance(const ResourceVector& o,
                                 const ResourceVector& scale) const {
   return std::sqrt(distance_sq(o, scale));
-}
-
-double ResourceVector::satisfaction_ratio(
-    const ResourceVector& supplied) const {
-  double ratio = 1.0;
-  bool any_demand = false;
-  for (std::size_t i = 0; i < kNumDims; ++i) {
-    if (v[i] <= 0.0) continue;
-    any_demand = true;
-    ratio = std::min(ratio, supplied.v[i] / v[i]);
-  }
-  if (!any_demand) return 1.0;
-  return std::max(ratio, 0.0);
 }
 
 std::string ResourceVector::str() const {

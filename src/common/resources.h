@@ -46,19 +46,62 @@ struct ResourceVector {
   constexpr double& at(std::size_t i) { return v[i]; }
   constexpr double at(std::size_t i) const { return v[i]; }
 
-  ResourceVector& operator+=(const ResourceVector& o);
-  ResourceVector& operator-=(const ResourceVector& o);
-  ResourceVector& operator*=(double s);
+  // The element-wise kernels are defined inline: they run per session per
+  // simulated tick (contention resolution, demand/supply accounting) where
+  // a call per 4-double loop is measurable overhead.
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    for (std::size_t i = 0; i < kNumDims; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    for (std::size_t i = 0; i < kNumDims; ++i) v[i] -= o.v[i];
+    return *this;
+  }
+  ResourceVector& operator*=(double s) {
+    for (std::size_t i = 0; i < kNumDims; ++i) v[i] *= s;
+    return *this;
+  }
 
   /// True iff every dimension of *this is <= the matching dimension of cap.
-  bool fits_within(const ResourceVector& cap) const;
+  bool fits_within(const ResourceVector& cap) const {
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      if (v[i] > cap.v[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff every dimension is exactly zero.
+  bool is_zero() const {
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      if (v[i] != 0.0) return false;
+    }
+    return true;
+  }
 
   /// True iff every dimension is >= 0.
-  bool non_negative() const;
+  bool non_negative() const {
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      if (!(v[i] >= 0.0)) return false;
+    }
+    return true;
+  }
 
   /// Element-wise max / min.
-  static ResourceVector max(const ResourceVector& a, const ResourceVector& b);
-  static ResourceVector min(const ResourceVector& a, const ResourceVector& b);
+  static ResourceVector max(const ResourceVector& a, const ResourceVector& b) {
+    ResourceVector r;
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      r.v[i] = a.v[i] < b.v[i] ? b.v[i] : a.v[i];
+    }
+    return r;
+  }
+  static ResourceVector min(const ResourceVector& a, const ResourceVector& b) {
+    ResourceVector r;
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      r.v[i] = b.v[i] < a.v[i] ? b.v[i] : a.v[i];
+    }
+    return r;
+  }
 
   /// Element-wise clamp of every dimension to [0, hi-dim].
   ResourceVector clamped_to(const ResourceVector& hi) const;
@@ -73,7 +116,18 @@ struct ResourceVector {
 
   /// The tightest bottleneck ratio available/demand over dims with demand>0;
   /// >= 1 means fully satisfied. Used by the FPS degradation model.
-  double satisfaction_ratio(const ResourceVector& supplied) const;
+  double satisfaction_ratio(const ResourceVector& supplied) const {
+    double ratio = 1.0;
+    bool any_demand = false;
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      if (v[i] <= 0.0) continue;
+      any_demand = true;
+      const double r = supplied.v[i] / v[i];
+      ratio = r < ratio ? r : ratio;
+    }
+    if (!any_demand) return 1.0;
+    return ratio > 0.0 ? ratio : 0.0;
+  }
 
   std::string str() const;
 };

@@ -1,15 +1,8 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace cocg {
-
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
 
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
@@ -17,28 +10,6 @@ Rng::Rng(std::uint64_t seed) {
   // xoshiro state must not be all-zero; splitmix64 never emits four zeros
   // from distinct states, but guard anyway.
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 top bits → double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  COCG_EXPECTS(lo <= hi);
-  return lo + (hi - lo) * uniform();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -56,34 +27,12 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(r % span);
 }
 
-double Rng::normal() {
-  if (have_cached_normal_) {
-    have_cached_normal_ = false;
-    return cached_normal_;
-  }
-  double u1 = uniform();
-  while (u1 <= 0.0) u1 = uniform();
-  const double u2 = uniform();
-  const double mag = std::sqrt(-2.0 * std::log(u1));
-  const double ang = 2.0 * std::numbers::pi * u2;
-  cached_normal_ = mag * std::sin(ang);
-  have_cached_normal_ = true;
-  return mag * std::cos(ang);
-}
-
-double Rng::normal(double mean, double stddev) {
-  COCG_EXPECTS(stddev >= 0.0);
-  return mean + stddev * normal();
-}
-
 double Rng::exponential(double mean) {
   COCG_EXPECTS(mean > 0.0);
   double u = uniform();
   while (u <= 0.0) u = uniform();
   return -mean * std::log(u);
 }
-
-bool Rng::chance(double p) { return uniform() < p; }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
   COCG_EXPECTS(!weights.empty());

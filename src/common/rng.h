@@ -8,7 +8,10 @@
 // implementation-defined (hence non-portable) distribution outputs.
 #pragma once
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <numbers>
 #include <vector>
 
 #include "common/check.h"
@@ -43,28 +46,88 @@ class Rng {
   static constexpr result_type max() { return ~result_type{0}; }
   result_type operator()() { return next_u64(); }
 
-  std::uint64_t next_u64();
+  // The draw primitives below are defined inline: they run per session per
+  // simulated tick, where the call overhead of an out-of-line definition is
+  // measurable against the few instructions of work.
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 top bits → double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    COCG_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Standard normal via Box–Muller (cached pair).
-  double normal();
+  double normal() {
+    if (have_cached_normal_) {
+      have_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double ang = 2.0 * std::numbers::pi * u2;
+    cached_normal_ = mag * std::sin(ang);
+    have_cached_normal_ = true;
+    return mag * std::cos(ang);
+  }
 
   /// Normal with mean/stddev.
-  double normal(double mean, double stddev);
+  double normal(double mean, double stddev) {
+    COCG_EXPECTS(stddev >= 0.0);
+    return mean + stddev * normal();
+  }
+
+  /// Fill out[0..n) with normal(mean, stddev) draws. Produces exactly the
+  /// sequence n successive normal(mean, stddev) calls would — Box–Muller
+  /// pair caching included — so batched hot paths stay bit-identical with
+  /// their scalar predecessors while saving per-call overhead.
+  void fill_normal(double* out, std::size_t n, double mean, double stddev) {
+    COCG_EXPECTS(stddev >= 0.0);
+    std::size_t i = 0;
+    if (n > 0 && have_cached_normal_) {
+      have_cached_normal_ = false;
+      out[i++] = mean + stddev * cached_normal_;
+    }
+    // Whole Box–Muller pairs, no cache traffic.
+    for (; i + 1 < n; i += 2) {
+      double u1 = uniform();
+      while (u1 <= 0.0) u1 = uniform();
+      const double u2 = uniform();
+      const double mag = std::sqrt(-2.0 * std::log(u1));
+      const double ang = 2.0 * std::numbers::pi * u2;
+      out[i] = mean + stddev * (mag * std::cos(ang));
+      out[i + 1] = mean + stddev * (mag * std::sin(ang));
+    }
+    if (i < n) out[i] = mean + stddev * normal();
+  }
 
   /// Exponential with the given mean (= 1/rate). Requires mean > 0.
   double exponential(double mean);
 
   /// Bernoulli trial.
-  bool chance(double p);
+  bool chance(double p) { return uniform() < p; }
 
   /// Index drawn proportionally to non-negative weights (at least one > 0).
   std::size_t weighted_index(const std::vector<double>& weights);
@@ -84,6 +147,10 @@ class Rng {
   Rng fork();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   bool have_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -9,7 +9,20 @@ namespace cocg {
 /// Streaming mean/variance/min/max (Welford). O(1) memory.
 class RunningStats {
  public:
-  void add(double x);
+  // Inline: fed once per rendering tick on the simulation hot path.
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
   void merge(const RunningStats& o);
 
   std::size_t count() const { return n_; }

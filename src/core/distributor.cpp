@@ -38,13 +38,18 @@ AdmitDecision Distributor::decide(
   // Instantaneous feasibility at the moment of admission: hosted sessions
   // at their current-stage peaks plus the candidate's opening loading draw.
   // Loading CPU is elastic (it stretches), so it is discounted.
+  // The hosted current-peak sum feeds both the instantaneous check and the
+  // short-game fastpath; accumulate both totals in one pass so the
+  // discounted peaks are computed once per hosted session.
   ResourceVector opening = candidate.opening;
   opening[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
   ResourceVector now_total = opening;
+  ResourceVector with_peak = candidate.peak;
   for (const auto& h : hosted) {
     ResourceVector cur = h.current_peak;
     if (h.in_loading) cur[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
     now_total += cur;
+    with_peak += cur;
   }
   const bool now_ok = now_total.fits_within(limit);
 
@@ -52,17 +57,10 @@ AdmitDecision Distributor::decide(
   // the hosted sessions' current stages leave instantaneous room for its
   // whole peak — by prediction, the next hosted peak is at least one stage
   // transition away.
-  if (cfg_.short_game_fastpath && candidate.short_game) {
-    ResourceVector with_peak = candidate.peak;
-    for (const auto& h : hosted) {
-      ResourceVector cur = h.current_peak;
-      if (h.in_loading) cur[Dim::kCpuPct] *= cfg_.loading_cpu_elasticity;
-      with_peak += cur;
-    }
-    if (with_peak.fits_within(limit)) {
-      obs_admit_short_.add();
-      return {true, "short-game gap insertion"};
-    }
+  if (cfg_.short_game_fastpath && candidate.short_game &&
+      with_peak.fits_within(limit)) {
+    obs_admit_short_.add();
+    return {true, "short-game gap insertion"};
   }
 
   if (!now_ok) {

@@ -89,8 +89,8 @@ void Fleet::refresh_loads() {
     l.queued = p.queued_requests();
     double util_sum = 0.0;
     std::size_t views = 0;
-    for (ServerId id : p.server_ids()) {
-      const auto& srv = p.server(id);
+    for (std::size_t s = 0; s < p.num_servers(); ++s) {
+      const auto& srv = p.server(ServerId{s});
       for (int g = 0; g < srv.spec().num_gpus; ++g) {
         util_sum += srv.utilization_on_gpu(g);
         ++views;

@@ -51,59 +51,22 @@ void GameSession::enter_stage(std::size_t idx) {
   pending_demand_ = noisy_demand(active_cluster());
 }
 
-const FrameClusterSpec& GameSession::active_cluster() const {
-  const PlannedStage& ps = plan_[stage_idx_];
-  const StageTypeSpec& st = spec_->stage_type(ps.stage_type);
-  if (st.kind == StageKind::kLoading || ps.cluster_order.size() == 1) {
-    return spec_->cluster(ps.cluster_order[0]);
-  }
-  // Multi-cluster execution stage: each cluster owns an equal slice of the
-  // planned dwell, visited in the plan's concrete order.
-  const DurationMs share = std::max<DurationMs>(
-      1, ps.planned_dwell_ms / static_cast<DurationMs>(
-                                   ps.cluster_order.size()));
-  auto pos = static_cast<std::size_t>(stage_elapsed_ms_ / share);
-  pos = std::min(pos, ps.cluster_order.size() - 1);
-  return spec_->cluster(ps.cluster_order[pos]);
-}
-
 ResourceVector GameSession::noisy_demand(const FrameClusterSpec& c) const {
   ResourceVector d = c.centroid;
-  for (std::size_t i = 0; i < kNumDims; ++i) {
-    d.at(i) = std::max(0.0, d.at(i) + rng_.normal(0.0, c.jitter.at(i)));
+  // One batched draw of standard normals, scaled per dimension. Same draw
+  // sequence and arithmetic as the former per-dim normal(0, jitter) calls
+  // (normal(0, s) == s * standard normal), so demand is bit-identical.
+  // Jitter-free clusters skip the draws: the centroid needs no perturbing
+  // and the Box–Muller transcendentals dominate the per-tick cost.
+  if (!c.jitter.is_zero()) {
+    double z[kNumDims];
+    rng_.fill_normal(z, kNumDims, 0.0, 1.0);
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+      d.at(i) = std::max(0.0, d.at(i) + c.jitter.at(i) * z[i]);
+    }
   }
   if (spike_ticks_left_ > 0) d *= cfg_.spike_factor;
   return d;
-}
-
-ResourceVector GameSession::demand() const {
-  COCG_EXPECTS(started_ && !finished_);
-  return pending_demand_;
-}
-
-StageKind GameSession::stage_kind() const {
-  COCG_EXPECTS(started_);
-  if (finished_) return StageKind::kLoading;  // post-shutdown
-  return spec_->stage_type(plan_[stage_idx_].stage_type).kind;
-}
-
-int GameSession::stage_type() const {
-  COCG_EXPECTS(started_);
-  if (finished_) return -1;
-  return plan_[stage_idx_].stage_type;
-}
-
-int GameSession::current_cluster() const {
-  COCG_EXPECTS(started_);
-  if (finished_) return -1;
-  return active_cluster().id;
-}
-
-double GameSession::achievable_fps() const {
-  COCG_EXPECTS(started_ && !finished_);
-  const double base = active_cluster().fps_base;
-  if (spec_->fps_cap > 0.0) return std::min(base, spec_->fps_cap);
-  return base;
 }
 
 void GameSession::tick(TimeMs now, const ResourceVector& supplied) {

@@ -13,8 +13,10 @@
 // with realized FPS below the 30-frame floor (§V-C2).
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "common/resources.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -53,22 +55,45 @@ class GameSession {
   bool started() const { return started_; }
   bool finished() const { return finished_; }
 
+  // The per-tick state accessors below are defined inline: the platform
+  // reads each of them for every session on every simulated tick.
+
   /// Demand for the upcoming tick. Requires started() && !finished().
-  ResourceVector demand() const;
+  ResourceVector demand() const {
+    COCG_EXPECTS(started_ && !finished_);
+    return pending_demand_;
+  }
 
   /// Advance one tick given what the hardware supplied.
   void tick(TimeMs now, const ResourceVector& supplied);
 
   // --- current state (requires started()) ---
-  StageKind stage_kind() const;
-  int stage_type() const;       ///< -1 once finished
-  int current_cluster() const;  ///< -1 during/after the final stage end
+  StageKind stage_kind() const {
+    COCG_EXPECTS(started_);
+    if (finished_) return StageKind::kLoading;  // post-shutdown
+    return spec_->stage_type(plan_[stage_idx_].stage_type).kind;
+  }
+  int stage_type() const {  ///< -1 once finished
+    COCG_EXPECTS(started_);
+    if (finished_) return -1;
+    return plan_[stage_idx_].stage_type;
+  }
+  int current_cluster() const {  ///< -1 during/after the final stage end
+    COCG_EXPECTS(started_);
+    if (finished_) return -1;
+    return active_cluster().id;
+  }
   std::size_t stage_index() const { return stage_idx_; }
   std::size_t plan_size() const { return plan_.size(); }
   const std::vector<PlannedStage>& plan() const { return plan_; }
   double last_fps() const { return last_fps_; }
   /// Achievable FPS of the current cluster under full supply.
-  double achievable_fps() const;
+  double achievable_fps() const {
+    COCG_EXPECTS(started_ && !finished_);
+    const double base = active_cluster().fps_base;
+    if (spec_->fps_cap > 0.0) return std::min(base, spec_->fps_cap);
+    return base;
+  }
 
   /// Stage types realized so far (completed stages + current).
   const std::vector<int>& stage_history() const { return stage_history_; }
@@ -96,7 +121,21 @@ class GameSession {
 
  private:
   void enter_stage(std::size_t idx);
-  const FrameClusterSpec& active_cluster() const;
+  const FrameClusterSpec& active_cluster() const {
+    const PlannedStage& ps = plan_[stage_idx_];
+    const StageTypeSpec& st = spec_->stage_type(ps.stage_type);
+    if (st.kind == StageKind::kLoading || ps.cluster_order.size() == 1) {
+      return spec_->cluster(ps.cluster_order[0]);
+    }
+    // Multi-cluster execution stage: each cluster owns an equal slice of
+    // the planned dwell, visited in the plan's concrete order.
+    const DurationMs share = std::max<DurationMs>(
+        1, ps.planned_dwell_ms / static_cast<DurationMs>(
+                                     ps.cluster_order.size()));
+    auto pos = static_cast<std::size_t>(stage_elapsed_ms_ / share);
+    pos = std::min(pos, ps.cluster_order.size() - 1);
+    return spec_->cluster(ps.cluster_order[pos]);
+  }
   ResourceVector noisy_demand(const FrameClusterSpec& c) const;
 
   SessionId id_;

@@ -16,20 +16,6 @@ const char* category_name(GameCategory c) {
   return "?";
 }
 
-const FrameClusterSpec& GameSpec::cluster(int id) const {
-  COCG_EXPECTS(id >= 0 && id < num_clusters());
-  COCG_EXPECTS_MSG(clusters[static_cast<std::size_t>(id)].id == id,
-                   "cluster ids must equal their index");
-  return clusters[static_cast<std::size_t>(id)];
-}
-
-const StageTypeSpec& GameSpec::stage_type(int id) const {
-  COCG_EXPECTS(id >= 0 && id < num_stage_types());
-  COCG_EXPECTS_MSG(stage_types[static_cast<std::size_t>(id)].id == id,
-                   "stage-type ids must equal their index");
-  return stage_types[static_cast<std::size_t>(id)];
-}
-
 ResourceVector GameSpec::peak_demand() const {
   ResourceVector peak;
   for (const auto& st : stage_types) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/resources.h"
 #include "common/types.h"
 
@@ -94,8 +95,19 @@ struct GameSpec {
   /// "distinguish game length" strategy, §IV-C2).
   bool short_game = false;
 
-  const FrameClusterSpec& cluster(int id) const;
-  const StageTypeSpec& stage_type(int id) const;
+  // Inline: resolved several times per session per simulated tick.
+  const FrameClusterSpec& cluster(int id) const {
+    COCG_EXPECTS(id >= 0 && id < num_clusters());
+    COCG_EXPECTS_MSG(clusters[static_cast<std::size_t>(id)].id == id,
+                     "cluster ids must equal their index");
+    return clusters[static_cast<std::size_t>(id)];
+  }
+  const StageTypeSpec& stage_type(int id) const {
+    COCG_EXPECTS(id >= 0 && id < num_stage_types());
+    COCG_EXPECTS_MSG(stage_types[static_cast<std::size_t>(id)].id == id,
+                     "stage-type ids must equal their index");
+    return stage_types[static_cast<std::size_t>(id)];
+  }
   int num_clusters() const { return static_cast<int>(clusters.size()); }
   int num_stage_types() const { return static_cast<int>(stage_types.size()); }
 

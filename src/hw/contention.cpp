@@ -1,7 +1,6 @@
 #include "hw/contention.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/check.h"
 #include "hw/server.h"
@@ -48,12 +47,19 @@ std::vector<SessionSupply> ContentionModel::resolve(
   return out;
 }
 
-std::vector<SessionSupply> resolve_server(const ServerSpec& spec,
-                                          const std::vector<PinnedDraw>& draws) {
-  // Desired draw per session.
-  std::vector<ResourceVector> desired(draws.size());
+const std::vector<SessionSupply>& resolve_server(
+    const ServerSpec& spec, const std::vector<PinnedDraw>& draws,
+    ServerResolveScratch& scratch) {
+  // Desired draw per session; per-pool totals. Per-device totals accumulate
+  // in draw order within each bucket, matching the original map-based
+  // implementation bit-for-bit.
+  scratch.desired.clear();
+  scratch.desired.resize(draws.size());
+  auto& desired = scratch.desired;
   double cpu_total = 0.0, ram_total = 0.0;
-  std::map<int, double> gpu_total, vram_total;
+  const std::size_t ngpus = static_cast<std::size_t>(spec.num_gpus);
+  scratch.gpu_total.assign(ngpus, 0.0);
+  scratch.vram_total.assign(ngpus, 0.0);
   for (std::size_t s = 0; s < draws.size(); ++s) {
     const auto& d = draws[s];
     COCG_EXPECTS(d.gpu_index >= 0 && d.gpu_index < spec.num_gpus);
@@ -62,8 +68,8 @@ std::vector<SessionSupply> resolve_server(const ServerSpec& spec,
     desired[s] = ResourceVector::min(d.draw.demand, d.draw.allocation);
     cpu_total += desired[s][Dim::kCpuPct];
     ram_total += desired[s][Dim::kRamMb];
-    gpu_total[d.gpu_index] += desired[s][Dim::kGpuPct];
-    vram_total[d.gpu_index] += desired[s][Dim::kGpuMemMb];
+    scratch.gpu_total[d.gpu_index] += desired[s][Dim::kGpuPct];
+    scratch.vram_total[d.gpu_index] += desired[s][Dim::kGpuMemMb];
   }
 
   const double cpu_scale =
@@ -71,15 +77,15 @@ std::vector<SessionSupply> resolve_server(const ServerSpec& spec,
                                         : 1.0;
   const double ram_scale =
       ram_total > spec.ram_mb ? spec.ram_mb / ram_total : 1.0;
-  auto device_scale = [](const std::map<int, double>& totals, int g,
+  auto device_scale = [](const std::vector<double>& totals, int g,
                          double cap) {
-    auto it = totals.find(g);
-    if (it == totals.end() || it->second <= cap) return 1.0;
-    return cap / it->second;
+    const double total = totals[static_cast<std::size_t>(g)];
+    if (total <= cap) return 1.0;
+    return cap / total;
   };
 
-  std::vector<SessionSupply> out;
-  out.reserve(draws.size());
+  scratch.out.clear();
+  scratch.out.reserve(draws.size());
   for (std::size_t s = 0; s < draws.size(); ++s) {
     const auto& d = draws[s];
     SessionSupply sup;
@@ -88,14 +94,20 @@ std::vector<SessionSupply> resolve_server(const ServerSpec& spec,
     sup.supplied[Dim::kRamMb] = desired[s][Dim::kRamMb] * ram_scale;
     sup.supplied[Dim::kGpuPct] =
         desired[s][Dim::kGpuPct] *
-        device_scale(gpu_total, d.gpu_index, spec.gpu_capacity_pct);
+        device_scale(scratch.gpu_total, d.gpu_index, spec.gpu_capacity_pct);
     sup.supplied[Dim::kGpuMemMb] =
         desired[s][Dim::kGpuMemMb] *
-        device_scale(vram_total, d.gpu_index, spec.gpu_mem_mb);
+        device_scale(scratch.vram_total, d.gpu_index, spec.gpu_mem_mb);
     sup.satisfaction = d.draw.demand.satisfaction_ratio(sup.supplied);
-    out.push_back(sup);
+    scratch.out.push_back(sup);
   }
-  return out;
+  return scratch.out;
+}
+
+std::vector<SessionSupply> resolve_server(const ServerSpec& spec,
+                                          const std::vector<PinnedDraw>& draws) {
+  ServerResolveScratch scratch;
+  return resolve_server(spec, draws, scratch);  // copies scratch.out
 }
 
 }  // namespace cocg::hw

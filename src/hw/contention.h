@@ -47,10 +47,26 @@ struct PinnedDraw {
 
 struct ServerSpec;  // fwd decl (server.h)
 
+/// Reusable buffers for resolve_server. Hot loops keep one per server so
+/// steady-state resolution performs zero heap allocation: every vector is
+/// cleared (capacity retained) and refilled on each call.
+struct ServerResolveScratch {
+  std::vector<ResourceVector> desired;  ///< per draw
+  std::vector<double> gpu_total;        ///< per device, indexed by gpu
+  std::vector<double> vram_total;       ///< per device, indexed by gpu
+  std::vector<SessionSupply> out;       ///< result, order matches input
+};
+
 /// Whole-server resolution: CPU% and RAM are divided across ALL sessions on
 /// the server; GPU utilization and GPU memory are divided per device.
 /// Output order matches input order.
 std::vector<SessionSupply> resolve_server(const struct ServerSpec& spec,
                                           const std::vector<PinnedDraw>& draws);
+
+/// Allocation-free variant: results land in (and are valid until the next
+/// call with) `scratch.out`.
+const std::vector<SessionSupply>& resolve_server(
+    const struct ServerSpec& spec, const std::vector<PinnedDraw>& draws,
+    ServerResolveScratch& scratch);
 
 }  // namespace cocg::hw

@@ -8,11 +8,16 @@
 // Allocations are cgroup-style caps: a session never receives more than its
 // allocation in any dimension; the ContentionModel resolves what it actually
 // receives when allocations oversubscribe the hardware.
+//
+// Storage: hosted sessions live in a dense vector sorted by session id.
+// Placement changes (place/remove/reallocate) are control-plane rare;
+// the simulation hot loop reads `hosted()` every tick, so reads are
+// contiguous and allocation-free while mutations pay an O(n) insert/erase
+// on a vector of at most a few dozen entries.
 #pragma once
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/resources.h"
@@ -54,6 +59,12 @@ struct SessionPlacement {
   ResourceVector allocation;  ///< cgroup-style cap
 };
 
+/// A hosted session as stored in the server's dense table.
+struct HostedSession {
+  SessionId sid;
+  SessionPlacement placement;
+};
+
 /// Mutable server state: which sessions it hosts and their allocations.
 class Server {
  public:
@@ -85,6 +96,11 @@ class Server {
   bool hosts(SessionId sid) const;
   const SessionPlacement& placement(SessionId sid) const;  ///< requires hosts()
   std::size_t session_count() const { return sessions_.size(); }
+
+  /// Hosted sessions in ascending session-id order — the hot-loop view.
+  /// Contiguous, allocation-free; invalidated by place/remove.
+  const std::vector<HostedSession>& hosted() const { return sessions_; }
+
   std::vector<SessionId> session_ids() const;  ///< sorted for determinism
   std::vector<SessionId> sessions_on_gpu(int gpu_index) const;  ///< sorted
 
@@ -102,10 +118,13 @@ class Server {
  private:
   bool fits_after(SessionId sid, int gpu_index,
                   const ResourceVector& allocation) const;
+  /// Iterator to the session's slot, or end() if not hosted.
+  std::vector<HostedSession>::const_iterator find(SessionId sid) const;
+  std::vector<HostedSession>::iterator find(SessionId sid);
 
   ServerId id_;
   ServerSpec spec_;
-  std::unordered_map<SessionId, SessionPlacement> sessions_;
+  std::vector<HostedSession> sessions_;  ///< sorted by sid
 };
 
 }  // namespace cocg::hw

@@ -5,7 +5,6 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "game/plan.h"
-#include "hw/contention.h"
 
 namespace cocg::platform {
 
@@ -19,9 +18,8 @@ int stage_key(bool loading, int stage_type) {
   return loading ? -1 : stage_type;
 }
 
-std::string stage_span_name(int key) {
-  return key < 0 ? "loading" : "exec:" + std::to_string(key);
-}
+/// Cap on speculative container reservations (points / samples).
+constexpr std::size_t kMaxSpeculativeReserve = 1u << 20;
 
 }  // namespace
 
@@ -57,6 +55,11 @@ ServerId CloudPlatform::add_server(const hw::ServerSpec& spec) {
   for (int g = 0; g < spec.num_gpus; ++g) {
     gauges.push_back(obs::metrics().gauge(
         base + ".g" + std::to_string(g) + ".max_dim_fraction"));
+  }
+  // Intern the per-device trace counter names once, not per tick.
+  while (gpu_util_names_.size() < static_cast<std::size_t>(spec.num_gpus)) {
+    gpu_util_names_.push_back(
+        "gpu" + std::to_string(gpu_util_names_.size()) + " util");
   }
   if (obs::trace_enabled()) {
     obs::trace().set_process_name(
@@ -132,6 +135,7 @@ void CloudPlatform::replenish_sources() {
 }
 
 void CloudPlatform::try_admit_queue() {
+  if (queue_.empty()) return;  // common case on idle control ticks
   // FIFO scan; requests the scheduler rejects stay queued for the next
   // control period (Fig. 11: games continuously request "until the
   // distributor passes the request").
@@ -158,7 +162,8 @@ void CloudPlatform::try_admit_queue() {
     }
     auto plan = game::generate_plan(*req.spec, req.script_idx, req.player_id,
                                     rng_);
-    ActiveSession as;
+    const DurationMs nominal_ms = game::plan_nominal_duration(plan);
+    ActiveSession& as = sessions_.emplace(sid);
     as.session = std::make_unique<game::GameSession>(
         sid, req.spec, req.script_idx, std::move(plan), rng_.fork(),
         cfg_.session);
@@ -168,6 +173,16 @@ void CloudPlatform::try_admit_queue() {
     as.player_id = req.player_id;
     as.request_arrival = req.arrival;
     as.trace.set_label(req.spec->name + "#" + std::to_string(sid.value));
+    // Size the telemetry buffer for the expected run length (plus slack for
+    // loading extensions) so steady-state sampling never reallocates.
+    std::size_t expect =
+        static_cast<std::size_t>(nominal_ms / cfg_.tick_ms) + 16;
+    if (cfg_.trace_max_samples > 0) {
+      as.trace.set_max_samples(cfg_.trace_max_samples);
+      expect = std::min(expect, cfg_.trace_max_samples +
+                                    cfg_.trace_max_samples / 2 + 1);
+    }
+    as.trace.reserve(std::min(expect, kMaxSpeculativeReserve));
     as.session->begin(engine_.now());
     obs_admitted_.add();
     obs_wait_ms_.record(
@@ -181,10 +196,19 @@ void CloudPlatform::try_admit_queue() {
           trace_pid(placement->server), static_cast<int>(sid.value),
           req.spec->name + "#" + std::to_string(sid.value));
     }
-    sessions_.emplace(sid, std::move(as));
     scheduler_->on_session_start(*this, sid);
   }
   queue_ = std::move(remaining);
+}
+
+const std::string& CloudPlatform::span_name(int key) {
+  if (key < 0) return loading_span_name_;
+  const auto k = static_cast<std::size_t>(key);
+  while (exec_span_names_.size() <= k) {
+    exec_span_names_.push_back("exec:" +
+                               std::to_string(exec_span_names_.size()));
+  }
+  return exec_span_names_[k];
 }
 
 void CloudPlatform::roll_stage_span(ActiveSession& as, SessionId sid,
@@ -194,7 +218,7 @@ void CloudPlatform::roll_stage_span(ActiveSession& as, SessionId sid,
   const int pid = trace_pid(as.server);
   const int tid = static_cast<int>(sid.value);
   if (as.span_stage != -2 && t > as.span_start) {
-    tb.add_complete(pid, tid, stage_span_name(as.span_stage), "stage",
+    tb.add_complete(pid, tid, span_name(as.span_stage), "stage",
                     as.span_start, t - as.span_start);
   }
   as.span_stage = key;
@@ -207,80 +231,114 @@ void CloudPlatform::hardware_tick() {
   const bool obs_on = obs::enabled();
   const bool trace_on = obs::trace_enabled();
 
-  // Per server: gather draws, resolve contention, advance sessions.
+  // Per server: gather draws, resolve contention, advance sessions. All
+  // buffers come from scratch_ (capacity retained across ticks) and the
+  // hosted() view is iterated in ascending-sid order, matching the legacy
+  // map-backed walk draw for draw.
   for (auto& srv : servers_) {
-    std::vector<hw::PinnedDraw> draws;
-    std::vector<SessionId> sids;
-    for (SessionId sid : srv.session_ids()) {
-      auto it = sessions_.find(sid);
-      COCG_CHECK(it != sessions_.end());
-      auto& as = it->second;
+    const auto& hosted = srv.hosted();
+    if (hosted.empty()) continue;
+    auto& draws = scratch_.draws;
+    auto& live = scratch_.live;
+    draws.clear();
+    live.clear();
+    for (const auto& h : hosted) {
+      ActiveSession* as = sessions_.find(h.sid);
+      COCG_CHECK(as != nullptr);
       hw::PinnedDraw pd;
-      pd.draw.sid = sid;
-      pd.draw.demand = as.session->demand();
-      pd.draw.allocation = srv.placement(sid).allocation;
-      pd.gpu_index = as.gpu_index;
+      pd.draw.sid = h.sid;
+      pd.draw.demand = as->session->demand();
+      pd.draw.allocation = h.placement.allocation;
+      pd.gpu_index = as->gpu_index;
       draws.push_back(pd);
-      sids.push_back(sid);
+      live.push_back(as);
     }
-    if (draws.empty()) continue;
-    const auto supplies = hw::resolve_server(srv.spec(), draws);
+    const auto& supplies =
+        hw::resolve_server(srv.spec(), draws, scratch_.resolve);
 
     // Utilization snapshots (per GPU view). The registry gauges and trace
     // counter tracks are the metrics-facing export; util_log_ keeps the
-    // Fig. 9 accessors working.
+    // Fig. 9 accessors working. Accumulated in one pass over sessions —
+    // per-view sums still add in session order, so totals are bit-identical
+    // to the per-view rescan this replaced.
     if (record_utilization_ || obs_on) {
       const ResourceVector cap = srv.spec().per_gpu_capacity();
-      for (int g = 0; g < srv.spec().num_gpus; ++g) {
-        UtilizationPoint up;
-        up.t = t;
-        up.server = srv.id();
-        up.gpu_index = g;
-        for (std::size_t i = 0; i < sids.size(); ++i) {
-          // CPU/RAM are charged to every view; GPU dims to the pinned view.
-          up.total_supplied[Dim::kCpuPct] += supplies[i].supplied[Dim::kCpuPct];
-          up.total_supplied[Dim::kRamMb] += supplies[i].supplied[Dim::kRamMb];
-          if (draws[i].gpu_index == g) {
-            up.total_supplied[Dim::kGpuPct] +=
-                supplies[i].supplied[Dim::kGpuPct];
-            up.total_supplied[Dim::kGpuMemMb] +=
-                supplies[i].supplied[Dim::kGpuMemMb];
-          }
+      const auto ngpus = static_cast<std::size_t>(srv.spec().num_gpus);
+      auto& util = scratch_.util;
+      util.clear();
+      util.resize(ngpus);
+      for (std::size_t g = 0; g < ngpus; ++g) {
+        util[g].t = t;
+        util[g].server = srv.id();
+        util[g].gpu_index = static_cast<int>(g);
+      }
+      for (std::size_t i = 0; i < draws.size(); ++i) {
+        // CPU/RAM are charged to every view; GPU dims to the pinned view.
+        for (std::size_t g = 0; g < ngpus; ++g) {
+          util[g].total_supplied[Dim::kCpuPct] +=
+              supplies[i].supplied[Dim::kCpuPct];
+          util[g].total_supplied[Dim::kRamMb] +=
+              supplies[i].supplied[Dim::kRamMb];
         }
+        auto& pinned = util[static_cast<std::size_t>(draws[i].gpu_index)];
+        pinned.total_supplied[Dim::kGpuPct] +=
+            supplies[i].supplied[Dim::kGpuPct];
+        pinned.total_supplied[Dim::kGpuMemMb] +=
+            supplies[i].supplied[Dim::kGpuMemMb];
+      }
+      for (std::size_t g = 0; g < ngpus; ++g) {
+        UtilizationPoint& up = util[g];
         for (std::size_t d = 0; d < kNumDims; ++d) {
           up.max_dim_fraction = std::max(
               up.max_dim_fraction, up.total_supplied.at(d) / cap.at(d));
         }
-        obs_util_[srv.id().value][static_cast<std::size_t>(g)].set(
-            up.max_dim_fraction);
+        obs_util_[srv.id().value][g].set(up.max_dim_fraction);
         if (trace_on) {
           obs::trace().add_counter(
-              trace_pid(srv.id()), "gpu" + std::to_string(g) + " util", t,
+              trace_pid(srv.id()), gpu_util_names_[g], t,
               {{"gpu_pct", up.total_supplied.gpu()},
                {"cpu_pct", up.total_supplied.cpu()},
                {"max_dim_pct", 100.0 * up.max_dim_fraction}});
         }
-        if (record_utilization_) util_log_.push_back(up);
+        if (record_utilization_) {
+          util_log_.push_back(up);
+          if (cfg_.util_log_max_points > 0 &&
+              util_log_.size() > cfg_.util_log_max_points +
+                                     cfg_.util_log_max_points / 2) {
+            const std::size_t drop =
+                util_log_.size() - cfg_.util_log_max_points;
+            util_log_.erase(
+                util_log_.begin(),
+                util_log_.begin() + static_cast<std::ptrdiff_t>(drop));
+            util_log_dropped_ += drop;
+          }
+        }
       }
     }
 
     // Advance sessions and record telemetry.
-    for (std::size_t i = 0; i < sids.size(); ++i) {
-      auto& as = sessions_.at(sids[i]);
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      ActiveSession& as = *live[i];
       telemetry::MetricSample s;
       s.t = t;
       s.usage = supplies[i].supplied;
-      for (std::size_t d = 0; d < kNumDims; ++d) {
-        s.usage.at(d) = std::max(
-            0.0, s.usage.at(d) *
-                     (1.0 + rng_.normal(0.0, cfg_.measurement_noise_rel)));
+      // Batched measurement noise: one fill per session reproduces the
+      // exact draw sequence of the former per-dimension normal() calls.
+      // Noise-free configs skip the draws entirely (the Box–Muller
+      // transcendentals dominate the per-session tick cost).
+      if (cfg_.measurement_noise_rel > 0.0) {
+        double noise[kNumDims];
+        rng_.fill_normal(noise, kNumDims, 0.0, cfg_.measurement_noise_rel);
+        for (std::size_t d = 0; d < kNumDims; ++d) {
+          s.usage.at(d) = std::max(0.0, s.usage.at(d) * (1.0 + noise[d]));
+        }
       }
       s.true_stage_type = as.session->stage_type();
       s.true_loading =
           as.session->stage_kind() == game::StageKind::kLoading;
       s.true_cluster = as.session->current_cluster();
       if (trace_on) {
-        roll_stage_span(as, sids[i],
+        roll_stage_span(as, draws[i].draw.sid,
                         stage_key(s.true_loading, s.true_stage_type), t);
       }
       const ResourceVector demand_before = draws[i].draw.demand;
@@ -304,16 +362,20 @@ void CloudPlatform::hardware_tick() {
     }
   }
 
-  // §V-B1 harvest accounting: integrate unallocated capacity.
+  // §V-B1 harvest accounting: integrate unallocated capacity. Walks the
+  // hosted() table per device in sid order — the same visit order (and
+  // therefore the same floating-point sums) as the sessions_on_gpu() scan
+  // this replaced.
   if (record_harvest_) {
     const double dt_s = ms_to_sec(cfg_.tick_ms);
     for (const auto& srv : servers_) {
       double cpu_alloc = 0.0;
       for (int g = 0; g < srv.spec().num_gpus; ++g) {
         double gpu_alloc = 0.0;
-        for (SessionId sid : srv.sessions_on_gpu(g)) {
-          gpu_alloc += srv.placement(sid).allocation[Dim::kGpuPct];
-          cpu_alloc += srv.placement(sid).allocation[Dim::kCpuPct];
+        for (const auto& h : srv.hosted()) {
+          if (h.placement.gpu_index != g) continue;
+          gpu_alloc += h.placement.allocation[Dim::kGpuPct];
+          cpu_alloc += h.placement.allocation[Dim::kCpuPct];
         }
         harvested_gpu_s_ +=
             std::max(0.0, srv.spec().gpu_capacity_pct - gpu_alloc) / 100.0 *
@@ -325,18 +387,21 @@ void CloudPlatform::hardware_tick() {
     }
   }
 
-  // Reap finished sessions (deterministic id order via map iteration).
-  std::vector<SessionId> done;
-  for (const auto& [sid, as] : sessions_) {
+  // Reap finished sessions in ascending id order (the legacy map order):
+  // collect from the slot table, then sort.
+  auto& done = scratch_.done;
+  done.clear();
+  sessions_.for_each([&](SessionId sid, ActiveSession& as) {
     if (as.session->finished()) done.push_back(sid);
-  }
+  });
+  std::sort(done.begin(), done.end());
   for (SessionId sid : done) finish_session(sid, t + cfg_.tick_ms);
 }
 
 void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
-  auto it = sessions_.find(sid);
-  COCG_CHECK(it != sessions_.end());
-  auto& as = it->second;
+  ActiveSession* asp = sessions_.find(sid);
+  COCG_CHECK(asp != nullptr);
+  ActiveSession& as = *asp;
 
   CompletedRun run;
   run.sid = sid;
@@ -364,7 +429,7 @@ void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
   if (obs::trace_enabled() && as.span_stage != -2 && end > as.span_start) {
     obs::trace().add_complete(trace_pid(as.server),
                               static_cast<int>(sid.value),
-                              stage_span_name(as.span_stage), "stage",
+                              span_name(as.span_stage), "stage",
                               as.span_start, end - as.span_start);
   }
 
@@ -378,7 +443,7 @@ void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
       break;
     }
   }
-  sessions_.erase(it);
+  sessions_.erase(sid);
 }
 
 void CloudPlatform::control_tick() {
@@ -411,6 +476,22 @@ void CloudPlatform::begin(DurationMs duration_ms) {
   COCG_EXPECTS(duration_ms > 0);
   COCG_EXPECTS_MSG(!hw_task_.active(), "begin() while already running");
   horizon_ = engine_.now() + duration_ms;
+
+  if (record_utilization_ && util_log_.empty()) {
+    // One point per GPU view per tick, capped to keep the speculative
+    // reservation sane for very long horizons.
+    std::size_t views = 0;
+    for (const auto& srv : servers_) {
+      views += static_cast<std::size_t>(srv.spec().num_gpus);
+    }
+    const auto ticks = static_cast<std::size_t>(duration_ms / cfg_.tick_ms);
+    std::size_t expect = views * ticks;
+    if (cfg_.util_log_max_points > 0) {
+      expect = std::min(expect, cfg_.util_log_max_points +
+                                    cfg_.util_log_max_points / 2 + 1);
+    }
+    util_log_.reserve(std::min(expect, kMaxSpeculativeReserve));
+  }
 
   replenish_sources();
   try_admit_queue();
@@ -456,17 +537,14 @@ hw::Server& CloudPlatform::server_mut(ServerId id) {
 }
 
 std::vector<SessionId> CloudPlatform::session_ids() const {
-  std::vector<SessionId> out;
-  out.reserve(sessions_.size());
-  for (const auto& [sid, as] : sessions_) out.push_back(sid);
-  return out;
+  return sessions_.sorted_ids();
 }
 
 const CloudPlatform::ActiveSession& CloudPlatform::active(
     SessionId sid) const {
-  auto it = sessions_.find(sid);
-  COCG_EXPECTS_MSG(it != sessions_.end(), "unknown session");
-  return it->second;
+  const ActiveSession* as = sessions_.find(sid);
+  COCG_EXPECTS_MSG(as != nullptr, "unknown session");
+  return *as;
 }
 
 SessionInfo CloudPlatform::session_info(SessionId sid) const {
@@ -489,16 +567,16 @@ const telemetry::Trace& CloudPlatform::session_trace(SessionId sid) const {
 
 bool CloudPlatform::reallocate(SessionId sid, const ResourceVector& allocation,
                                bool allow_oversubscribe) {
-  auto it = sessions_.find(sid);
-  if (it == sessions_.end()) return false;
-  return server_mut(it->second.server)
-      .reallocate(sid, allocation, allow_oversubscribe);
+  ActiveSession* as = sessions_.find(sid);
+  if (as == nullptr) return false;
+  return server_mut(as->server).reallocate(sid, allocation,
+                                           allow_oversubscribe);
 }
 
 void CloudPlatform::hold_loading(SessionId sid, bool hold) {
-  auto it = sessions_.find(sid);
-  if (it == sessions_.end()) return;
-  it->second.session->set_loading_hold(hold);
+  ActiveSession* as = sessions_.find(sid);
+  if (as == nullptr) return;
+  as->session->set_loading_hold(hold);
 }
 
 const game::GameSession& CloudPlatform::session_truth(SessionId sid) const {

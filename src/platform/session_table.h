@@ -1,0 +1,134 @@
+// Dense slot-indexed session store.
+//
+// The platform's hot loop touches every active session every simulated
+// tick. A std::map gives deterministic iteration but costs a pointer-chasing
+// tree walk per lookup and a node allocation per admission. SessionTable
+// keeps the sessions in contiguous slot storage:
+//
+//  * O(1) id -> slot lookup through a direct-mapped index: session ids are
+//    issued sequentially, so the index is a flat vector indexed by id —
+//    one array load per lookup, no hashing and no node chase (4 bytes per
+//    id ever issued; it only grows on admission, never on the tick path);
+//  * no swap-remove: erasing one session never relocates another, and
+//    emplace() only relocates values when it has to grow the slot vector —
+//    so pointers collected within a tick (no admissions) stay valid;
+//  * freed slots are recycled through a free list — steady-state admission
+//    reuses storage instead of allocating;
+//  * iteration order over slots is *not* id order; callers that need the
+//    deterministic ascending-id order (reaping, PlatformView::session_ids)
+//    use sorted_ids() / collect-and-sort, which keeps reports byte-identical
+//    with the previous std::map-backed store.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cocg::platform {
+
+template <class T>
+class SessionTable {
+ public:
+  /// Create a default-constructed value for `sid` (must not be present).
+  /// The reference stays valid until the next emplace() that grows the
+  /// slot vector; erase() of other sessions never invalidates it.
+  T& emplace(SessionId sid) {
+    COCG_EXPECTS(sid.valid());
+    COCG_EXPECTS_MSG(!contains(sid), "session already in table");
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot].value = T{};
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[slot].sid = sid;
+    if (sid.value >= index_.size()) {
+      index_.resize(static_cast<std::size_t>(sid.value) + 1, kNoSlot);
+    }
+    index_[sid.value] = slot;
+    ++size_;
+    return slots_[slot].value;
+  }
+
+  T* find(SessionId sid) {
+    const std::uint32_t slot = slot_of(sid);
+    return slot == kNoSlot ? nullptr : &slots_[slot].value;
+  }
+  const T* find(SessionId sid) const {
+    const std::uint32_t slot = slot_of(sid);
+    return slot == kNoSlot ? nullptr : &slots_[slot].value;
+  }
+
+  bool contains(SessionId sid) const { return slot_of(sid) != kNoSlot; }
+
+  /// Destroy the stored value (slot is recycled). Returns false if absent.
+  bool erase(SessionId sid) {
+    const std::uint32_t slot = slot_of(sid);
+    if (slot == kNoSlot) return false;
+    slots_[slot].sid = SessionId{};   // invalid id marks the slot dead
+    slots_[slot].value = T{};         // release resources eagerly
+    free_.push_back(slot);
+    index_[sid.value] = kNoSlot;
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visit every live session in slot order (NOT id order).
+  template <class F>
+  void for_each(F&& f) {
+    for (auto& s : slots_) {
+      if (s.sid.valid()) f(s.sid, s.value);
+    }
+  }
+  template <class F>
+  void for_each(F&& f) const {
+    for (const auto& s : slots_) {
+      if (s.sid.valid()) f(s.sid, s.value);
+    }
+  }
+
+  /// Live session ids in ascending order (the legacy std::map order).
+  std::vector<SessionId> sorted_ids() const {
+    std::vector<SessionId> ids;
+    ids.reserve(size_);
+    for (const auto& s : slots_) {
+      if (s.sid.valid()) ids.push_back(s.sid);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+  /// Slots ever allocated (live + recycled) — capacity introspection.
+  std::size_t slot_count() const { return slots_.size(); }
+
+ private:
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Slot {
+    SessionId sid;  ///< invalid when the slot is on the free list
+    T value;
+  };
+
+  std::uint32_t slot_of(SessionId sid) const {
+    return sid.value < index_.size() ? index_[sid.value] : kNoSlot;
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> index_;  ///< sid.value -> slot, kNoSlot if dead
+  std::size_t size_ = 0;
+};
+
+}  // namespace cocg::platform

@@ -14,17 +14,4 @@ StreamingModel::StreamingModel(StreamingConfig cfg) : cfg_(cfg) {
   COCG_EXPECTS(cfg_.latency_budget_ms > 0.0);
 }
 
-double StreamingModel::latency_ms(double fps, double cpu_satisfaction,
-                                  Rng& rng) const {
-  COCG_EXPECTS_MSG(fps > 0.0, "latency is defined for rendering ticks only");
-  const double sat = std::clamp(cpu_satisfaction, 0.05, 1.0);
-  const double frame_time_ms = 1000.0 / fps;
-  const double jitter =
-      cfg_.network_jitter_ms > 0.0
-          ? std::max(0.0, rng.normal(0.0, cfg_.network_jitter_ms))
-          : 0.0;
-  return cfg_.network_rtt_ms + jitter + cfg_.input_process_ms / sat +
-         frame_time_ms + cfg_.encode_ms / sat + cfg_.decode_ms;
-}
-
 }  // namespace cocg::platform

@@ -17,6 +17,9 @@
 // squeeze becomes user-visible lag.
 #pragma once
 
+#include <algorithm>
+
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace cocg::platform {
@@ -36,8 +39,20 @@ class StreamingModel {
 
   /// One end-to-end latency sample. `fps` must be > 0 (an execution-stage
   /// tick); `cpu_satisfaction` in (0, 1] stretches the CPU-bound pipeline
-  /// segments. `rng` supplies network jitter.
-  double latency_ms(double fps, double cpu_satisfaction, Rng& rng) const;
+  /// segments. `rng` supplies network jitter. Inline: sampled once per
+  /// rendering tick on the simulation hot path.
+  double latency_ms(double fps, double cpu_satisfaction, Rng& rng) const {
+    COCG_EXPECTS_MSG(fps > 0.0,
+                     "latency is defined for rendering ticks only");
+    const double sat = std::clamp(cpu_satisfaction, 0.05, 1.0);
+    const double frame_time_ms = 1000.0 / fps;
+    const double jitter =
+        cfg_.network_jitter_ms > 0.0
+            ? std::max(0.0, rng.normal(0.0, cfg_.network_jitter_ms))
+            : 0.0;
+    return cfg_.network_rtt_ms + jitter + cfg_.input_process_ms / sat +
+           frame_time_ms + cfg_.encode_ms / sat + cfg_.decode_ms;
+  }
 
   const StreamingConfig& config() const { return cfg_; }
 

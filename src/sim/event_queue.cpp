@@ -14,11 +14,11 @@ EventHandle EventQueue::schedule(TimeMs at, EventFn fn) {
 
 bool EventQueue::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  return live_.erase(h.seq) > 0;
+  return live_.erase(h.seq);
 }
 
 void EventQueue::drop_dead_prefix() {
-  while (!heap_.empty() && live_.count(heap_.top().seq) == 0) {
+  while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
     heap_.pop();
   }
 }
@@ -35,11 +35,16 @@ std::pair<TimeMs, EventFn> EventQueue::pop() {
   COCG_EXPECTS(!empty());
   drop_dead_prefix();
   COCG_CHECK(!heap_.empty());
-  // Copy out before popping: the callback may schedule new events.
-  Entry top = heap_.top();
+  // Move out before popping: the callback may schedule new events. The
+  // const_cast is safe — the comparator only reads (at, seq), never fn,
+  // so sift-down over a moved-from fn is fine.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  const TimeMs at = top.at;
+  const std::uint64_t seq = top.seq;
+  EventFn fn = std::move(top.fn);
   heap_.pop();
-  live_.erase(top.seq);
-  return {top.at, std::move(top.fn)};
+  live_.erase(seq);
+  return {at, std::move(fn)};
 }
 
 TimeMs EventQueue::pop_and_run() {

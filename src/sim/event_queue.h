@@ -5,17 +5,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <utility>
-#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
+#include "sim/inline_fn.h"
+#include "sim/seq_set.h"
 
 namespace cocg::sim {
 
-using EventFn = std::function<void()>;
+// Move-only with a 48-byte inline buffer: the simulation loop's callbacks
+// (periodic re-arm, source injections) schedule and pop without touching
+// the heap. See inline_fn.h for why std::function could not do this.
+using EventFn = InlineFn;
 
 /// Handle used to cancel a scheduled event.
 struct EventHandle {
@@ -63,8 +66,10 @@ class EventQueue {
 
   // Min-heap by (time, seq). `live_` holds seqs that are scheduled and not
   // yet fired or cancelled; heap entries not in `live_` are skipped.
+  // SeqSet stores seqs inline (open addressing), so the schedule/pop cycle
+  // of the simulation loop is allocation-free at steady state.
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> live_;
+  SeqSet live_;
   std::uint64_t next_seq_ = 1;
 };
 

@@ -1,0 +1,125 @@
+// Move-only callable with a large inline buffer, for event-queue storage.
+//
+// libstdc++'s std::function only stores *trivially copyable* callables in
+// its 16-byte small-buffer — a lambda capturing a shared_ptr (the engine's
+// periodic re-arm) is heap-allocated on construction and again on every
+// copy, which put two mallocs on every simulated tick. InlineFn keeps any
+// nothrow-movable callable up to 48 bytes inline and only moves (never
+// copies), so scheduling and popping simulation events is allocation-free;
+// larger callables fall back to a single heap cell that moves by pointer
+// swap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cocg::sim {
+
+class InlineFn {
+ public:
+  /// Inline capacity: fits the engine's periodic re-arm (one shared_ptr)
+  /// and the platform's request-injection lambdas with room to spare.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineFn() = default;
+
+  template <class F,
+            std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                    std::is_invocable_r_v<void, std::decay_t<F>&>,
+                int> = 0>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      obj_ = ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      manage_ = &manage_inline<Fn>;
+    } else {
+      obj_ = new Fn(std::forward<F>(f));
+      manage_ = &manage_heap<Fn>;
+    }
+    invoke_ = &invoke_as<Fn>;
+  }
+
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()() { invoke_(obj_); }
+
+ private:
+  enum class Op { kMoveTo, kDestroy };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(Op, InlineFn*, InlineFn*);
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static void invoke_as(void* p) {
+    (*static_cast<Fn*>(p))();
+  }
+
+  template <class Fn>
+  static void manage_inline(Op op, InlineFn* self, InlineFn* to) {
+    Fn* f = static_cast<Fn*>(self->obj_);
+    switch (op) {
+      case Op::kMoveTo:
+        to->obj_ = ::new (static_cast<void*>(to->buf_)) Fn(std::move(*f));
+        f->~Fn();
+        break;
+      case Op::kDestroy:
+        f->~Fn();
+        break;
+    }
+  }
+
+  template <class Fn>
+  static void manage_heap(Op op, InlineFn* self, InlineFn* to) {
+    switch (op) {
+      case Op::kMoveTo:
+        to->obj_ = self->obj_;
+        break;
+      case Op::kDestroy:
+        delete static_cast<Fn*>(self->obj_);
+        break;
+    }
+  }
+
+  void move_from(InlineFn& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_ != nullptr) manage_(Op::kMoveTo, &o, this);
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+    o.obj_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::kDestroy, this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    obj_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* obj_ = nullptr;  ///< buf_ when inline, heap cell otherwise
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace cocg::sim

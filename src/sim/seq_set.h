@@ -1,0 +1,113 @@
+// Open-addressing set of event sequence numbers.
+//
+// The event queue tracks which scheduled events are still live. A
+// std::unordered_set allocates one node per insert, which puts a
+// malloc/free pair on every simulated tick — the hottest path in the
+// system. SeqSet stores the u64 seqs inline in a power-of-two table with
+// linear probing and backward-shift deletion, so inserts and erases are
+// allocation-free once the table has reached its high-water size.
+//
+// Seq 0 is reserved as the empty-slot sentinel (EventHandle seqs start
+// at 1).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cocg::sim {
+
+class SeqSet {
+ public:
+  SeqSet() : slots_(kMinCapacity, 0) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(std::uint64_t seq) const {
+    COCG_EXPECTS(seq != 0);
+    std::size_t i = index_of(seq);
+    while (slots_[i] != 0) {
+      if (slots_[i] == seq) return true;
+      i = (i + 1) & mask();
+    }
+    return false;
+  }
+
+  /// Returns false if already present.
+  bool insert(std::uint64_t seq) {
+    COCG_EXPECTS(seq != 0);
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    std::size_t i = index_of(seq);
+    while (slots_[i] != 0) {
+      if (slots_[i] == seq) return false;
+      i = (i + 1) & mask();
+    }
+    slots_[i] = seq;
+    ++size_;
+    return true;
+  }
+
+  /// Returns false if not present. Backward-shift deletion keeps probe
+  /// chains intact without tombstones.
+  bool erase(std::uint64_t seq) {
+    COCG_EXPECTS(seq != 0);
+    std::size_t i = index_of(seq);
+    while (slots_[i] != seq) {
+      if (slots_[i] == 0) return false;
+      i = (i + 1) & mask();
+    }
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask();
+    while (slots_[j] != 0) {
+      const std::size_t home = index_of(slots_[j]);
+      // Shift back iff the hole lies within [home, j] cyclically.
+      const bool movable = ((j - home) & mask()) >= ((j - hole) & mask());
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask();
+    }
+    slots_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = 0;
+    size_ = 0;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t mask() const { return slots_.size() - 1; }
+
+  std::size_t index_of(std::uint64_t seq) const {
+    // splitmix64-style finalizer: seqs are sequential, so spread them.
+    std::uint64_t z = seq;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & mask();
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    size_ = 0;
+    for (std::uint64_t s : old) {
+      if (s != 0) insert(s);
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cocg::sim

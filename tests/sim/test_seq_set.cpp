@@ -1,0 +1,95 @@
+#include "sim/seq_set.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace cocg::sim {
+namespace {
+
+TEST(SeqSet, InsertContainsErase) {
+  SeqSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.insert(7));
+  EXPECT_FALSE(s.insert(7));  // duplicate
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.erase(7));
+  EXPECT_FALSE(s.erase(7));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SeqSet, GrowsPastInitialCapacity) {
+  SeqSet s;
+  for (std::uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(s.insert(i));
+  EXPECT_EQ(s.size(), 10000u);
+  for (std::uint64_t i = 1; i <= 10000; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_FALSE(s.contains(10001));
+}
+
+TEST(SeqSet, BackwardShiftDeletionKeepsProbeChainsIntact) {
+  // Dense consecutive seqs maximize probe-chain overlap; deleting from the
+  // middle must not orphan later entries (the classic tombstone-free
+  // open-addressing pitfall).
+  SeqSet s;
+  for (std::uint64_t i = 1; i <= 64; ++i) s.insert(i);
+  for (std::uint64_t i = 2; i <= 64; i += 2) EXPECT_TRUE(s.erase(i));
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    EXPECT_EQ(s.contains(i), i % 2 == 1) << "seq " << i;
+  }
+}
+
+TEST(SeqSet, ClearResets) {
+  SeqSet s;
+  for (std::uint64_t i = 1; i <= 100; ++i) s.insert(i);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(50));
+  EXPECT_TRUE(s.insert(50));
+}
+
+TEST(SeqSet, SteadyChurnDoesNotGrowCapacity) {
+  // The event queue's schedule/pop cycle keeps the live set near-constant;
+  // capacity must stabilize instead of creeping up.
+  SeqSet s;
+  std::uint64_t next = 1;
+  for (int i = 0; i < 32; ++i) s.insert(next++);
+  for (int warm = 0; warm < 1000; ++warm) {
+    s.insert(next);
+    s.erase(next - 32);
+    ++next;
+  }
+  const std::size_t cap = s.capacity();
+  for (int round = 0; round < 100000; ++round) {
+    s.insert(next);
+    s.erase(next - 32);
+    ++next;
+  }
+  EXPECT_EQ(s.capacity(), cap);
+  EXPECT_EQ(s.size(), 32u);
+}
+
+TEST(SeqSet, MatchesUnorderedSetUnderRandomChurn) {
+  SeqSet s;
+  std::unordered_set<std::uint64_t> ref;
+  Rng rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(1, 500));
+    if (rng.chance(0.5)) {
+      EXPECT_EQ(s.insert(v), ref.insert(v).second);
+    } else {
+      EXPECT_EQ(s.erase(v), ref.erase(v) > 0);
+    }
+  }
+  EXPECT_EQ(s.size(), ref.size());
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    EXPECT_EQ(s.contains(v), ref.count(v) > 0) << "seq " << v;
+  }
+}
+
+}  // namespace
+}  // namespace cocg::sim

@@ -1,0 +1,57 @@
+// Trace growth controls: reserve + the max_samples window.
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.h"
+
+namespace cocg::telemetry {
+namespace {
+
+MetricSample sample_at(TimeMs t) {
+  MetricSample s;
+  s.t = t;
+  s.usage = {1.0, 2.0, 3.0, 4.0};
+  s.fps = 60.0;
+  return s;
+}
+
+TEST(TraceWindow, ReserveAvoidsReallocation) {
+  Trace tr("t");
+  tr.reserve(1000);
+  const std::size_t cap = tr.capacity();
+  for (TimeMs t = 0; t < 1000; ++t) tr.add(sample_at(t));
+  EXPECT_EQ(tr.capacity(), cap);
+  EXPECT_EQ(tr.size(), 1000u);
+}
+
+TEST(TraceWindow, UnboundedByDefault) {
+  Trace tr;
+  for (TimeMs t = 0; t < 5000; ++t) tr.add(sample_at(t));
+  EXPECT_EQ(tr.size(), 5000u);
+  EXPECT_EQ(tr.dropped_samples(), 0u);
+}
+
+TEST(TraceWindow, WindowKeepsNewestSamples) {
+  Trace tr;
+  tr.set_max_samples(100);
+  for (TimeMs t = 0; t < 1000; ++t) tr.add(sample_at(t));
+  // Trimming is block-wise: never below the cap, never above 1.5x it.
+  EXPECT_GE(tr.size(), 100u);
+  EXPECT_LE(tr.size(), 150u);
+  EXPECT_EQ(tr.dropped_samples() + tr.size(), 1000u);
+  // The retained suffix is the newest run, contiguous and in order.
+  EXPECT_EQ(tr.end_time(), 999);
+  EXPECT_EQ(tr.start_time(), 1000 - static_cast<TimeMs>(tr.size()));
+}
+
+TEST(TraceWindow, SetMaxSamplesTrimsExistingBuffer) {
+  Trace tr;
+  for (TimeMs t = 0; t < 400; ++t) tr.add(sample_at(t));
+  tr.set_max_samples(50);
+  EXPECT_EQ(tr.size(), 50u);
+  EXPECT_EQ(tr.dropped_samples(), 350u);
+  EXPECT_EQ(tr.start_time(), 350);
+  EXPECT_EQ(tr.end_time(), 399);
+}
+
+}  // namespace
+}  // namespace cocg::telemetry
