@@ -24,6 +24,9 @@ CocgScheduler::CocgScheduler(std::map<std::string, TrainedGame> models,
   obs_rejected_ = reg.counter("scheduler.admit.rejected");
   obs_holds_ = reg.counter("regulator.holds");
   obs_replacements_ = reg.counter("scheduler.model_replacements");
+  prof_predictor_ = obs::stage_timer(obs::Stage::kPredictorDecide);
+  prof_distributor_ = obs::stage_timer(obs::Stage::kDistributorDecide);
+  prof_regulator_ = obs::stage_timer(obs::Stage::kRegulator);
 }
 
 const TrainedGame& CocgScheduler::model(const std::string& game) const {
@@ -162,8 +165,11 @@ std::optional<platform::Placement> CocgScheduler::admit(
     return std::nullopt;
   }
   const TrainedGame& tg = mit->second;
-  const CandidateOutlook cand =
-      candidate_outlook(tg, req.player_id, req.script_idx);
+  CandidateOutlook cand;
+  {
+    obs::StageScope predictor_scope(prof_predictor_);
+    cand = candidate_outlook(tg, req.player_id, req.script_idx);
+  }
 
   // Best-fit complementary placement: among all views the distributor
   // admits, pick the one whose resulting expected utilization is lowest —
@@ -177,38 +183,41 @@ std::optional<platform::Placement> CocgScheduler::admit(
   std::optional<Choice> best;
   std::string last_reject;
 
-  for (ServerId server : view.server_ids()) {
-    const auto& srv = view.server(server);
-    for (int g = 0; g < srv.spec().num_gpus; ++g) {
-      // Redundancy-fattened allocations may transiently oversubscribe a
-      // view; new sessions cannot be placed there until it drains.
-      if (!srv.allocated_on_gpu(g).fits_within(
-              srv.spec().per_gpu_capacity())) {
-        continue;
-      }
-      const ResourceVector cap = view_capacity(view, server, g);
-      std::vector<SessionOutlook> hosted;
-      for (SessionId sid : srv.sessions_on_gpu(g)) {
-        auto it = state_.find(sid);
-        if (it == state_.end()) continue;
-        hosted.push_back(outlook_for(it->second, now));
-      }
-      const AdmitDecision d = distributor_.decide(cap, hosted, cand);
-      if (!d.admit) {
-        last_reject = d.reason;
-        continue;
-      }
-
-      ResourceVector expected_total = cand.expected;
-      for (const auto& h : hosted) expected_total += h.expected;
-      double score = 0.0;
-      for (std::size_t dim = 0; dim < kNumDims; ++dim) {
-        if (cap.at(dim) > 0.0) {
-          score = std::max(score, expected_total.at(dim) / cap.at(dim));
+  {
+    obs::StageScope distributor_scope(prof_distributor_);
+    for (ServerId server : view.server_ids()) {
+      const auto& srv = view.server(server);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        // Redundancy-fattened allocations may transiently oversubscribe a
+        // view; new sessions cannot be placed there until it drains.
+        if (!srv.allocated_on_gpu(g).fits_within(
+                srv.spec().per_gpu_capacity())) {
+          continue;
         }
-      }
-      if (!best || score < best->score) {
-        best = Choice{server, g, score, d.reason};
+        const ResourceVector cap = view_capacity(view, server, g);
+        std::vector<SessionOutlook> hosted;
+        for (SessionId sid : srv.sessions_on_gpu(g)) {
+          auto it = state_.find(sid);
+          if (it == state_.end()) continue;
+          hosted.push_back(outlook_for(it->second, now));
+        }
+        const AdmitDecision d = distributor_.decide(cap, hosted, cand);
+        if (!d.admit) {
+          last_reject = d.reason;
+          continue;
+        }
+
+        ResourceVector expected_total = cand.expected;
+        for (const auto& h : hosted) expected_total += h.expected;
+        double score = 0.0;
+        for (std::size_t dim = 0; dim < kNumDims; ++dim) {
+          if (cap.at(dim) > 0.0) {
+            score = std::max(score, expected_total.at(dim) / cap.at(dim));
+          }
+        }
+        if (!best || score < best->score) {
+          best = Choice{server, g, score, d.reason};
+        }
       }
     }
   }
@@ -313,21 +322,22 @@ void CocgScheduler::update_monitor(platform::PlatformView& view,
 }
 
 void CocgScheduler::control(platform::PlatformView& view) {
-
-
   // Step 1-3 of Fig. 8: collect, judge, predict — per session. A view is
   // saturated when the allocations pinned to it oversubscribe it; judged
   // stages on such views must not drift downward (squeezed supply mimics
   // a calmer stage).
-  for (SessionId sid : view.session_ids()) {
-    auto it = state_.find(sid);
-    if (it == state_.end()) continue;
-    const auto info = view.session_info(sid);
-    const auto& srv = view.server(info.server);
-    const bool saturated =
-        !srv.allocated_on_gpu(info.gpu_index)
-             .fits_within(srv.spec().per_gpu_capacity());
-    update_monitor(view, sid, it->second, saturated);
+  {
+    obs::StageScope predictor_scope(prof_predictor_);
+    for (SessionId sid : view.session_ids()) {
+      auto it = state_.find(sid);
+      if (it == state_.end()) continue;
+      const auto info = view.session_info(sid);
+      const auto& srv = view.server(info.server);
+      const bool saturated =
+          !srv.allocated_on_gpu(info.gpu_index)
+               .fits_within(srv.spec().per_gpu_capacity());
+      update_monitor(view, sid, it->second, saturated);
+    }
   }
 
   // Replacing-model fallback (§IV-B2): rotate a game's model when any of
@@ -365,6 +375,7 @@ void CocgScheduler::control(platform::PlatformView& view) {
 
   // Step 4 of Fig. 8 + regulator: per GPU view, apply recommended
   // allocations, stealing loading time when the view is over the limit.
+  obs::StageScope regulator_scope(prof_regulator_);
   for (ServerId server : view.server_ids()) {
     const auto& srv = view.server(server);
     for (int g = 0; g < srv.spec().num_gpus; ++g) {

@@ -92,6 +92,12 @@ class CocgScheduler final : public platform::Scheduler {
   obs::Counter obs_rejected_;
   obs::Counter obs_holds_;
   obs::Counter obs_replacements_;
+  // Stage-profiler scopes for the three decision stages of the pipeline:
+  // predictor (candidate outlook + monitor collect/judge/predict),
+  // distributor (Algorithm 1 view scan), regulator (loading-steal pass).
+  obs::StageTimer prof_predictor_;
+  obs::StageTimer prof_distributor_;
+  obs::StageTimer prof_regulator_;
 };
 
 }  // namespace cocg::core

@@ -26,7 +26,9 @@ constexpr std::uint64_t kRouterSalt = (1u << 20) + 1;
 Fleet::Fleet(FleetConfig cfg, const SchedulerFactory& make_scheduler)
     : cfg_(cfg),
       router_(cfg.policy, derived_seed(cfg.seed, kRouterSalt)),
-      arrivals_rng_(derived_seed(cfg.seed, kArrivalSalt)) {
+      arrivals_rng_(derived_seed(cfg.seed, kArrivalSalt)),
+      prof_router_(coord_prof_, obs::Stage::kRouter),
+      prof_barrier_(coord_prof_, obs::Stage::kShardBarrier) {
   COCG_EXPECTS(cfg_.shards >= 1);
   COCG_EXPECTS(cfg_.threads >= 1);
   COCG_EXPECTS(make_scheduler != nullptr);
@@ -120,7 +122,11 @@ void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
           0, static_cast<std::int64_t>(src.cfg.spec->scripts.size()) - 1));
       const auto player = static_cast<std::uint64_t>(
           arrivals_rng_.uniform_int(1, src.cfg.player_pool));
-      const int shard = router_.route(loads_);
+      int shard = 0;
+      {
+        obs::StageScope route_scope(prof_router_);
+        shard = router_.route(loads_);
+      }
       auto& s = shards_[static_cast<std::size_t>(shard)];
       s.platform->schedule_request(src.cfg.spec, script, player,
                                    src.next_due);
@@ -130,6 +136,41 @@ void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
           std::max(1.0, arrivals_rng_.exponential(mean_gap_ms)));
     }
   }
+}
+
+void Fleet::enable_health_stream(std::ostream* os, DurationMs period_ms) {
+  COCG_EXPECTS(period_ms >= 0);
+  health_os_ = os;
+  health_period_ms_ = period_ms;
+}
+
+void Fleet::write_health_snapshot_now(TimeMs t) {
+  obs::HealthSnapshot snap;
+  snap.t = t;
+  snap.arrivals = arrivals_;
+  const double dt_s = ms_to_sec(t - health_prev_t_);
+  snap.router_decisions_per_s =
+      dt_s > 0.0
+          ? static_cast<double>(arrivals_ - health_prev_arrivals_) / dt_s
+          : 0.0;
+  snap.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto& p = *shards_[i].platform;
+    obs::HealthShard row;
+    row.shard = static_cast<int>(i);
+    row.servers = shards_[i].servers;
+    row.running = p.running_sessions();
+    row.queued = p.queued_requests();
+    row.pending_events = p.pending_events();
+    row.routed = shards_[i].routed;
+    row.mean_gpu_util = loads_[i].mean_utilization;
+    snap.shards.push_back(row);
+  }
+  snap.slo = merged_slo_attainment();
+  snap.stage_costs = merged_stage_profile();
+  obs::write_health_snapshot(snap, *health_os_);
+  health_prev_t_ = t;
+  health_prev_arrivals_ = arrivals_;
 }
 
 void Fleet::run(DurationMs duration_ms) {
@@ -142,6 +183,9 @@ void Fleet::run(DurationMs duration_ms) {
     s.platform->begin(duration_ms);
   }
   refresh_loads();
+  health_next_due_ = health_period_ms_;
+  health_prev_t_ = 0;
+  health_prev_arrivals_ = 0;
 
   EpochPool pool(cfg_.threads);
   std::vector<std::function<void()>> jobs(shards_.size());
@@ -160,9 +204,18 @@ void Fleet::run(DurationMs duration_ms) {
         s.platform->advance_until(t1);
       };
     }
-    pool.run(jobs);
+    {
+      obs::StageScope barrier_scope(prof_barrier_);
+      pool.run(jobs);
+    }
     t = t1;
     refresh_loads();  // barrier snapshot for the next epoch's routing
+    if (health_os_ != nullptr && t >= health_next_due_) {
+      write_health_snapshot_now(t);
+      if (health_period_ms_ > 0) {
+        while (health_next_due_ <= t) health_next_due_ += health_period_ms_;
+      }
+    }
   }
   for (auto& s : shards_) {
     obs::ScopedDomain sd(*s.domain);
@@ -225,11 +278,33 @@ FleetReport Fleet::report() const {
     r.mean_wait_s = wait_sum_s / static_cast<double>(r.completed);
     r.mean_fps_ratio = fps_sum / static_cast<double>(r.completed);
   }
+  r.slo = merged_slo_attainment();
+  r.stage_costs = merged_stage_profile();
   return r;
+}
+
+obs::StageProfile Fleet::merged_stage_profile() const {
+  obs::StageProfiler merged;
+  merged.merge_from(coord_prof_);
+  for (const auto& s : shards_) merged.merge_from(s.domain->profiler);
+  return merged.profile();
+}
+
+std::vector<obs::SloAttainment> Fleet::merged_slo_attainment() const {
+  obs::SloTracker merged;
+  merged.configure(shards_.front().platform->slo_tracker().class_configs());
+  for (const auto& s : shards_) merged.merge_from(s.platform->slo_tracker());
+  return merged.attainment();
 }
 
 void Fleet::merge_metrics(obs::MetricsRegistry& out) const {
   for (const auto& s : shards_) out.merge_from(s.domain->metrics);
+  if (obs::profiling_enabled()) {
+    obs::StageProfiler merged;
+    merged.merge_from(coord_prof_);
+    for (const auto& s : shards_) merged.merge_from(s.domain->profiler);
+    merged.export_counters(out);
+  }
 }
 
 void Fleet::write_merged_events_jsonl(std::ostream& os) const {
@@ -299,7 +374,11 @@ void write_report_json(const FleetReport& rep, std::ostream& os) {
        << ",\"queued_end\":" << row.queued_end
        << ",\"running_end\":" << row.running_end << '}';
   }
-  os << "]}\n";
+  os << "],\"slo\":";
+  obs::SloTracker::write_attainment_json(rep.slo, os);
+  os << ",\"stage_costs\":";
+  obs::write_stage_costs_json(rep.stage_costs, os);
+  os << "}\n";
 }
 
 std::string report_json(const FleetReport& rep) {

@@ -31,6 +31,7 @@
 
 #include "fleet/router.h"
 #include "obs/domain.h"
+#include "obs/health.h"
 #include "platform/cloud_platform.h"
 
 namespace cocg::fleet {
@@ -75,6 +76,13 @@ struct FleetReport {
     std::size_t running_end = 0;
   };
   std::vector<ShardRow> shards;
+
+  /// Per-class SLO attainment over all shards' completed runs (always
+  /// populated — the tracker records independently of the obs switch).
+  std::vector<obs::SloAttainment> slo;
+  /// Merged stage-profiler table (coordinator + shards); all zeros unless
+  /// obs::set_profiling_enabled(true) during the run.
+  obs::StageProfile stage_costs{};
 };
 
 /// Canonical JSON encoding of a FleetReport: fixed key order, doubles at
@@ -114,6 +122,12 @@ class Fleet {
   /// stress experiments; bypasses the router by design).
   void add_shard_source(int shard, const platform::SourceConfig& source);
 
+  /// Stream health snapshots (obs/health.h JSONL) to `os` during run():
+  /// one line per `period_ms` of simulated time, written at the epoch
+  /// barrier that reaches the due time (period 0 = every epoch). The
+  /// stream must outlive run(); pass nullptr to disable.
+  void enable_health_stream(std::ostream* os, DurationMs period_ms = 0);
+
   /// Run every shard for `duration_ms` of simulated time in lockstep
   /// epochs of one control period. One-shot.
   void run(DurationMs duration_ms);
@@ -127,7 +141,15 @@ class Fleet {
 
   // --- aggregation ---
   FleetReport report() const;
-  /// Fold every shard's metrics registry into `out`, in shard order.
+  /// Coordinator (router + barrier) + every shard's stage profiler,
+  /// merged in shard order.
+  obs::StageProfile merged_stage_profile() const;
+  /// Every shard's SLO tracker merged (identical class tables — all
+  /// shards are built from one platform config).
+  std::vector<obs::SloAttainment> merged_slo_attainment() const;
+  /// Fold every shard's metrics registry into `out`, in shard order, then
+  /// add the merged stage table as profiler.* counters when profiling is
+  /// on.
   void merge_metrics(obs::MetricsRegistry& out) const;
   /// All shards' decision events, time-ordered (ties: shard order), one
   /// JSONL object per line with a leading "shard" field.
@@ -151,6 +173,7 @@ class Fleet {
   void refresh_loads();
   /// Draw arrivals in (t0, t1] and route them onto shard event queues.
   void generate_and_route(TimeMs t0, TimeMs t1);
+  void write_health_snapshot_now(TimeMs t);
 
   FleetConfig cfg_;
   std::vector<Shard> shards_;
@@ -161,6 +184,19 @@ class Fleet {
   std::size_t arrivals_ = 0;
   std::size_t next_server_shard_ = 0;
   bool ran_ = false;
+
+  /// Coordinator-side stage profiler (router + shard barrier). Owned by
+  /// the fleet — NOT a domain profiler — so repeated fleet runs in one
+  /// process stay independent (the determinism tests rely on this).
+  obs::StageProfiler coord_prof_;
+  obs::StageTimer prof_router_;
+  obs::StageTimer prof_barrier_;
+
+  std::ostream* health_os_ = nullptr;
+  DurationMs health_period_ms_ = 0;
+  TimeMs health_next_due_ = 0;
+  TimeMs health_prev_t_ = 0;
+  std::size_t health_prev_arrivals_ = 0;
 };
 
 }  // namespace cocg::fleet

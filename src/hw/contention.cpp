@@ -50,6 +50,7 @@ std::vector<SessionSupply> ContentionModel::resolve(
 const std::vector<SessionSupply>& resolve_server(
     const ServerSpec& spec, const std::vector<PinnedDraw>& draws,
     ServerResolveScratch& scratch) {
+  obs::StageScope profile_scope(scratch.prof);
   // Desired draw per session; per-pool totals. Per-device totals accumulate
   // in draw order within each bucket, matching the original map-based
   // implementation bit-for-bit.

@@ -12,6 +12,7 @@
 
 #include "common/resources.h"
 #include "common/types.h"
+#include "obs/profiler.h"
 
 namespace cocg::hw {
 
@@ -55,6 +56,10 @@ struct ServerResolveScratch {
   std::vector<double> gpu_total;        ///< per device, indexed by gpu
   std::vector<double> vram_total;       ///< per device, indexed by gpu
   std::vector<SessionSupply> out;       ///< result, order matches input
+  /// Stage-profiler handle, bound to the obs domain active when the
+  /// scratch is constructed (the owning platform's shard domain).
+  obs::StageTimer prof =
+      obs::stage_timer(obs::Stage::kContentionResolve);
 };
 
 /// Whole-server resolution: CPU% and RAM are divided across ALL sessions on

@@ -1,17 +1,20 @@
 #include "obs/cli.h"
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 
 namespace cocg::obs {
 
-CliOptions strip_cli_flags(std::vector<std::string>& args) {
+CliOptions strip_cli_flags(std::vector<std::string>& args, bool with_health) {
   CliOptions opts;
+  std::string obs_dir;
   std::vector<std::string> rest;
   rest.reserve(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -22,18 +25,47 @@ CliOptions strip_cli_flags(std::vector<std::string>& args) {
       target = &opts.events_out;
     } else if (args[i] == "--trace-out") {
       target = &opts.trace_out;
+    } else if (with_health && args[i] == "--health-out") {
+      target = &opts.health_out;
+    } else if (args[i] == "--obs-out") {
+      target = &obs_dir;
     }
     if (target == nullptr) {
       rest.push_back(args[i]);
       continue;
     }
     if (i + 1 >= args.size()) {
-      throw std::runtime_error(args[i] + " requires a file path");
+      throw std::runtime_error(args[i] + " requires a path");
     }
     *target = args[++i];
   }
   args = std::move(rest);
-  if (opts.any()) set_enabled(true);
+  if (!obs_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(obs_dir, ec);
+    if (ec) {
+      throw std::runtime_error("--obs-out: cannot create directory " +
+                               obs_dir + ": " + ec.message());
+    }
+    const std::filesystem::path dir(obs_dir);
+    // Explicit per-sink flags win over the directory expansion.
+    if (opts.metrics_out.empty()) {
+      opts.metrics_out = (dir / "metrics.json").string();
+    }
+    if (opts.events_out.empty()) {
+      opts.events_out = (dir / "events.jsonl").string();
+    }
+    if (opts.trace_out.empty()) {
+      opts.trace_out = (dir / "trace.json").string();
+    }
+    if (with_health && opts.health_out.empty()) {
+      opts.health_out = (dir / "health.jsonl").string();
+    }
+  }
+  if (opts.any()) {
+    set_enabled(true);
+    set_profiling_enabled(true);
+  }
   if (!opts.trace_out.empty()) set_trace_enabled(true);
   return opts;
 }
@@ -42,7 +74,17 @@ const char* cli_usage() {
   return
       "  --metrics-out <path>  write metrics registry snapshot (JSON)\n"
       "  --events-out <path>   write decision event log (JSON Lines)\n"
-      "  --trace-out <path>    write Chrome trace-event JSON (Perfetto)\n";
+      "  --trace-out <path>    write Chrome trace-event JSON (Perfetto)\n"
+      "  --obs-out <dir>       all of the above under one directory\n";
+}
+
+const char* cli_usage_with_health() {
+  return
+      "  --metrics-out <path>  write metrics registry snapshot (JSON)\n"
+      "  --events-out <path>   write decision event log (JSON Lines)\n"
+      "  --trace-out <path>    write Chrome trace-event JSON (Perfetto)\n"
+      "  --health-out <path>   stream health snapshots (JSON Lines)\n"
+      "  --obs-out <dir>       all of the above under one directory\n";
 }
 
 namespace {
@@ -57,6 +99,9 @@ std::ofstream open_or_throw(const std::string& path) {
 
 void write_outputs(const CliOptions& opts) {
   if (!opts.metrics_out.empty()) {
+    // Fold the stage table into the registry so the snapshot carries the
+    // profiler.<stage>.{calls,total_ns} counters.
+    if (profiling_enabled()) profiler().export_counters(metrics());
     auto os = open_or_throw(opts.metrics_out);
     metrics().write_json(os);
     os << "\n";

@@ -1,13 +1,21 @@
 // Shared command-line plumbing for the observability sinks.
 //
-// Tools opt in with three flags, stripped before positional parsing:
+// Tools opt in with per-sink flags, stripped before positional parsing:
 //
 //   --metrics-out <path>   metrics registry snapshot as JSON
 //   --events-out <path>    decision event log as JSON Lines
 //   --trace-out <path>     Chrome trace-event / Perfetto JSON
+//   --health-out <path>    periodic health snapshots as JSON Lines
+//                          (only tools that pass with_health — the
+//                          profiler has no live run to snapshot)
+//   --obs-out <dir>        convenience: all of the above under one
+//                          directory (metrics.json, events.jsonl,
+//                          trace.json, health.jsonl); created if missing;
+//                          explicit per-sink flags override
 //
-// Any flag present flips the global observability switch on; --trace-out
-// additionally enables the (chattier) per-tick trace collection.
+// Any flag present flips the global observability switch AND the stage
+// profiler on; --trace-out/--obs-out additionally enable the (chattier)
+// per-tick trace collection.
 #pragma once
 
 #include <string>
@@ -19,22 +27,31 @@ struct CliOptions {
   std::string metrics_out;
   std::string events_out;
   std::string trace_out;
+  std::string health_out;
 
   bool any() const {
-    return !metrics_out.empty() || !events_out.empty() || !trace_out.empty();
+    return !metrics_out.empty() || !events_out.empty() ||
+           !trace_out.empty() || !health_out.empty();
   }
 };
 
 /// Remove the observability flags from `args` (in place) and return the
 /// parsed options, enabling the global switches as a side effect.
-/// Throws std::runtime_error when a flag is missing its path argument.
-CliOptions strip_cli_flags(std::vector<std::string>& args);
+/// `with_health` controls whether --health-out is recognised (and whether
+/// --obs-out expands to one). Throws std::runtime_error when a flag is
+/// missing its path argument or the --obs-out directory cannot be created.
+CliOptions strip_cli_flags(std::vector<std::string>& args,
+                           bool with_health = false);
 
 /// One usage line per flag, for tools' help text.
 const char* cli_usage();
+const char* cli_usage_with_health();
 
-/// Write whichever outputs were requested; prints one "wrote ..." line per
-/// file to stdout. Throws std::runtime_error when a file cannot be opened.
+/// Write whichever final outputs were requested (metrics/events/trace —
+/// the health stream is written during the run by the tool itself). The
+/// metrics snapshot includes the current domain's stage-cost counters
+/// when profiling is on. Prints one "wrote ..." line per file to stdout.
+/// Throws std::runtime_error when a file cannot be opened.
 void write_outputs(const CliOptions& opts);
 
 }  // namespace cocg::obs

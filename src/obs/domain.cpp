@@ -10,6 +10,7 @@ void Domain::reset() {
   metrics.reset_values();
   events.clear();
   trace.clear();
+  profiler.reset();
 }
 
 Domain& global_domain() {

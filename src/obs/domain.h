@@ -18,6 +18,7 @@
 
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 
 namespace cocg::obs {
@@ -27,8 +28,10 @@ struct Domain {
   MetricsRegistry metrics;
   EventLog events;
   TraceBuilder trace;
+  StageProfiler profiler;
 
-  /// Zero metric values (handles stay valid) and clear events + trace.
+  /// Zero metric values (handles stay valid), clear events + trace, and
+  /// zero the stage profiler (timers stay valid).
   void reset();
 };
 

@@ -93,7 +93,8 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, cell] : other.histograms_) {
     auto* dst = histogram(name, cell->edges).cell_;
     COCG_EXPECTS_MSG(dst->edges == cell->edges,
-                     "merge_from: histogram bucket layouts differ");
+                     "merge_from: histogram bucket layouts differ for \"" +
+                         name + "\"");
     for (std::size_t i = 0; i < cell->buckets.size(); ++i) {
       dst->buckets[i] += cell->buckets[i];
     }

@@ -13,6 +13,7 @@
 #include "obs/domain.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace_export.h"
 
 namespace cocg::obs {

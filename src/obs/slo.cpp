@@ -1,0 +1,143 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace cocg::obs {
+
+namespace {
+
+/// Insert `target` into the base edge set, sorted and deduplicated.
+std::vector<double> edges_with_target(std::vector<double> base,
+                                      double target) {
+  base.push_back(target);
+  std::sort(base.begin(), base.end());
+  base.erase(std::unique(base.begin(), base.end()), base.end());
+  return base;
+}
+
+std::size_t index_of(const std::vector<double>& edges, double target) {
+  const auto it = std::find(edges.begin(), edges.end(), target);
+  return static_cast<std::size_t>(it - edges.begin());
+}
+
+std::size_t bucket_index(const std::vector<double>& edges, double v) {
+  return static_cast<std::size_t>(
+      std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+}
+
+}  // namespace
+
+void SloTracker::configure(std::vector<SloClassConfig> classes) {
+  COCG_EXPECTS_MSG(classes_.empty(), "SloTracker::configure called twice");
+  COCG_EXPECTS_MSG(!classes.empty(), "SloTracker needs at least one class");
+  classes_.reserve(classes.size());
+  for (auto& cfg : classes) {
+    ClassState st;
+    st.fps_edges =
+        edges_with_target({0.25, 0.50, 0.75, 0.98}, cfg.min_fps_ratio);
+    st.lat_edges =
+        edges_with_target({25.0, 50.0, 200.0, 400.0}, cfg.max_latency_ms);
+    st.fps_buckets.assign(st.fps_edges.size() + 1, 0);
+    st.lat_buckets.assign(st.lat_edges.size() + 1, 0);
+    st.fps_target_idx = index_of(st.fps_edges, cfg.min_fps_ratio);
+    st.lat_target_idx = index_of(st.lat_edges, cfg.max_latency_ms);
+    st.fps_hist =
+        metrics().histogram("slo." + cfg.name + ".fps_ratio", st.fps_edges);
+    st.lat_hist =
+        metrics().histogram("slo." + cfg.name + ".latency_ms", st.lat_edges);
+    st.cfg = std::move(cfg);
+    classes_.push_back(std::move(st));
+  }
+}
+
+void SloTracker::record(std::size_t class_index, double fps_ratio,
+                        double latency_ms) {
+  if (class_index >= classes_.size()) return;
+  ClassState& st = classes_[class_index];
+  ++st.runs;
+  ++st.fps_buckets[bucket_index(st.fps_edges, fps_ratio)];
+  // "No rendered frames" (latency_ms <= 0) counts as attained: record an
+  // in-range zero rather than skipping, so runs == histogram count holds.
+  const double lat = latency_ms > 0 ? latency_ms : 0.0;
+  ++st.lat_buckets[bucket_index(st.lat_edges, lat)];
+  st.fps_hist.record(fps_ratio);
+  st.lat_hist.record(lat);
+}
+
+void SloTracker::merge_from(const SloTracker& other) {
+  COCG_EXPECTS_MSG(classes_.size() == other.classes_.size(),
+                   "SloTracker::merge_from: class tables differ in size");
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    ClassState& dst = classes_[i];
+    const ClassState& src = other.classes_[i];
+    COCG_EXPECTS_MSG(dst.cfg.name == src.cfg.name &&
+                         dst.fps_edges == src.fps_edges &&
+                         dst.lat_edges == src.lat_edges,
+                     "SloTracker::merge_from: class configs differ");
+    dst.runs += src.runs;
+    for (std::size_t b = 0; b < dst.fps_buckets.size(); ++b) {
+      dst.fps_buckets[b] += src.fps_buckets[b];
+    }
+    for (std::size_t b = 0; b < dst.lat_buckets.size(); ++b) {
+      dst.lat_buckets[b] += src.lat_buckets[b];
+    }
+  }
+}
+
+void SloTracker::reset_values() {
+  for (auto& st : classes_) {
+    st.runs = 0;
+    std::fill(st.fps_buckets.begin(), st.fps_buckets.end(), 0);
+    std::fill(st.lat_buckets.begin(), st.lat_buckets.end(), 0);
+  }
+}
+
+std::vector<SloAttainment> SloTracker::attainment() const {
+  std::vector<SloAttainment> rows;
+  rows.reserve(classes_.size());
+  for (const auto& st : classes_) {
+    SloAttainment row;
+    row.slo_class = st.cfg.name;
+    row.runs = st.runs;
+    if (st.runs > 0) {
+      // Values >= min_fps_ratio land strictly above the target edge:
+      // buckets (fps_target_idx, end].
+      std::uint64_t fps_ok = 0;
+      for (std::size_t b = st.fps_target_idx + 1; b < st.fps_buckets.size();
+           ++b) {
+        fps_ok += st.fps_buckets[b];
+      }
+      // Values < max_latency_ms land at or below the target edge's
+      // bucket: buckets [0, lat_target_idx].
+      std::uint64_t lat_ok = 0;
+      for (std::size_t b = 0; b <= st.lat_target_idx; ++b) {
+        lat_ok += st.lat_buckets[b];
+      }
+      const double n = static_cast<double>(st.runs);
+      row.fps_attainment_pct = 100.0 * static_cast<double>(fps_ok) / n;
+      row.latency_attainment_pct = 100.0 * static_cast<double>(lat_ok) / n;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void SloTracker::write_attainment_json(const std::vector<SloAttainment>& rows,
+                                       std::ostream& os) {
+  os << '[';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) os << ',';
+    const auto& r = rows[i];
+    os << "{\"class\":\"" << json_escape(r.slo_class)
+       << "\",\"runs\":" << r.runs
+       << ",\"fps_attainment_pct\":" << json_number(r.fps_attainment_pct)
+       << ",\"latency_attainment_pct\":"
+       << json_number(r.latency_attainment_pct) << '}';
+  }
+  os << ']';
+}
+
+}  // namespace cocg::obs

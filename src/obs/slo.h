@@ -1,0 +1,120 @@
+// SLO attainment tracker — per-class FPS/latency targets from
+// fixed-bucket histograms.
+//
+// "Games Are Not Equal": a MOBA at 54/60 FPS is broken while a platformer
+// at the same ratio is fine, so the single fleet-wide mean FPS the reports
+// carried until now hides exactly the signal a QoS-aware scheduler needs.
+// The tracker groups completed runs into configurable SLO classes (the
+// platform maps game::GameCategory to a class index) and evaluates two
+// targets per class:
+//
+//   * FPS attained      when mean_fps_ratio >= min_fps_ratio
+//   * latency attained  when mean_latency_ms <  max_latency_ms
+//
+// Evaluation is exact and histogram-based: each class target is inserted
+// as a bucket edge of a fixed-bucket histogram (same upper_bound bucket
+// semantics as obs::Histogram — bucket i counts edges[i-1] <= v <
+// edges[i]), so attainment is a pure bucket sum with no per-run list kept
+// anywhere. Two properties matter for where this sits in the stack:
+//
+//  * recording is ALWAYS ON (not gated on obs::enabled()) and alloc-free —
+//    the fleet report must carry SLO rows even when no observability sink
+//    was requested, and recording happens inside the zero-allocation hot
+//    path (session finish);
+//  * when the obs switch IS on, every record is mirrored into registry
+//    histograms `slo.<class>.fps_ratio` / `slo.<class>.latency_ms`, so
+//    the metrics JSON carries the full distributions alongside the
+//    attainment table.
+//
+// Shard trackers merge by bucket sum (same class config required), which
+// keeps fleet aggregation deterministic in shard order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cocg::obs {
+
+/// One SLO class: a name plus the two targets.
+struct SloClassConfig {
+  std::string name;               ///< e.g. "moba" — JSON/metric key
+  double min_fps_ratio = 0.90;    ///< attained when mean_fps_ratio >= this
+  double max_latency_ms = 100.0;  ///< attained when mean_latency_ms < this
+};
+
+/// One class's evaluated attainment (report/health transport).
+struct SloAttainment {
+  std::string slo_class;
+  std::uint64_t runs = 0;
+  /// 100.0 when runs == 0 (vacuously attained).
+  double fps_attainment_pct = 100.0;
+  double latency_attainment_pct = 100.0;
+};
+
+class SloTracker {
+ public:
+  SloTracker() = default;
+  SloTracker(const SloTracker&) = delete;
+  SloTracker& operator=(const SloTracker&) = delete;
+
+  /// Install the class table and pre-size every bucket array (so record()
+  /// never allocates). Registers the mirror histograms in the current
+  /// domain's registry. Call once, before any record().
+  void configure(std::vector<SloClassConfig> classes);
+
+  bool configured() const { return !classes_.empty(); }
+  std::size_t num_classes() const { return classes_.size(); }
+  const SloClassConfig& cls(std::size_t i) const { return classes_[i].cfg; }
+
+  /// Copy of the class table (to configure a merge target identically).
+  std::vector<SloClassConfig> class_configs() const {
+    std::vector<SloClassConfig> out;
+    out.reserve(classes_.size());
+    for (const auto& st : classes_) out.push_back(st.cfg);
+    return out;
+  }
+
+  /// Account one completed run. Always on, alloc-free; out-of-range class
+  /// indices are dropped (a platform bug, but not worth crashing the hot
+  /// path for). `latency_ms` <= 0 means "no rendered frames" and counts
+  /// as latency-attained.
+  void record(std::size_t class_index, double fps_ratio, double latency_ms);
+
+  /// Sum another tracker's buckets into this one. Class tables must match
+  /// (checked; the fleet builds every shard platform from one config).
+  void merge_from(const SloTracker& other);
+
+  /// Zero bucket values in place (class table and mirrors survive).
+  void reset_values();
+
+  /// Evaluate per-class attainment from the buckets.
+  std::vector<SloAttainment> attainment() const;
+
+  /// `[{"class":...,"runs":...,"fps_attainment_pct":...,
+  ///    "latency_attainment_pct":...},...]` — canonical array shared by
+  /// the fleet report and health snapshots (doubles via json_number).
+  static void write_attainment_json(const std::vector<SloAttainment>& rows,
+                                    std::ostream& os);
+
+ private:
+  struct ClassState {
+    SloClassConfig cfg;
+    // Fixed-bucket histograms with the target as an exact edge; bucket
+    // semantics identical to detail::HistogramCell.
+    std::vector<double> fps_edges, lat_edges;
+    std::vector<std::uint64_t> fps_buckets, lat_buckets;
+    std::size_t fps_target_idx = 0;  ///< fps_edges[idx] == min_fps_ratio
+    std::size_t lat_target_idx = 0;  ///< lat_edges[idx] == max_latency_ms
+    std::uint64_t runs = 0;
+    // Registry mirrors (gated on obs::enabled() like every handle).
+    Histogram fps_hist, lat_hist;
+  };
+
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace cocg::obs

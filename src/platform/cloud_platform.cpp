@@ -23,6 +23,16 @@ constexpr std::size_t kMaxSpeculativeReserve = 1u << 20;
 
 }  // namespace
 
+std::vector<obs::SloClassConfig> default_slo_classes() {
+  // Indexed by game::GameCategory: kWeb, kMobile, kConsole, kMoba.
+  return {
+      {"web", 0.80, 150.0},
+      {"mobile", 0.90, 120.0},
+      {"console", 0.90, 100.0},
+      {"moba", 0.95, 80.0},
+  };
+}
+
 CloudPlatform::CloudPlatform(PlatformConfig cfg,
                              std::unique_ptr<Scheduler> scheduler)
     : cfg_(cfg),
@@ -43,6 +53,13 @@ CloudPlatform::CloudPlatform(PlatformConfig cfg,
   obs_wait_ms_ = reg.histogram(
       "platform.admission_wait_ms",
       {1000, 5000, 15000, 30000, 60000, 120000, 300000});
+  obs_trace_dropped_ = reg.counter("platform.trace_samples_dropped");
+  obs_util_dropped_ = reg.counter("platform.util_log_points_dropped");
+  prof_rng_ = obs::stage_timer(obs::Stage::kRngDraws);
+  prof_kernels_ = obs::stage_timer(obs::Stage::kResourceKernels);
+  prof_domain_ = &obs::profiler();
+  slo_.configure(cfg_.slo_classes.empty() ? default_slo_classes()
+                                          : cfg_.slo_classes);
 }
 
 CloudPlatform::~CloudPlatform() = default;
@@ -311,6 +328,7 @@ void CloudPlatform::hardware_tick() {
                 util_log_.begin(),
                 util_log_.begin() + static_cast<std::ptrdiff_t>(drop));
             util_log_dropped_ += drop;
+            obs_util_dropped_.add(drop);
           }
         }
       }
@@ -327,6 +345,7 @@ void CloudPlatform::hardware_tick() {
       // Noise-free configs skip the draws entirely (the Box–Muller
       // transcendentals dominate the per-session tick cost).
       if (cfg_.measurement_noise_rel > 0.0) {
+        obs::StageScope rng_scope(prof_rng_);
         double noise[kNumDims];
         rng_.fill_normal(noise, kNumDims, 0.0, cfg_.measurement_noise_rel);
         for (std::size_t d = 0; d < kNumDims; ++d) {
@@ -342,7 +361,10 @@ void CloudPlatform::hardware_tick() {
                         stage_key(s.true_loading, s.true_stage_type), t);
       }
       const ResourceVector demand_before = draws[i].draw.demand;
-      as.session->tick(t, supplies[i].supplied);
+      {
+        obs::StageScope kernel_scope(prof_kernels_);
+        as.session->tick(t, supplies[i].supplied);
+      }
       s.fps = as.session->last_fps();
       as.trace.add(s);
 
@@ -353,7 +375,11 @@ void CloudPlatform::hardware_tick() {
                 ? std::min(1.0, supplies[i].supplied[Dim::kCpuPct] /
                                     demand_before[Dim::kCpuPct])
                 : 1.0;
-        const double lat = streaming_.latency_ms(s.fps, cpu_sat, rng_);
+        double lat = 0.0;
+        {
+          obs::StageScope rng_scope(prof_rng_);
+          lat = streaming_.latency_ms(s.fps, cpu_sat, rng_);
+        }
         as.latency_ms.add(lat);
         if (lat > streaming_.config().latency_budget_ms) {
           as.latency_violation_ms += cfg_.tick_ms;
@@ -422,7 +448,10 @@ void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
   run.latency_violation_ms = as.latency_violation_ms;
   completed_.push_back(run);
 
+  slo_.record(static_cast<std::size_t>(as.session->spec().category),
+              run.mean_fps_ratio, run.mean_latency_ms);
   obs_completed_.add();
+  obs_trace_dropped_.add(as.trace.dropped_samples());
   obs::events().record(
       end, obs::SessionEvent{sid.value, run.game, /*started=*/false,
                              as.server.value, as.gpu_index});
@@ -454,6 +483,29 @@ void CloudPlatform::control_tick() {
   obs_control_ticks_.add();
   obs_queue_depth_.set(static_cast<double>(queue_.size()));
   obs_running_.set(static_cast<double>(sessions_.size()));
+
+  // Perfetto stage-cost counter track: one stacked series per stage on
+  // the scheduler pid, emitted as per-control-period deltas so the track
+  // reads as "ms of stage work per 5 s of sim time".
+  if (obs::trace_enabled() && obs::profiling_enabled()) {
+    if (!stage_track_named_) {
+      obs::trace().set_process_name(0, "scheduler/profiler");
+      stage_track_named_ = true;
+    }
+    const obs::StageProfile cur = prof_domain_->profile();
+    obs::TraceBuilder::NumberArgs series;
+    series.reserve(obs::kNumStages);
+    for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+      const double delta_ms =
+          static_cast<double>(cur[i].total_ns -
+                              prev_stage_profile_[i].total_ns) /
+          1e6;
+      series.emplace_back(obs::stage_name(i), delta_ms);
+    }
+    obs::trace().add_counter(0, "stage costs (ms)", engine_.now(),
+                             std::move(series));
+    prev_stage_profile_ = cur;
+  }
 }
 
 void CloudPlatform::schedule_request(const game::GameSpec* spec,

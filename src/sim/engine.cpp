@@ -11,7 +11,8 @@ namespace cocg::sim {
 Engine::Engine()
     : obs_dispatched_(obs::metrics().counter("sim.events_dispatched")),
       obs_periodic_(obs::metrics().counter("sim.periodic_fires")),
-      obs_queue_depth_(obs::metrics().gauge("sim.queue_depth")) {}
+      obs_queue_depth_(obs::metrics().gauge("sim.queue_depth")),
+      prof_queue_(obs::stage_timer(obs::Stage::kEventQueue)) {}
 
 struct PeriodicTask::State {
   Engine* engine = nullptr;
@@ -80,9 +81,13 @@ TimeMs Engine::run_until(TimeMs until) {
   stop_requested_ = false;
   while (!queue_.empty() && !stop_requested_) {
     if (queue_.next_time() > until) break;
-    auto [at, fn] = queue_.pop();
-    now_ = at;  // the event observes its own timestamp via now()
-    fn();
+    std::pair<TimeMs, EventFn> ev;
+    {
+      obs::StageScope scope(prof_queue_);
+      ev = queue_.pop();
+    }
+    now_ = ev.first;  // the event observes its own timestamp via now()
+    ev.second();
     count_dispatch();
   }
   if (now_ < until) now_ = until;
@@ -92,9 +97,13 @@ TimeMs Engine::run_until(TimeMs until) {
 TimeMs Engine::run_all() {
   stop_requested_ = false;
   while (!queue_.empty() && !stop_requested_) {
-    auto [at, fn] = queue_.pop();
-    now_ = at;
-    fn();
+    std::pair<TimeMs, EventFn> ev;
+    {
+      obs::StageScope scope(prof_queue_);
+      ev = queue_.pop();
+    }
+    now_ = ev.first;
+    ev.second();
     count_dispatch();
   }
   return now_;

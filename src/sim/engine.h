@@ -12,6 +12,7 @@
 
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "sim/event_queue.h"
 
 namespace cocg::sim {
@@ -89,6 +90,10 @@ class Engine {
   obs::Counter obs_dispatched_;
   obs::Counter obs_periodic_;
   obs::Gauge obs_queue_depth_;
+  // Stage profiler scope around queue management (pop + heap fix-up);
+  // deliberately NOT around the event callback, which the tick stages
+  // account for themselves.
+  obs::StageTimer prof_queue_;
 };
 
 }  // namespace cocg::sim

@@ -1,0 +1,88 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace cocg::obs {
+namespace {
+
+HealthSnapshot sample_snapshot() {
+  HealthSnapshot snap;
+  snap.t = 30'000;
+  snap.arrivals = 12;
+  snap.router_decisions_per_s = 0.4;
+  HealthShard row;
+  row.shard = 0;
+  row.servers = 2;
+  row.running = 5;
+  row.queued = 1;
+  row.pending_events = 42;
+  row.routed = 12;
+  row.mean_gpu_util = 0.625;
+  snap.shards.push_back(row);
+  SloAttainment slo;
+  slo.slo_class = "moba";
+  slo.runs = 3;
+  slo.fps_attainment_pct = 100.0;
+  slo.latency_attainment_pct = 2.0 / 3.0 * 100.0;
+  snap.slo.push_back(slo);
+  snap.stage_costs[static_cast<std::size_t>(Stage::kRouter)] =
+      StageStats{12, 1200};
+  return snap;
+}
+
+TEST(Health, SnapshotIsOneJsonlLine) {
+  std::ostringstream os;
+  write_health_snapshot(sample_snapshot(), os);
+  const std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  // Exactly one line: no interior newlines.
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+}
+
+TEST(Health, SnapshotParsesAndCarriesEveryField) {
+  std::ostringstream os;
+  write_health_snapshot(sample_snapshot(), os);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(os.str(), doc)) << os.str();
+  EXPECT_EQ(doc.get_number("t_ms"), 30'000.0);
+  EXPECT_EQ(doc.get_number("arrivals"), 12.0);
+  EXPECT_DOUBLE_EQ(doc.get_number("router_decisions_per_s"), 0.4);
+
+  const JsonValue* shards = doc.find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->is_array());
+  ASSERT_EQ(shards->array.size(), 1u);
+  const JsonValue& row = shards->array[0];
+  EXPECT_EQ(row.get_number("shard"), 0.0);
+  EXPECT_EQ(row.get_number("servers"), 2.0);
+  EXPECT_EQ(row.get_number("running"), 5.0);
+  EXPECT_EQ(row.get_number("queued"), 1.0);
+  EXPECT_EQ(row.get_number("pending_events"), 42.0);
+  EXPECT_EQ(row.get_number("routed"), 12.0);
+  EXPECT_DOUBLE_EQ(row.get_number("mean_gpu_util"), 0.625);
+
+  const JsonValue* slo = doc.find("slo");
+  ASSERT_NE(slo, nullptr);
+  ASSERT_TRUE(slo->is_array());
+  ASSERT_EQ(slo->array.size(), 1u);
+  EXPECT_EQ(slo->array[0].get_string("class"), "moba");
+  EXPECT_EQ(slo->array[0].get_number("runs"), 3.0);
+
+  const JsonValue* stages = doc.find("stage_costs");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_TRUE(stages->is_array());
+  ASSERT_EQ(stages->array.size(), kNumStages);
+  const JsonValue& router =
+      stages->array[static_cast<std::size_t>(Stage::kRouter)];
+  EXPECT_EQ(router.get_string("stage"), "router");
+  EXPECT_EQ(router.get_number("calls"), 12.0);
+  EXPECT_EQ(router.get_number("total_ns"), 1200.0);
+}
+
+}  // namespace
+}  // namespace cocg::obs

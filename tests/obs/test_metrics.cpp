@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
 #include "obs/json.h"
 
 namespace cocg::obs {
@@ -206,6 +207,21 @@ TEST(MetricsMerge, HistogramsSumBucketwise) {
   EXPECT_EQ(merged.bucket(2), 1u);
   EXPECT_EQ(merged.count(), 3u);
   EXPECT_DOUBLE_EQ(merged.sum(), 45.0);
+}
+
+TEST(MetricsMerge, HistogramLayoutMismatchNamesTheInstrument) {
+  ObsGuard guard(true);
+  MetricsRegistry a, b;
+  a.histogram("fleet.latency", {10.0, 20.0});
+  b.histogram("fleet.latency", {5.0, 20.0});
+  try {
+    a.merge_from(b);
+    FAIL() << "merge_from accepted mismatched bucket layouts";
+  } catch (const ContractError& e) {
+    // The diagnostic must point at the offending instrument by name.
+    EXPECT_NE(std::string(e.what()).find("fleet.latency"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(MetricsMerge, MergeIntoEmptyCopiesEverything) {

@@ -1,0 +1,178 @@
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/domain.h"
+
+namespace cocg::obs {
+namespace {
+
+std::vector<SloClassConfig> one_class() {
+  return {{"moba", 0.95, 80.0}};
+}
+
+TEST(Slo, UnconfiguredTrackerIsEmpty) {
+  SloTracker t;
+  EXPECT_FALSE(t.configured());
+  EXPECT_EQ(t.num_classes(), 0u);
+  EXPECT_TRUE(t.attainment().empty());
+}
+
+TEST(Slo, VacuousAttainmentWhenNoRuns) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  const auto rows = t.attainment();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].slo_class, "moba");
+  EXPECT_EQ(rows[0].runs, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].fps_attainment_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].latency_attainment_pct, 100.0);
+}
+
+TEST(Slo, FpsBoundaryInclusiveLatencyBoundaryExclusive) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  // Exactly at both targets: FPS attained (>=), latency NOT attained (<).
+  t.record(0, 0.95, 80.0);
+  const auto rows = t.attainment();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].runs, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].fps_attainment_pct, 100.0);
+  EXPECT_DOUBLE_EQ(rows[0].latency_attainment_pct, 0.0);
+}
+
+TEST(Slo, AttainmentCountsPerRun) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  t.record(0, 0.99, 20.0);   // both attained
+  t.record(0, 0.80, 200.0);  // both missed
+  t.record(0, 0.96, 79.9);   // both attained
+  t.record(0, 0.50, 120.0);  // both missed
+  const auto rows = t.attainment();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].runs, 4u);
+  EXPECT_DOUBLE_EQ(rows[0].fps_attainment_pct, 50.0);
+  EXPECT_DOUBLE_EQ(rows[0].latency_attainment_pct, 50.0);
+}
+
+TEST(Slo, ZeroLatencyMeansNoFramesAndCountsAttained) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  t.record(0, 1.0, 0.0);
+  t.record(0, 1.0, -5.0);
+  const auto rows = t.attainment();
+  EXPECT_EQ(rows[0].runs, 2u);
+  EXPECT_DOUBLE_EQ(rows[0].latency_attainment_pct, 100.0);
+}
+
+TEST(Slo, OutOfRangeClassIndexDropped) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  t.record(7, 1.0, 10.0);
+  EXPECT_EQ(t.attainment()[0].runs, 0u);
+}
+
+TEST(Slo, RecordingIsIndependentOfObsSwitch) {
+  Domain d;
+  ScopedDomain sd(d);
+  ASSERT_FALSE(enabled());  // tests run with the switch off by default
+  SloTracker t;
+  t.configure(one_class());
+  t.record(0, 0.99, 10.0);
+  EXPECT_EQ(t.attainment()[0].runs, 1u);
+  // The registry mirror, in contrast, is gated like every handle.
+  EXPECT_EQ(d.metrics.histogram("slo.moba.fps_ratio", {}).count(), 0u);
+}
+
+TEST(Slo, MirrorsFeedRegistryWhenEnabled) {
+  Domain d;
+  ScopedDomain sd(d);
+  set_enabled(true);
+  SloTracker t;
+  t.configure(one_class());
+  t.record(0, 0.99, 10.0);
+  set_enabled(false);
+  EXPECT_TRUE(d.metrics.has_histogram("slo.moba.fps_ratio"));
+  EXPECT_TRUE(d.metrics.has_histogram("slo.moba.latency_ms"));
+}
+
+TEST(Slo, MergeSumsBuckets) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker a, b;
+  a.configure(one_class());
+  b.configure(one_class());
+  a.record(0, 0.99, 10.0);
+  b.record(0, 0.50, 200.0);
+  b.record(0, 0.97, 20.0);
+  a.merge_from(b);
+  const auto rows = a.attainment();
+  EXPECT_EQ(rows[0].runs, 3u);
+  EXPECT_NEAR(rows[0].fps_attainment_pct, 200.0 / 3.0, 1e-9);
+}
+
+TEST(Slo, MergeRejectsMismatchedClassTables) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker a, b;
+  a.configure(one_class());
+  b.configure({{"web", 0.80, 150.0}});
+  EXPECT_THROW(a.merge_from(b), ContractError);
+}
+
+TEST(Slo, ConfigureIsOneShot) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  EXPECT_THROW(t.configure(one_class()), ContractError);
+}
+
+TEST(Slo, ClassConfigsRoundTrip) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker a;
+  a.configure({{"web", 0.80, 150.0}, {"moba", 0.95, 80.0}});
+  SloTracker b;
+  b.configure(a.class_configs());
+  a.record(0, 0.9, 10.0);
+  b.merge_from(a);  // identical tables → merge accepted
+  EXPECT_EQ(b.attainment()[0].runs, 1u);
+}
+
+TEST(Slo, ResetValuesKeepsClassesDropsCounts) {
+  Domain d;
+  ScopedDomain sd(d);
+  SloTracker t;
+  t.configure(one_class());
+  t.record(0, 0.99, 10.0);
+  t.reset_values();
+  EXPECT_TRUE(t.configured());
+  EXPECT_EQ(t.attainment()[0].runs, 0u);
+}
+
+TEST(Slo, AttainmentJsonIsCanonical) {
+  std::vector<SloAttainment> rows;
+  rows.push_back(SloAttainment{"moba", 2, 50.0, 100.0});
+  std::ostringstream os;
+  SloTracker::write_attainment_json(rows, os);
+  EXPECT_EQ(os.str(),
+            "[{\"class\":\"moba\",\"runs\":2,\"fps_attainment_pct\":50,"
+            "\"latency_attainment_pct\":100}]");
+}
+
+}  // namespace
+}  // namespace cocg::obs

@@ -1,0 +1,164 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/domain.h"
+#include "obs/json.h"
+
+namespace cocg::obs {
+namespace {
+
+/// Save/restore the profiling switch and clock mode around one test.
+class ProfilingGuard {
+ public:
+  ProfilingGuard(bool on, ProfilerClockMode mode)
+      : saved_on_(profiling_enabled()), saved_mode_(profiler_clock_mode()) {
+    set_profiling_enabled(on);
+    set_profiler_clock_mode(mode);
+  }
+  ~ProfilingGuard() {
+    set_profiling_enabled(saved_on_);
+    set_profiler_clock_mode(saved_mode_);
+  }
+
+ private:
+  bool saved_on_;
+  ProfilerClockMode saved_mode_;
+};
+
+TEST(StageProfiler, StageNamesStableAndDistinct) {
+  EXPECT_STREQ(stage_name(Stage::kRngDraws), "rng_draws");
+  EXPECT_STREQ(stage_name(Stage::kResourceKernels), "resource_kernels");
+  EXPECT_STREQ(stage_name(Stage::kContentionResolve), "contention_resolve");
+  EXPECT_STREQ(stage_name(Stage::kEventQueue), "event_queue");
+  EXPECT_STREQ(stage_name(Stage::kPredictorDecide), "predictor_decide");
+  EXPECT_STREQ(stage_name(Stage::kDistributorDecide), "distributor_decide");
+  EXPECT_STREQ(stage_name(Stage::kRegulator), "regulator");
+  EXPECT_STREQ(stage_name(Stage::kRouter), "router");
+  EXPECT_STREQ(stage_name(Stage::kShardBarrier), "shard_barrier");
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumStages; ++i) names.insert(stage_name(i));
+  EXPECT_EQ(names.size(), kNumStages);
+}
+
+TEST(StageProfiler, DisabledScopesRecordNothing) {
+  ProfilingGuard guard(false, ProfilerClockMode::kDeterministic);
+  StageProfiler prof;
+  const StageTimer timer(prof, Stage::kRouter);
+  { StageScope scope(timer); }
+  EXPECT_EQ(prof.stats(Stage::kRouter).calls, 0u);
+  EXPECT_EQ(prof.total_calls(), 0u);
+}
+
+TEST(StageProfiler, DeterministicClockCountsTransitions) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  StageProfiler prof;
+  const StageTimer timer(prof, Stage::kEventQueue);
+  for (int i = 0; i < 3; ++i) {
+    StageScope scope(timer);
+  }
+  // Each scope draws two consecutive sequence numbers: cost 1 per call.
+  EXPECT_EQ(prof.stats(Stage::kEventQueue).calls, 3u);
+  EXPECT_EQ(prof.stats(Stage::kEventQueue).total_ns, 3u);
+  EXPECT_EQ(prof.total_calls(), 3u);
+  EXPECT_EQ(prof.total_ns(), 3u);
+}
+
+TEST(StageProfiler, WallClockAdvancesMonotonically) {
+  ProfilingGuard guard(true, ProfilerClockMode::kWall);
+  StageProfiler prof;
+  const StageTimer timer(prof, Stage::kRegulator);
+  { StageScope scope(timer); }
+  EXPECT_EQ(prof.stats(Stage::kRegulator).calls, 1u);
+}
+
+TEST(StageProfiler, UnresolvedTimerIsInert) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  const StageTimer timer;  // never resolved
+  EXPECT_FALSE(timer.valid());
+  { StageScope scope(timer); }  // must not crash or record anywhere
+}
+
+TEST(StageProfiler, MergeSumsSlotsAndSnapshots) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  StageProfiler a, b;
+  const StageTimer ta(a, Stage::kRouter);
+  const StageTimer tb(b, Stage::kRouter);
+  const StageTimer tb2(b, Stage::kShardBarrier);
+  { StageScope s(ta); }
+  { StageScope s(tb); }
+  { StageScope s(tb2); }
+  a.merge_from(b);
+  EXPECT_EQ(a.stats(Stage::kRouter).calls, 2u);
+  EXPECT_EQ(a.stats(Stage::kShardBarrier).calls, 1u);
+  // Snapshot merge behaves identically.
+  StageProfiler c;
+  c.merge_from(b.profile());
+  EXPECT_EQ(c.stats(Stage::kRouter).calls, 1u);
+  EXPECT_EQ(c.stats(Stage::kShardBarrier).calls, 1u);
+}
+
+TEST(StageProfiler, ResetZeroesEverySlot) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  StageProfiler prof;
+  const StageTimer timer(prof, Stage::kRngDraws);
+  { StageScope scope(timer); }
+  ASSERT_GT(prof.total_calls(), 0u);
+  prof.reset();
+  EXPECT_EQ(prof.total_calls(), 0u);
+  EXPECT_EQ(prof.total_ns(), 0u);
+}
+
+TEST(StageProfiler, ExportCountersWritesCallsAndNanos) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  const bool was_enabled = enabled();
+  set_enabled(true);
+  StageProfiler prof;
+  const StageTimer timer(prof, Stage::kDistributorDecide);
+  { StageScope scope(timer); }
+  { StageScope scope(timer); }
+  MetricsRegistry reg;
+  prof.export_counters(reg);
+  EXPECT_EQ(reg.counter_value("profiler.distributor_decide.calls"), 2u);
+  EXPECT_EQ(reg.counter_value("profiler.distributor_decide.total_ns"), 2u);
+  EXPECT_TRUE(reg.has_counter("profiler.shard_barrier.calls"));
+  set_enabled(was_enabled);
+}
+
+TEST(StageProfiler, DomainScopingIsolatesProfilers) {
+  ProfilingGuard guard(true, ProfilerClockMode::kDeterministic);
+  const std::uint64_t global_before = profiler().total_calls();
+  Domain d;
+  {
+    ScopedDomain sd(d);
+    const StageTimer timer = stage_timer(Stage::kEventQueue);
+    { StageScope scope(timer); }
+  }
+  EXPECT_EQ(d.profiler.stats(Stage::kEventQueue).calls, 1u);
+  EXPECT_EQ(profiler().total_calls(), global_before);
+}
+
+TEST(StageProfiler, StageCostsJsonEmitsAllStagesAndParses) {
+  StageProfile p{};
+  p[static_cast<std::size_t>(Stage::kRouter)] = StageStats{4, 400};
+  std::ostringstream os;
+  write_stage_costs_json(p, os);
+  JsonValue doc;
+  ASSERT_TRUE(json_parse(os.str(), doc)) << os.str();
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.array.size(), kNumStages);
+  // Rows come in enum order; zero rows are kept for schema stability.
+  EXPECT_EQ(doc.array[0].get_string("stage"), "rng_draws");
+  EXPECT_EQ(doc.array[0].get_number("calls"), 0.0);
+  const auto& router = doc.array[static_cast<std::size_t>(Stage::kRouter)];
+  EXPECT_EQ(router.get_string("stage"), "router");
+  EXPECT_EQ(router.get_number("calls"), 4.0);
+  EXPECT_EQ(router.get_number("total_ns"), 400.0);
+}
+
+}  // namespace
+}  // namespace cocg::obs

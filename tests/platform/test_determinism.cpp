@@ -148,5 +148,32 @@ TEST(Determinism, FleetSplitPhaseIdenticalAcrossThreads) {
   EXPECT_EQ(one, two);
 }
 
+/// Same property with the stage profiler on: under the deterministic
+/// clock, stage costs are a pure function of each profiler's scope
+/// sequence, so the report (which embeds stage_costs) must stay
+/// byte-identical for any thread count.
+std::string run_fleet_profiled(int threads) {
+  obs::reset();
+  obs::set_enabled(true);
+  obs::set_profiling_enabled(true);
+  obs::set_profiler_clock_mode(obs::ProfilerClockMode::kDeterministic);
+  std::string out = run_fleet(threads);
+  obs::set_profiler_clock_mode(obs::ProfilerClockMode::kWall);
+  obs::set_profiling_enabled(false);
+  obs::set_enabled(false);
+  obs::reset();
+  return out;
+}
+
+TEST(Determinism, FleetProfiledReportIdenticalAcrossThreads) {
+  const std::string one = run_fleet_profiled(1);
+  const std::string two = run_fleet_profiled(2);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, two);
+  // The profiled report actually carries non-zero stage costs.
+  EXPECT_EQ(one.find("{\"stage\":\"event_queue\",\"calls\":0"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace cocg::platform

@@ -19,6 +19,7 @@
 #include <new>
 
 #include "game/library.h"
+#include "obs/obs.h"
 #include "platform/cloud_platform.h"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
@@ -164,6 +165,54 @@ TEST(HotPathAlloc, SteadyStateTicksDoNotAllocate) {
   ASSERT_EQ(cloud.running_sessions(), 12u);
 #if COCG_ALLOC_HOOK
   EXPECT_EQ(n, 0u) << "hardware_tick allocated on the steady-state path";
+#else
+  (void)n;
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#endif
+}
+
+/// The same guarantee with the full observability stack on: metrics
+/// recording AND the stage profiler must stay off the allocator in the
+/// tick loop (StageScope is two clock reads, never a heap touch).
+TEST(HotPathAlloc, SteadyStateTicksDoNotAllocateWithProfilingEnabled) {
+  static const auto spec = steady_spec();
+  obs::reset();
+  obs::set_enabled(true);
+  obs::set_profiling_enabled(true);
+  PlatformConfig cfg;
+  cfg.seed = 2025;
+  cfg.session.spike_prob = 0.0;
+  cfg.control_period_ms = 3600LL * 1000;
+  CloudPlatform cloud(cfg, std::make_unique<PinScheduler>());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.add_server(hw::ServerSpec{});
+  for (int i = 0; i < 12; ++i) cloud.submit(&spec, 0, 100 + i);
+
+  cloud.begin(2LL * 3600 * 1000);
+  cloud.advance_until(30 * 1000);
+  ASSERT_EQ(cloud.running_sessions(), 12u);
+
+  arm_alloc_counter();
+  cloud.advance_until(230 * 1000);
+  disarm_alloc_counter();
+  const std::uint64_t n = allocations_observed();
+  cloud.finish();
+
+  // The profiler must actually have been measuring during the window.
+  const auto prof = cloud.stage_profile();
+  EXPECT_GT(prof[static_cast<std::size_t>(obs::Stage::kEventQueue)].calls,
+            0u);
+  EXPECT_GT(
+      prof[static_cast<std::size_t>(obs::Stage::kResourceKernels)].calls,
+      0u);
+  obs::set_profiling_enabled(false);
+  obs::set_enabled(false);
+  obs::reset();
+
+  ASSERT_EQ(cloud.running_sessions(), 12u);
+#if COCG_ALLOC_HOOK
+  EXPECT_EQ(n, 0u) << "profiling-enabled hardware_tick allocated on the"
+                      " steady-state path";
 #else
   (void)n;
   GTEST_SKIP() << "allocation hook disabled under sanitizers";

@@ -1,0 +1,262 @@
+// Observability integration tests at the platform layer: exact
+// trace/util-log windowing drop accounting, per-class SLO attainment from
+// completed runs, and the stage profiler feeding the metrics snapshot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "game/library.h"
+#include "obs/obs.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::platform {
+namespace {
+
+/// Mirror of the windowing rule shared by telemetry::Trace and the
+/// platform utilization log: trim down to `cap` once the buffer exceeds
+/// 1.5x cap, counting everything discarded.
+std::uint64_t rule_dropped(std::uint64_t adds, std::uint64_t cap) {
+  std::uint64_t size = 0, dropped = 0;
+  for (std::uint64_t i = 0; i < adds; ++i) {
+    ++size;
+    if (size > cap + cap / 2) {
+      dropped += size - cap;
+      size = cap;
+    }
+  }
+  return dropped;
+}
+
+/// One batched trim discards exactly cap/2 + 1 samples, so every valid
+/// dropped count is a multiple of this.
+std::uint64_t trim_batch(std::uint64_t cap) { return cap / 2 + 1; }
+
+class GreedyScheduler final : public Scheduler {
+ public:
+  explicit GreedyScheduler(ResourceVector alloc = {60, 90, 4000, 4000})
+      : alloc_(alloc) {}
+  std::string name() const override { return "greedy"; }
+  std::optional<Placement> admit(PlatformView& view,
+                                 const GameRequest& req) override {
+    (void)req;
+    const ResourceVector alloc = alloc_;
+    for (ServerId server : view.server_ids()) {
+      const auto& srv = view.server(server);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        if (alloc.fits_within(srv.free_on_gpu(g))) {
+          return Placement{server, g, alloc};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  ResourceVector alloc_;
+};
+
+/// A single-script game whose execution stage outlives any test horizon:
+/// sessions reach steady state and never finish, so their live traces can
+/// be inspected mid-run via session_trace().
+game::GameSpec steady_spec() {
+  game::GameSpec spec;
+  spec.id = GameId{701};
+  spec.name = "SteadyObs";
+  spec.category = game::GameCategory::kWeb;
+
+  game::FrameClusterSpec play;
+  play.id = 0;
+  play.name = "play";
+  play.centroid = {10, 20, 820, 450};
+  play.jitter = {1, 2, 10, 5};
+  spec.clusters.push_back(play);
+
+  game::StageTypeSpec loading;
+  loading.id = 0;
+  loading.name = "loading";
+  loading.kind = game::StageKind::kLoading;
+  loading.clusters = {0};
+  loading.min_dwell_ms = loading.max_dwell_ms = 5000;
+  spec.stage_types.push_back(loading);
+
+  game::StageTypeSpec exec;
+  exec.id = 1;
+  exec.name = "endless";
+  exec.kind = game::StageKind::kExecution;
+  exec.clusters = {0};
+  exec.min_dwell_ms = exec.max_dwell_ms = 8L * 3600 * 1000;
+  spec.stage_types.push_back(exec);
+
+  spec.loading_stage_type = 0;
+  game::ScriptSpec script;
+  script.name = "steady";
+  script.segments.push_back(game::ScriptSegment{1, 1, 1, 0.0});
+  spec.scripts.push_back(script);
+  return spec;
+}
+
+TEST(TraceWindowing, LiveSessionDropCountsFollowTheTrimRuleExactly) {
+  static const auto spec = steady_spec();
+  constexpr std::size_t kCap = 64;
+  PlatformConfig cfg;
+  cfg.seed = 11;
+  cfg.trace_max_samples = kCap;
+  // A small allocation so all four sessions fit on one server.
+  CloudPlatform cloud(cfg, std::make_unique<GreedyScheduler>(
+                               ResourceVector{12, 24, 900, 500}));
+  cloud.add_server(hw::ServerSpec{});
+  for (int i = 0; i < 4; ++i) cloud.submit(&spec, 0, 10 + i);
+
+  cloud.begin(2LL * 3600 * 1000);
+  cloud.advance_until(10 * 60 * 1000);  // ~600 samples per session
+  const auto sids = cloud.session_ids();
+  ASSERT_EQ(sids.size(), 4u);
+  for (SessionId sid : sids) {
+    const auto& trace = cloud.session_trace(sid);
+    const std::uint64_t dropped = trace.dropped_samples();
+    EXPECT_GT(dropped, 0u);
+    // The windowed buffer never exceeds 1.5x its cap...
+    EXPECT_LE(trace.size(), kCap + kCap / 2);
+    // ...drops happen in whole trim batches...
+    EXPECT_EQ(dropped % trim_batch(kCap), 0u);
+    // ...and replaying the rule over the total add count reproduces the
+    // observed drop count exactly.
+    EXPECT_EQ(dropped, rule_dropped(trace.size() + dropped, kCap));
+  }
+  cloud.finish();
+}
+
+TEST(TraceWindowing, DropCountersSurfaceInMetricsSnapshot) {
+  static const auto contra = game::make_contra();
+  constexpr std::size_t kTraceCap = 64;
+  constexpr std::size_t kUtilCap = 100;
+  obs::reset();
+  obs::set_enabled(true);
+  PlatformConfig cfg;
+  cfg.seed = 5;
+  cfg.trace_max_samples = kTraceCap;
+  cfg.util_log_max_points = kUtilCap;
+  CloudPlatform cloud(cfg, std::make_unique<GreedyScheduler>());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.enable_utilization_recording(true);
+  cloud.add_source({&contra, 2, 4});
+  cloud.run(60 * 60 * 1000);
+
+  ASSERT_FALSE(cloud.completed_runs().empty());
+  const std::uint64_t trace_dropped =
+      obs::metrics().counter_value("platform.trace_samples_dropped");
+  const std::uint64_t util_dropped =
+      obs::metrics().counter_value("platform.util_log_points_dropped");
+  // Session traces are long enough to trim (Contra runs are minutes at
+  // one sample per tick), and every finished session folds its exact
+  // per-trace drop count into the counter — whole batches only.
+  EXPECT_GT(trace_dropped, 0u);
+  EXPECT_EQ(trace_dropped % trim_batch(kTraceCap), 0u);
+  // The util-log counter mirrors the platform's own ground-truth
+  // accessor one for one.
+  EXPECT_GT(util_dropped, 0u);
+  EXPECT_EQ(util_dropped, cloud.utilization_log_dropped());
+  EXPECT_EQ(util_dropped,
+            rule_dropped(cloud.utilization_log().size() + util_dropped,
+                         kUtilCap));
+  EXPECT_LE(cloud.utilization_log().size(), kUtilCap + kUtilCap / 2);
+
+  // Both surface in the exported snapshot with the same values.
+  std::ostringstream os;
+  obs::metrics().write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"platform.trace_samples_dropped\":" +
+                      std::to_string(trace_dropped)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"platform.util_log_points_dropped\":" +
+                      std::to_string(util_dropped)),
+            std::string::npos);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(PlatformSlo, DefaultClassesTrackCompletedRunsByCategory) {
+  static const auto contra = game::make_contra();
+  PlatformConfig cfg;
+  cfg.seed = 21;
+  CloudPlatform cloud(cfg, std::make_unique<GreedyScheduler>());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.add_source({&contra, 2, 4});
+  cloud.run(30 * 60 * 1000);
+  ASSERT_FALSE(cloud.completed_runs().empty());
+
+  const auto rows = cloud.slo_tracker().attainment();
+  ASSERT_EQ(rows.size(), default_slo_classes().size());
+  const auto cls = static_cast<std::size_t>(contra.category);
+  ASSERT_LT(cls, rows.size());
+  EXPECT_EQ(rows[cls].runs, cloud.completed_runs().size());
+  EXPECT_GE(rows[cls].fps_attainment_pct, 0.0);
+  EXPECT_LE(rows[cls].fps_attainment_pct, 100.0);
+  // Untouched classes stay vacuously attained.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i == cls) continue;
+    EXPECT_EQ(rows[i].runs, 0u);
+    EXPECT_DOUBLE_EQ(rows[i].fps_attainment_pct, 100.0);
+  }
+}
+
+TEST(PlatformProfiler, PipelineStagesRecordAndExportToMetrics) {
+  static const auto contra = game::make_contra();
+  obs::reset();
+  obs::set_enabled(true);
+  obs::set_profiling_enabled(true);
+  PlatformConfig cfg;
+  cfg.seed = 31;
+  CloudPlatform cloud(cfg, std::make_unique<GreedyScheduler>());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.add_source({&contra, 2, 4});
+  cloud.run(10 * 60 * 1000);
+
+  const obs::StageProfile prof = cloud.stage_profile();
+  using obs::Stage;
+  auto calls = [&](Stage s) {
+    return prof[static_cast<std::size_t>(s)].calls;
+  };
+  EXPECT_GT(calls(Stage::kEventQueue), 0u);
+  EXPECT_GT(calls(Stage::kRngDraws), 0u);
+  EXPECT_GT(calls(Stage::kResourceKernels), 0u);
+  EXPECT_GT(calls(Stage::kContentionResolve), 0u);
+  // Greedy has no predictor/distributor/regulator instrumentation.
+  EXPECT_EQ(calls(Stage::kPredictorDecide), 0u);
+  EXPECT_EQ(calls(Stage::kRouter), 0u);
+
+  obs::profiler().export_counters(obs::metrics());
+  EXPECT_EQ(obs::metrics().counter_value("profiler.event_queue.calls"),
+            calls(Stage::kEventQueue));
+  std::ostringstream os;
+  obs::metrics().write_json(os);
+  EXPECT_NE(os.str().find("\"profiler.resource_kernels.total_ns\""),
+            std::string::npos);
+
+  obs::set_profiling_enabled(false);
+  obs::set_enabled(false);
+  obs::reset();
+}
+
+TEST(PlatformProfiler, ProfilingOffLeavesStageTableZero) {
+  static const auto contra = game::make_contra();
+  obs::reset();
+  ASSERT_FALSE(obs::profiling_enabled());
+  PlatformConfig cfg;
+  cfg.seed = 32;
+  CloudPlatform cloud(cfg, std::make_unique<GreedyScheduler>());
+  cloud.add_server(hw::ServerSpec{});
+  cloud.add_source({&contra, 2, 4});
+  cloud.run(5 * 60 * 1000);
+  for (const auto& st : cloud.stage_profile()) {
+    EXPECT_EQ(st.calls, 0u);
+    EXPECT_EQ(st.total_ns, 0u);
+  }
+  obs::reset();
+}
+
+}  // namespace
+}  // namespace cocg::platform

@@ -1,0 +1,193 @@
+#include "benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cocg::tools {
+namespace {
+
+namespace fs = std::filesystem;
+
+obs::JsonValue parse(const std::string& text) {
+  obs::JsonValue v;
+  EXPECT_TRUE(obs::json_parse(text, v)) << text;
+  return v;
+}
+
+const char* kBaseline =
+    "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":1000.0,\"rows\":["
+    "{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":1000.0,\"wall_s\":1.0},"
+    "{\"servers\":8,\"obs\":\"on\",\"ticks_per_sec\":500.0,\"wall_s\":2.0}]}";
+
+std::string candidate_with(double s1, double s8) {
+  std::ostringstream os;
+  os << "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":" << s1
+     << ",\"rows\":[{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":" << s1
+     << ",\"wall_s\":1.0},{\"servers\":8,\"obs\":\"on\",\"ticks_per_sec\":"
+     << s8 << ",\"wall_s\":2.0}]}";
+  return os.str();
+}
+
+/// Unique scratch dir per test, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("cocg_benchdiff_" + tag + "_" +
+               std::to_string(::getpid()))) {
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name, const std::string& content) {
+    const fs::path p = path_ / name;
+    std::ofstream os(p);
+    os << content;
+    return p.string();
+  }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+TEST(BenchDiff, IdenticalFilesPass) {
+  const auto base = parse(kBaseline);
+  const BenchDiff d = diff_bench(base, base);
+  EXPECT_FALSE(d.any_regression);
+  EXPECT_TRUE(d.warnings.empty());
+  for (const auto& m : d.metrics) EXPECT_DOUBLE_EQ(m.ratio, 1.0);
+}
+
+TEST(BenchDiff, GatedDropBeyondThresholdIsRegression) {
+  const auto base = parse(kBaseline);
+  const auto cand = parse(candidate_with(1000.0, 400.0));  // s8 -20%
+  const BenchDiff d = diff_bench(base, cand);
+  EXPECT_TRUE(d.any_regression);
+  bool found = false;
+  for (const auto& m : d.metrics) {
+    if (m.where == "rows[1]" && m.key == "ticks_per_sec") {
+      found = true;
+      EXPECT_TRUE(m.gated);
+      EXPECT_TRUE(m.regression);
+      EXPECT_DOUBLE_EQ(m.ratio, 0.8);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiff, DropWithinThresholdPasses) {
+  const auto base = parse(kBaseline);
+  const auto cand = parse(candidate_with(950.0, 480.0));  // -5% / -4%
+  EXPECT_FALSE(diff_bench(base, cand).any_regression);
+}
+
+TEST(BenchDiff, UngatedMetricsNeverFail) {
+  const auto base = parse(kBaseline);
+  // wall_s doubles — not a gated key, informational only.
+  const auto cand = parse(
+      "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":1000.0,\"rows\":["
+      "{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":1000.0,"
+      "\"wall_s\":9.0},{\"servers\":8,\"obs\":\"on\","
+      "\"ticks_per_sec\":500.0,\"wall_s\":9.0}]}");
+  EXPECT_FALSE(diff_bench(base, cand).any_regression);
+}
+
+TEST(BenchDiff, CustomThresholdWidensTheGate) {
+  const auto base = parse(kBaseline);
+  const auto cand = parse(candidate_with(1000.0, 400.0));
+  BenchDiffOptions opts;
+  opts.threshold = 0.25;
+  EXPECT_FALSE(diff_bench(base, cand, opts).any_regression);
+}
+
+TEST(BenchDiff, MismatchedRowLabelsSkippedWithWarning) {
+  const auto base = parse(kBaseline);
+  // Row 1 swapped obs label: must not be compared as the same config.
+  const auto cand = parse(
+      "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":1000.0,\"rows\":["
+      "{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":1000.0,"
+      "\"wall_s\":1.0},{\"servers\":8,\"obs\":\"off\","
+      "\"ticks_per_sec\":1.0,\"wall_s\":2.0}]}");
+  const BenchDiff d = diff_bench(base, cand);
+  EXPECT_FALSE(d.any_regression);
+  ASSERT_EQ(d.warnings.size(), 1u);
+  EXPECT_NE(d.warnings[0].find("rows[1]"), std::string::npos);
+}
+
+TEST(BenchDiff, ResolveBaselinePicksMatchingExperimentInDir) {
+  TempDir dir("resolve");
+  dir.file("BENCH_other.json", "{\"experiment\":\"other\",\"rows\":[]}");
+  const std::string tick = dir.file("BENCH_tick.json", kBaseline);
+  EXPECT_EQ(resolve_baseline(dir.path().string(), "tick"), tick);
+  EXPECT_EQ(resolve_baseline(dir.path().string(), "absent"), "");
+  // A plain file resolves to itself regardless of experiment.
+  EXPECT_EQ(resolve_baseline(tick, "whatever"), tick);
+}
+
+TEST(BenchDiffCli, ExitCodesCoverPassRegressionAndUsage) {
+  TempDir dir("cli");
+  const std::string base = dir.file("BENCH_base.json", kBaseline);
+  const std::string good =
+      dir.file("BENCH_good.json", candidate_with(990.0, 495.0));
+  const std::string bad =
+      dir.file("BENCH_bad.json", candidate_with(1000.0, 400.0));
+
+  std::ostringstream out, err;
+  EXPECT_EQ(run_benchdiff_cli({good, base}, out, err), 0);
+  EXPECT_NE(out.str().find("PASS"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(run_benchdiff_cli({bad, base}, out, err), 1);
+  EXPECT_NE(out.str().find("FAIL"), std::string::npos);
+  EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+
+  // Wider threshold turns the injected regression back into a pass.
+  out.str("");
+  EXPECT_EQ(run_benchdiff_cli({bad, base, "--threshold", "0.25"}, out, err),
+            0);
+
+  // Usage / parse errors exit 2.
+  EXPECT_EQ(run_benchdiff_cli({}, out, err), 2);
+  EXPECT_EQ(run_benchdiff_cli({"/no/such/file.json", base}, out, err), 2);
+  EXPECT_EQ(run_benchdiff_cli({bad, base, "--threshold"}, out, err), 2);
+  EXPECT_EQ(run_benchdiff_cli({bad, base, "--bogus"}, out, err), 2);
+}
+
+TEST(BenchDiffCli, DirectoryBaselineResolvedByExperiment) {
+  // Candidates live outside the baseline dir so they can't resolve to
+  // themselves.
+  TempDir base_dir("clidir_base");
+  TempDir cand_dir("clidir_cand");
+  base_dir.file("BENCH_other.json", "{\"experiment\":\"other\",\"rows\":[]}");
+  base_dir.file("BENCH_tick.json", kBaseline);
+  const std::string bad =
+      cand_dir.file("cand.json", candidate_with(1000.0, 400.0));
+  std::ostringstream out, err;
+  EXPECT_EQ(run_benchdiff_cli({bad, base_dir.path().string()}, out, err), 1);
+  // Missing baseline for the experiment is a usage error, not a pass.
+  const std::string orphan = cand_dir.file(
+      "orphan.json", "{\"experiment\":\"nobaseline\",\"rows\":[]}");
+  EXPECT_EQ(run_benchdiff_cli({orphan, base_dir.path().string()}, out, err),
+            2);
+}
+
+TEST(BenchDiffCli, GateFlagSelectsWhichKeysAreGated) {
+  TempDir dir("gate");
+  const std::string base = dir.file("BENCH_base.json", kBaseline);
+  const std::string bad =
+      dir.file("BENCH_bad.json", candidate_with(1000.0, 400.0));
+  std::ostringstream out, err;
+  // Gating only wall_s ignores the ticks_per_sec drop.
+  EXPECT_EQ(run_benchdiff_cli({bad, base, "--gate", "wall_s"}, out, err), 0);
+}
+
+}  // namespace
+}  // namespace cocg::tools

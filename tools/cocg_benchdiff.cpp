@@ -1,0 +1,17 @@
+// cocg_benchdiff — regression gate over BENCH_<experiment>.json files.
+//
+//   cocg_benchdiff <candidate.json> [baseline.json|baseline-dir]
+//                  [--threshold 0.10] [--gate "ticks_per_sec"]
+//
+// See tools/benchdiff.h; all logic lives in run_benchdiff_cli so the
+// tests can drive it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchdiff.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return cocg::tools::run_benchdiff_cli(args, std::cout, std::cerr);
+}

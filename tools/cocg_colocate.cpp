@@ -3,7 +3,8 @@
 //   cocg_colocate <scheduler> <gameA> <gameB> [minutes] [gpus] [seed]
 //                 [--models-in dir] [--models-out dir]
 //                 [--metrics-out m.json] [--events-out e.jsonl]
-//                 [--trace-out t.json]
+//                 [--trace-out t.json] [--health-out h.jsonl]
+//                 [--obs-out dir]
 //
 //   scheduler: cocg | vbp | gaugur | improved
 //   games:     DOTA2, CSGO, "Genshin Impact", "Devil May Cry", Contra
@@ -15,6 +16,7 @@
 // observability flags additionally dump the metrics registry, the
 // decision event log, and a Perfetto-loadable trace.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "core/scheduler_factory.h"
 #include "game/library.h"
 #include "obs/cli.h"
+#include "obs/health.h"
 #include "platform/cloud_platform.h"
 
 using namespace cocg;
@@ -40,8 +43,39 @@ int usage() {
                "  --models-out DIR   save the trained bundles for reuse\n"
                "games: DOTA2, CSGO, 'Genshin Impact', 'Devil May Cry',"
                " Contra\n"
-            << obs::cli_usage();
+            << obs::cli_usage_with_health();
   return 2;
+}
+
+/// One JSONL health line for a single-cluster run (shard 0 is the whole
+/// platform; no router, so decisions/s stays 0).
+void write_platform_health(const platform::CloudPlatform& cloud, TimeMs t,
+                           std::ostream& os) {
+  obs::HealthSnapshot snap;
+  snap.t = t;
+  snap.arrivals = cloud.completed_runs().size() + cloud.running_sessions() +
+                  cloud.queued_requests();
+  obs::HealthShard row;
+  row.shard = 0;
+  row.servers = cloud.num_servers();
+  row.running = cloud.running_sessions();
+  row.queued = cloud.queued_requests();
+  row.pending_events = cloud.pending_events();
+  row.routed = snap.arrivals;
+  double util_sum = 0.0;
+  std::size_t views = 0;
+  for (std::size_t s = 0; s < cloud.num_servers(); ++s) {
+    const auto& srv = cloud.server(ServerId{s});
+    for (int g = 0; g < srv.spec().num_gpus; ++g) {
+      util_sum += srv.utilization_on_gpu(g);
+      ++views;
+    }
+  }
+  row.mean_gpu_util = views > 0 ? util_sum / static_cast<double>(views) : 0.0;
+  snap.shards.push_back(row);
+  snap.slo = cloud.slo_tracker().attainment();
+  snap.stage_costs = cloud.stage_profile();
+  obs::write_health_snapshot(snap, os);
 }
 
 /// Remove `--models-in X` / `--models-out X` before positional parsing.
@@ -67,7 +101,8 @@ void strip_model_flags(std::vector<std::string>& args,
 int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
-    const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+    const obs::CliOptions obs_opts =
+        obs::strip_cli_flags(args, /*with_health=*/true);
     std::string models_in, models_out;
     strip_model_flags(args, models_in, models_out);
     if (args.size() < 3) return usage();
@@ -127,7 +162,26 @@ int main(int argc, char** argv) {
     std::cout << "running " << a->name << " + " << b->name << " under "
               << cloud.scheduler().name() << " for " << minutes
               << " min on " << gpus << " GPU(s)...\n";
-    cloud.run(static_cast<DurationMs>(minutes) * 60 * 1000);
+    const DurationMs horizon = static_cast<DurationMs>(minutes) * 60 * 1000;
+    if (obs_opts.health_out.empty()) {
+      cloud.run(horizon);
+    } else {
+      std::ofstream health_os(obs_opts.health_out);
+      if (!health_os) {
+        throw std::runtime_error("cannot open " + obs_opts.health_out);
+      }
+      // Split-phase run with one health line per 30 simulated seconds.
+      const DurationMs step = 30'000;
+      cloud.begin(horizon);
+      for (TimeMs t = 0; t < horizon;) {
+        t = std::min<TimeMs>(t + step, horizon);
+        cloud.advance_until(t);
+        write_platform_health(cloud, t, health_os);
+      }
+      cloud.finish();
+      std::cout << "wrote health snapshots to " << obs_opts.health_out
+                << "\n";
+    }
 
     TablePrinter table({"metric", "value"});
     table.add_row({"throughput T (game-seconds)",
@@ -162,6 +216,13 @@ int main(int argc, char** argv) {
       table.add_row({name + " runs / FPS ratio",
                      std::to_string(gs.completed) + " / " +
                          TablePrinter::fmt_pct(100 * gs.mean_fps_ratio, 1)});
+    }
+    for (const auto& row : cloud.slo_tracker().attainment()) {
+      if (row.runs == 0) continue;
+      table.add_row(
+          {"SLO " + row.slo_class + " FPS / latency attained",
+           TablePrinter::fmt_pct(row.fps_attainment_pct, 1) + " / " +
+               TablePrinter::fmt_pct(row.latency_attainment_pct, 1)});
     }
     table.print(std::cout);
     obs::write_outputs(obs_opts);

@@ -7,7 +7,8 @@
 //              [--models-in dir] [--models-out dir] [--retrain-per-shard]
 //              [--report-out r.json]
 //              [--metrics-out m.json] [--events-out e.jsonl]
-//              [--trace-out t.json]
+//              [--trace-out t.json] [--health-out h.jsonl]
+//              [--obs-out dir]
 //
 // Partitions N servers round-robin into K shards (each its own engine +
 // platform + scheduler), feeds one global open-loop Poisson arrival
@@ -68,7 +69,7 @@ int usage() {
          " (same results, K x cost)\n"
          "  --report-out FILE      write the merged report as canonical"
          " JSON\n"
-      << obs::cli_usage();
+      << obs::cli_usage_with_health();
   return 2;
 }
 
@@ -91,7 +92,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 int main(int argc, char** argv) {
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
-    const obs::CliOptions obs_opts = obs::strip_cli_flags(args);
+    const obs::CliOptions obs_opts =
+        obs::strip_cli_flags(args, /*with_health=*/true);
 
     int shards = 2;
     int threads = 0;  // 0 → match shards
@@ -205,6 +207,16 @@ int main(int argc, char** argv) {
       sim.add_global_source({g, arrivals_per_hour, 16});
     }
 
+    std::ofstream health_os;
+    if (!obs_opts.health_out.empty()) {
+      health_os.open(obs_opts.health_out);
+      if (!health_os) {
+        throw std::runtime_error("cannot open " + obs_opts.health_out);
+      }
+      // One snapshot per 30 simulated seconds, emitted at epoch barriers.
+      sim.enable_health_stream(&health_os, DurationMs{30'000});
+    }
+
     std::cout << "running " << shards << " shard(s) x " << servers
               << " server(s) under " << sched_name << ", policy "
               << fleet::router_policy_name(*policy) << ", " << threads
@@ -246,6 +258,20 @@ int main(int argc, char** argv) {
     }
     per_shard.print(std::cout);
 
+    TablePrinter slo_table({"SLO class", "runs", "FPS attained",
+                            "latency attained"});
+    for (const auto& row : rep.slo) {
+      slo_table.add_row({row.slo_class, std::to_string(row.runs),
+                         TablePrinter::fmt_pct(row.fps_attainment_pct, 1),
+                         TablePrinter::fmt_pct(row.latency_attainment_pct,
+                                               1)});
+    }
+    slo_table.print(std::cout);
+
+    if (!obs_opts.health_out.empty()) {
+      std::cout << "wrote health snapshots to " << obs_opts.health_out
+                << "\n";
+    }
     if (!report_out.empty()) {
       std::ofstream os(report_out);
       if (!os) throw std::runtime_error("cannot open " + report_out);
