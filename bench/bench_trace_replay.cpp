@@ -1,0 +1,191 @@
+// bench_trace_replay — traffic-subsystem throughput at fleet scale.
+//
+// Pushes one million session arrivals (override with --arrivals N; CI
+// uses a smaller count) through every stage of the trace pipeline and
+// reports each stage's arrival rate:
+//
+//   generate — diurnal workload generator (Lewis–Shedler thinning);
+//   write    — serialize to the versioned text format;
+//   read     — parse + validate back (asserts exact round trip);
+//   bind     — resolve game names / scripts / regions against the suite;
+//   serve    — route every arrival across 8 shards (least-loaded) and
+//              retire it after its expected session length — the
+//              coordinator-side cost of serving the stream, with the
+//              per-shard simulations factored out (bench_fleet_scale
+//              prices those).
+//
+// The "serve N session-arrivals" row is the headline: it bounds how fast
+// any fleet run can consume a trace, independent of shard count. A full
+// end-to-end replay determinism check lives in tests/traffic; this bench
+// is about rates, not correctness.
+#include <cassert>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <queue>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fleet/router.h"
+#include "traffic/generator.h"
+#include "traffic/source.h"
+#include "traffic/trace.h"
+
+using namespace cocg;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+constexpr int kShards = 8;
+constexpr std::size_t kGpuViewsPerShard = 4;
+
+/// Route + retire the whole stream: a min-heap of session end times
+/// releases shard load as simulated time advances past each arrival.
+std::size_t serve_stream(const std::vector<traffic::Arrival>& arrivals,
+                         fleet::Router& router,
+                         std::vector<fleet::ShardLoad>& loads) {
+  using End = std::pair<TimeMs, int>;  // session end, shard
+  std::priority_queue<End, std::vector<End>, std::greater<End>> active;
+  std::size_t served = 0;
+  for (const auto& a : arrivals) {
+    while (!active.empty() && active.top().first <= a.at) {
+      auto& l = loads[static_cast<std::size_t>(active.top().second)];
+      --l.running;
+      l.forward_cost = static_cast<double>(l.running + l.queued) /
+                       static_cast<double>(l.gpu_views);
+      active.pop();
+    }
+    const int shard = router.route(loads, a.region);
+    auto& l = loads[static_cast<std::size_t>(shard)];
+    --l.queued;  // route() queued it; serving admits it immediately
+    ++l.running;
+    active.emplace(a.at + std::max<DurationMs>(1, a.expected_session_ms),
+                   shard);
+    ++served;
+  }
+  return served;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t target = 1'000'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--arrivals") == 0 && i + 1 < argc) {
+      target = static_cast<std::size_t>(
+          std::max(1LL, std::atoll(argv[++i])));
+    } else {
+      std::cerr << "usage: bench_trace_replay [--arrivals N]\n";
+      return 2;
+    }
+  }
+
+  bench::banner("trace_replay",
+                "traffic pipeline throughput (generate/io/bind/serve)");
+  std::cout << target << " session arrivals, diurnal recipe, "
+            << kShards << "-shard serve\n\n";
+
+  bench::BenchJson json("trace_replay");
+  json.set("target_arrivals", static_cast<double>(target));
+  json.set("shards", static_cast<double>(kShards));
+
+  // --- generate --------------------------------------------------------
+  traffic::GeneratorConfig cfg;
+  cfg.pattern = traffic::Pattern::kDiurnal;
+  cfg.duration_ms = 60 * 60 * 1000;
+  // 5% headroom over the target, then trim: the Poisson draw's spread is
+  // ~sqrt(N), far below 5% at any interesting N.
+  cfg.arrivals_per_hour = static_cast<double>(target) * 1.05;
+  cfg.seed = 7;
+  for (const auto& g : bench::paper_suite_static()) cfg.games.push_back(&g);
+  cfg.regions = {"eu", "us", "apac"};
+  cfg.region_weights = {3.0, 4.0, 3.0};
+
+  auto t0 = std::chrono::steady_clock::now();
+  traffic::Trace trace = traffic::generate_trace(cfg);
+  const double gen_s = seconds_since(t0);
+  if (trace.events.size() > target) trace.events.resize(target);
+  const auto n = trace.events.size();
+  const auto dn = static_cast<double>(n);
+  if (n < target) {
+    std::cerr << "generator undershot: " << n << " < " << target << "\n";
+    return 1;
+  }
+
+  // --- write / read round trip ----------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  std::ostringstream encoded;
+  traffic::write_trace(trace, encoded);
+  const double write_s = seconds_since(t0);
+  const std::string text = encoded.str();
+
+  t0 = std::chrono::steady_clock::now();
+  std::istringstream decoded(text);
+  const traffic::Trace reread = traffic::read_trace(decoded);
+  const double read_s = seconds_since(t0);
+  if (!(reread == trace)) {
+    std::cerr << "round trip mismatch\n";
+    return 1;
+  }
+
+  // --- bind ------------------------------------------------------------
+  std::vector<const game::GameSpec*> specs;
+  for (const auto& g : bench::paper_suite_static()) specs.push_back(&g);
+  traffic::RegionTable regions;
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<traffic::Arrival> arrivals =
+      traffic::bind_trace(reread, specs, regions);
+  const double bind_s = seconds_since(t0);
+
+  // --- serve -----------------------------------------------------------
+  fleet::Router router(fleet::RouterPolicy::kLeastLoaded, 99);
+  std::vector<fleet::ShardLoad> loads(kShards);
+  for (int i = 0; i < kShards; ++i) {
+    loads[static_cast<std::size_t>(i)].shard = i;
+    loads[static_cast<std::size_t>(i)].servers = 2;
+    loads[static_cast<std::size_t>(i)].gpu_views = kGpuViewsPerShard;
+  }
+  t0 = std::chrono::steady_clock::now();
+  const std::size_t served = serve_stream(arrivals, router, loads);
+  const double serve_s = seconds_since(t0);
+  if (served != n) {
+    std::cerr << "served " << served << " != " << n << "\n";
+    return 1;
+  }
+
+  // --- report ----------------------------------------------------------
+  struct Stage {
+    std::string label;
+    double wall_s;
+  };
+  const std::vector<Stage> stages = {
+      {"generate " + std::to_string(n) + " session-arrivals", gen_s},
+      {"write " + std::to_string(n) + " session-arrivals", write_s},
+      {"read " + std::to_string(n) + " session-arrivals", read_s},
+      {"bind " + std::to_string(n) + " session-arrivals", bind_s},
+      {"serve " + std::to_string(n) + " session-arrivals", serve_s},
+  };
+  TablePrinter table({"stage", "wall s", "arrivals/s"});
+  for (const auto& s : stages) {
+    table.add_row({s.label, TablePrinter::fmt(s.wall_s, 3),
+                   TablePrinter::fmt(s.wall_s > 0 ? dn / s.wall_s : 0, 0)});
+    json.row()
+        .set("label", s.label)
+        .set("arrivals", dn)
+        .set("wall_s", s.wall_s)
+        .set("arrivals_per_sec", s.wall_s > 0 ? dn / s.wall_s : 0.0);
+  }
+  table.print(std::cout);
+  std::cout << "trace text size: " << text.size() / (1024 * 1024)
+            << " MiB\n";
+  json.set("trace_bytes", static_cast<double>(text.size()));
+  json.write();
+  return 0;
+}

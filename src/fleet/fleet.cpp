@@ -26,7 +26,6 @@ constexpr std::uint64_t kRouterSalt = (1u << 20) + 1;
 Fleet::Fleet(FleetConfig cfg, const SchedulerFactory& make_scheduler)
     : cfg_(cfg),
       router_(cfg.policy, derived_seed(cfg.seed, kRouterSalt)),
-      arrivals_rng_(derived_seed(cfg.seed, kArrivalSalt)),
       prof_router_(coord_prof_, obs::Stage::kRouter),
       prof_barrier_(coord_prof_, obs::Stage::kShardBarrier) {
   COCG_EXPECTS(cfg_.shards >= 1);
@@ -68,11 +67,49 @@ void Fleet::add_server_to_shard(int shard, const hw::ServerSpec& spec) {
   refresh_loads();  // keep pre-run snapshots (loads()) consistent
 }
 
+traffic::PoissonSource& Fleet::poisson_source() {
+  if (poisson_ == nullptr) {
+    // Same salt the legacy in-fleet arrival RNG used, so existing seeded
+    // experiments keep their exact arrival sequences.
+    auto src = std::make_unique<traffic::PoissonSource>(
+        derived_seed(cfg_.seed, kArrivalSalt));
+    poisson_ = src.get();
+    sources_.push_back(std::move(src));
+  }
+  return *poisson_;
+}
+
 void Fleet::add_global_source(const platform::OpenLoopSource& source) {
   COCG_EXPECTS(source.spec != nullptr);
   COCG_EXPECTS(source.arrivals_per_hour > 0.0);
   COCG_EXPECTS(source.player_pool >= 1);
-  sources_.push_back(GlobalSource{source, kTimeNever});
+  poisson_source().add_stream(source, 0);
+}
+
+void Fleet::add_global_source(const platform::OpenLoopSource& source,
+                              const std::string& region) {
+  COCG_EXPECTS(source.spec != nullptr);
+  COCG_EXPECTS(source.arrivals_per_hour > 0.0);
+  COCG_EXPECTS(source.player_pool >= 1);
+  poisson_source().add_stream(source, regions_.intern(region));
+}
+
+std::size_t Fleet::add_trace_arrivals(
+    const traffic::Trace& trace,
+    const std::vector<const game::GameSpec*>& specs,
+    bool use_recorded_routing) {
+  COCG_EXPECTS_MSG(!ran_, "add_trace_arrivals must precede run()");
+  auto bound = std::make_unique<std::vector<traffic::Arrival>>(
+      traffic::bind_trace(trace, specs, regions_));
+  const std::size_t n = bound->size();
+  sources_.push_back(std::make_unique<traffic::TraceReplaySource>(
+      bound.get(), use_recorded_routing));
+  bound_.push_back(std::move(bound));
+  return n;
+}
+
+void Fleet::enable_capture(traffic::TraceRecorder* recorder) {
+  recorder_ = recorder;
 }
 
 void Fleet::add_shard_source(int shard, const platform::SourceConfig& source) {
@@ -110,31 +147,42 @@ void Fleet::refresh_loads() {
 }
 
 void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
-  for (auto& src : sources_) {
-    const double mean_gap_ms = 3600.0 * 1000.0 / src.cfg.arrivals_per_hour;
-    if (src.next_due == kTimeNever) {
-      src.next_due =
-          t0 + static_cast<DurationMs>(
-                   std::max(1.0, arrivals_rng_.exponential(mean_gap_ms)));
+  epoch_arrivals_.clear();
+  for (auto& src : sources_) src->generate(t0, t1, epoch_arrivals_);
+  // Sources emit stream-major; route the window in arrival-time order
+  // (stable: ties keep registration order) so captured traces satisfy the
+  // non-decreasing-timestamp invariant and replay consumes the stream in
+  // exactly the order the recorder saw it.
+  std::stable_sort(epoch_arrivals_.begin(), epoch_arrivals_.end(),
+                   [](const traffic::Arrival& a, const traffic::Arrival& b) {
+                     return a.at < b.at;
+                   });
+  for (const auto& a : epoch_arrivals_) {
+    int shard = 0;
+    if (a.shard >= 0 && a.shard < num_shards()) {
+      // Captured router verdict — honor it and bypass the router so a
+      // replay reproduces the recorded run exactly. (A verdict from a
+      // larger fleet than ours is meaningless; those arrivals fall
+      // through to fresh routing.)
+      shard = a.shard;
+    } else {
+      obs::StageScope route_scope(prof_router_);
+      shard = router_.route(loads_, a.region);
     }
-    while (src.next_due <= t1) {
-      const auto script = static_cast<std::size_t>(arrivals_rng_.uniform_int(
-          0, static_cast<std::int64_t>(src.cfg.spec->scripts.size()) - 1));
-      const auto player = static_cast<std::uint64_t>(
-          arrivals_rng_.uniform_int(1, src.cfg.player_pool));
-      int shard = 0;
-      {
-        obs::StageScope route_scope(prof_router_);
-        shard = router_.route(loads_);
-      }
-      auto& s = shards_[static_cast<std::size_t>(shard)];
-      s.platform->schedule_request(src.cfg.spec, script, player,
-                                   src.next_due);
-      ++s.routed;
-      ++arrivals_;
-      src.next_due += static_cast<DurationMs>(
-          std::max(1.0, arrivals_rng_.exponential(mean_gap_ms)));
+    auto& s = shards_[static_cast<std::size_t>(shard)];
+    platform::RequestMeta meta;
+    meta.region = a.region;
+    meta.profile = static_cast<std::uint8_t>(a.profile);
+    meta.expected_session_ms = a.expected_session_ms;
+    s.platform->schedule_request(a.spec, a.script_idx, a.player_id, a.at,
+                                 meta);
+    ++s.routed;
+    ++arrivals_;
+    if (a.region >= region_routed_.size()) {
+      region_routed_.resize(a.region + 1, 0);
     }
+    ++region_routed_[a.region];
+    if (recorder_ != nullptr) recorder_->record(a, regions_, shard);
   }
 }
 
@@ -244,6 +292,15 @@ FleetReport Fleet::report() const {
   double wait_sum_s = 0.0;
   double fps_sum = 0.0;
   std::map<std::string, double> ratio_sum, wait_sum_game;
+  // Region rows in RegionTable order (index 0 = "global"), so the layout
+  // is deterministic and identical across capture and replay.
+  r.regions.resize(regions_.size());
+  std::vector<double> region_fps(regions_.size(), 0.0);
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    r.regions[i].region = regions_.name(static_cast<std::uint32_t>(i));
+    r.regions[i].routed =
+        i < region_routed_.size() ? region_routed_[i] : 0;
+  }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const auto& p = *shards_[i].platform;
     FleetReport::ShardRow row;
@@ -268,6 +325,16 @@ FleetReport Fleet::report() const {
       r.qos_violation_s += ms_to_sec(run.qos_violation_ms);
       wait_sum_s += ms_to_sec(run.wait_ms);
       fps_sum += run.mean_fps_ratio;
+      if (run.region < r.regions.size()) {
+        ++r.regions[run.region].completed;
+        region_fps[run.region] += run.mean_fps_ratio;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < r.regions.size(); ++i) {
+    if (r.regions[i].completed > 0) {
+      r.regions[i].mean_fps_ratio =
+          region_fps[i] / static_cast<double>(r.regions[i].completed);
     }
   }
   for (auto& [name, gs] : r.per_game) {
@@ -373,6 +440,15 @@ void write_report_json(const FleetReport& rep, std::ostream& os) {
        << ",\"throughput\":" << obs::json_number(row.throughput)
        << ",\"queued_end\":" << row.queued_end
        << ",\"running_end\":" << row.running_end << '}';
+  }
+  os << "],\"regions\":[";
+  for (std::size_t i = 0; i < rep.regions.size(); ++i) {
+    const auto& row = rep.regions[i];
+    if (i != 0) os << ',';
+    os << "{\"region\":\"" << obs::json_escape(row.region)
+       << "\",\"routed\":" << row.routed
+       << ",\"completed\":" << row.completed << ",\"mean_fps_ratio\":"
+       << obs::json_number(row.mean_fps_ratio) << '}';
   }
   os << "],\"slo\":";
   obs::SloTracker::write_attainment_json(rep.slo, os);

@@ -7,14 +7,24 @@
 // semantics (§IV-C distributor/regulator, 5-second control loop) are
 // untouched.
 //
-// One global open-loop arrival stream replaces per-shard sources: the
-// fleet draws Poisson arrivals per epoch and a Router assigns each to a
-// shard using only the load snapshots taken at the previous epoch
-// barrier. Shards then advance one control period in parallel (EpochPool;
-// lock-free hot loop, shards share no mutable state), meet at the
-// barrier, publish fresh snapshots, and repeat. Because every cross-shard
-// input is fixed before an epoch starts, aggregate results are
-// bit-identical for any thread count (tests/fleet enforces this).
+// Global arrival streams replace per-shard sources: the fleet drains its
+// traffic::ArrivalSources once per epoch (the legacy Poisson stream, a
+// replayed trace, or both), orders the epoch's arrivals by time, and a
+// Router assigns each to a shard using only the load snapshots taken at
+// the previous epoch barrier. Shards then advance one control period in
+// parallel (EpochPool; lock-free hot loop, shards share no mutable
+// state), meet at the barrier, publish fresh snapshots, and repeat.
+// Because every cross-shard input is fixed before an epoch starts,
+// aggregate results are bit-identical for any thread count (tests/fleet
+// enforces this).
+//
+// Capture/replay: enable_capture() records every routed arrival plus the
+// router's verdict into a traffic::TraceRecorder; add_trace_arrivals()
+// feeds a Trace back in. A replay that keeps the recorded verdicts
+// reproduces the captured run's report byte-for-byte at any thread count
+// (tests/traffic enforces this); clearing them (`use_recorded_routing =
+// false`) re-routes the identical arrival stream under a different
+// policy — the apples-to-apples comparison mode.
 //
 // Aggregation merges per-shard CompletedRuns, Eq. 2 throughput, QoS
 // stats, metrics registries (MetricsRegistry::merge_from), event logs
@@ -33,6 +43,8 @@
 #include "obs/domain.h"
 #include "obs/health.h"
 #include "platform/cloud_platform.h"
+#include "traffic/source.h"
+#include "traffic/trace.h"
 
 namespace cocg::fleet {
 
@@ -77,6 +89,18 @@ struct FleetReport {
   };
   std::vector<ShardRow> shards;
 
+  /// Per-region traffic accounting (row order = RegionTable order, so
+  /// index 0 is always "global"). `routed` counts router decisions;
+  /// `completed`/`mean_fps_ratio` come from the finished runs that
+  /// carried the region through RequestMeta.
+  struct RegionRow {
+    std::string region;
+    std::size_t routed = 0;
+    std::size_t completed = 0;
+    double mean_fps_ratio = 0.0;
+  };
+  std::vector<RegionRow> regions;
+
   /// Per-class SLO attainment over all shards' completed runs (always
   /// populated — the tracker records independently of the obs switch).
   std::vector<obs::SloAttainment> slo;
@@ -115,8 +139,28 @@ class Fleet {
   void add_server_to_shard(int shard, const hw::ServerSpec& spec);
 
   /// Register a global open-loop Poisson source; arrivals are routed
-  /// across shards by the configured policy.
+  /// across shards by the configured policy. The two-argument form tags
+  /// every arrival with a region (interned into regions()).
   void add_global_source(const platform::OpenLoopSource& source);
+  void add_global_source(const platform::OpenLoopSource& source,
+                         const std::string& region);
+
+  /// Feed a trace's arrivals into the run (replay). Games are bound
+  /// against `specs` by name (traffic::BindError on mismatch); region
+  /// names are interned into regions(). With `use_recorded_routing` the
+  /// captured router verdicts are honored and the router is bypassed for
+  /// those arrivals; without it the configured policy re-routes the
+  /// stream. Returns the number of arrivals added. Call before run().
+  std::size_t add_trace_arrivals(const traffic::Trace& trace,
+                                 const std::vector<const game::GameSpec*>& specs,
+                                 bool use_recorded_routing);
+
+  /// Capture every routed arrival (plus the router verdict) into
+  /// `recorder`, which must outlive run(). Pass nullptr to disable.
+  void enable_capture(traffic::TraceRecorder* recorder);
+
+  /// Region name table shared by sources, capture and the report.
+  const traffic::RegionTable& regions() const { return regions_; }
 
   /// Attach a closed-loop source to one shard (background load skew for
   /// stress experiments; bypasses the router by design).
@@ -165,22 +209,29 @@ class Fleet {
     std::size_t servers = 0;
     std::size_t routed = 0;
   };
-  struct GlobalSource {
-    platform::OpenLoopSource cfg;
-    TimeMs next_due = kTimeNever;
-  };
 
   void refresh_loads();
-  /// Draw arrivals in (t0, t1] and route them onto shard event queues.
+  /// Drain every arrival source for (t0, t1], order the window by time,
+  /// and route the arrivals onto shard event queues.
   void generate_and_route(TimeMs t0, TimeMs t1);
   void write_health_snapshot_now(TimeMs t);
+  traffic::PoissonSource& poisson_source();
 
   FleetConfig cfg_;
   std::vector<Shard> shards_;
   std::vector<ShardLoad> loads_;
   Router router_;
-  Rng arrivals_rng_;
-  std::vector<GlobalSource> sources_;
+  traffic::RegionTable regions_;
+  /// Drain order: sources are polled in registration order; the Poisson
+  /// source is created lazily on the first add_global_source so a
+  /// replay-only fleet never touches the legacy arrival RNG.
+  std::vector<std::unique_ptr<traffic::ArrivalSource>> sources_;
+  traffic::PoissonSource* poisson_ = nullptr;  ///< owned by sources_
+  /// Bound trace arrivals; stable storage borrowed by TraceReplaySources.
+  std::vector<std::unique_ptr<std::vector<traffic::Arrival>>> bound_;
+  traffic::TraceRecorder* recorder_ = nullptr;
+  std::vector<traffic::Arrival> epoch_arrivals_;  ///< per-epoch scratch
+  std::vector<std::size_t> region_routed_;
   std::size_t arrivals_ = 0;
   std::size_t next_server_shard_ = 0;
   bool ran_ = false;

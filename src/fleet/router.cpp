@@ -11,6 +11,7 @@ const char* router_policy_name(RouterPolicy policy) {
     case RouterPolicy::kRoundRobin: return "round_robin";
     case RouterPolicy::kLeastLoaded: return "least_loaded";
     case RouterPolicy::kPowerOfTwo: return "power_of_two";
+    case RouterPolicy::kRegionAffinity: return "region_affinity";
   }
   return "?";
 }
@@ -24,6 +25,9 @@ std::optional<RouterPolicy> parse_router_policy(const std::string& name) {
   }
   if (name == "power_of_two" || name == "p2c") {
     return RouterPolicy::kPowerOfTwo;
+  }
+  if (name == "region_affinity" || name == "region" || name == "ra") {
+    return RouterPolicy::kRegionAffinity;
   }
   return std::nullopt;
 }
@@ -41,22 +45,45 @@ double occupancy(const ShardLoad& l) {
 Router::Router(RouterPolicy policy, std::uint64_t seed)
     : policy_(policy), rng_(seed) {}
 
-int Router::pick(const std::vector<ShardLoad>& loads) {
+int Router::pick_least_loaded(const std::vector<ShardLoad>& loads) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    const double d = occupancy(loads[i]) - occupancy(loads[best]);
+    if (d < 0.0 ||
+        (d == 0.0 &&
+         loads[i].mean_utilization < loads[best].mean_utilization)) {
+      best = i;
+    }
+  }
+  return static_cast<int>(best);
+}
+
+int Router::pick(const std::vector<ShardLoad>& loads, std::uint32_t region) {
   const auto n = static_cast<std::int64_t>(loads.size());
   switch (policy_) {
     case RouterPolicy::kRoundRobin:
       return static_cast<int>(next_rr_++ % loads.size());
-    case RouterPolicy::kLeastLoaded: {
-      std::size_t best = 0;
+    case RouterPolicy::kLeastLoaded:
+      return pick_least_loaded(loads);
+    case RouterPolicy::kRegionAffinity: {
+      // Arrivals without a stated region have no home — balance them.
+      if (region == 0) return pick_least_loaded(loads);
+      const std::size_t home =
+          static_cast<std::size_t>(region) % loads.size();
+      std::size_t cheapest = 0;
       for (std::size_t i = 1; i < loads.size(); ++i) {
-        const double d = occupancy(loads[i]) - occupancy(loads[best]);
-        if (d < 0.0 ||
-            (d == 0.0 &&
-             loads[i].mean_utilization < loads[best].mean_utilization)) {
-          best = i;
+        if (loads[i].forward_cost < loads[cheapest].forward_cost) {
+          cheapest = i;
         }
       }
-      return static_cast<int>(best);
+      // Stay home unless home is a full per-view unit of forward cost
+      // worse than the cheapest shard — affinity beats perfect balance,
+      // but not a hot-spotted cluster.
+      if (loads[home].forward_cost >
+          loads[cheapest].forward_cost + 1.0) {
+        return static_cast<int>(cheapest);
+      }
+      return static_cast<int>(home);
     }
     case RouterPolicy::kPowerOfTwo: {
       const auto a = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
@@ -73,8 +100,12 @@ int Router::pick(const std::vector<ShardLoad>& loads) {
 }
 
 int Router::route(std::vector<ShardLoad>& loads) {
+  return route(loads, 0);
+}
+
+int Router::route(std::vector<ShardLoad>& loads, std::uint32_t region) {
   COCG_EXPECTS(!loads.empty());
-  const int chosen = pick(loads);
+  const int chosen = pick(loads, region);
   auto& l = loads[static_cast<std::size_t>(chosen)];
   ++l.queued;
   l.forward_cost +=

@@ -13,7 +13,13 @@
 //                         forward-combined-consumption estimate (the
 //                         allocation mass the distributor admitted
 //                         against, Eq. 1 redundancy included, plus queue
-//                         pressure) is lower.
+//                         pressure) is lower;
+//  * region_affinity    — pin each traffic region to a home shard
+//                         (region index modulo shard count) so regional
+//                         players share clusters; spill to the cheapest
+//                         shard when home is clearly overloaded.
+//                         Region 0 ("global", arrivals that never stated
+//                         a region) falls back to least-loaded.
 #pragma once
 
 #include <cstdint>
@@ -25,11 +31,17 @@
 
 namespace cocg::fleet {
 
-enum class RouterPolicy { kRoundRobin, kLeastLoaded, kPowerOfTwo };
+enum class RouterPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kPowerOfTwo,
+  kRegionAffinity,
+};
 
 const char* router_policy_name(RouterPolicy policy);
 
-/// Parse "round_robin"/"rr", "least_loaded"/"ll", "power_of_two"/"p2c".
+/// Parse "round_robin"/"rr", "least_loaded"/"ll", "power_of_two"/"p2c",
+/// "region_affinity"/"region"/"ra".
 std::optional<RouterPolicy> parse_router_policy(const std::string& name);
 
 /// Immutable load snapshot of one shard, taken at an epoch barrier.
@@ -56,11 +68,16 @@ class Router {
   /// several arrivals inside one epoch spread instead of herding onto the
   /// snapshot's minimum.
   int route(std::vector<ShardLoad>& loads);
+  /// Region-aware variant: identical to route(loads) for every policy
+  /// except kRegionAffinity, which uses `region` (a traffic::RegionTable
+  /// index) to pick the arrival's home shard.
+  int route(std::vector<ShardLoad>& loads, std::uint32_t region);
 
   RouterPolicy policy() const { return policy_; }
 
  private:
-  int pick(const std::vector<ShardLoad>& loads);
+  int pick(const std::vector<ShardLoad>& loads, std::uint32_t region);
+  int pick_least_loaded(const std::vector<ShardLoad>& loads) const;
 
   RouterPolicy policy_;
   Rng rng_;

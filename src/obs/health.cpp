@@ -24,4 +24,8 @@ void write_health_snapshot(const HealthSnapshot& s, std::ostream& os) {
   os << "}\n";
 }
 
+void write_health_header(DurationMs interval_ms, std::ostream& os) {
+  os << "{\"health_header\":1,\"interval_ms\":" << interval_ms << "}\n";
+}
+
 }  // namespace cocg::obs

@@ -54,4 +54,10 @@ struct HealthSnapshot {
 /// Append one JSONL line (newline included).
 void write_health_snapshot(const HealthSnapshot& s, std::ostream& os);
 
+/// Stream prologue: one JSONL line stating the heartbeat cadence, so a
+/// consumer learns the interval without diffing the first two snapshots:
+///   {"health_header":1,"interval_ms":30000}
+/// Tools write it once before the first snapshot.
+void write_health_header(DurationMs interval_ms, std::ostream& os);
+
 }  // namespace cocg::obs

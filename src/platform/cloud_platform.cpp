@@ -96,6 +96,13 @@ void CloudPlatform::add_source(const SourceConfig& source) {
 RequestId CloudPlatform::submit(const game::GameSpec* spec,
                                 std::size_t script_idx,
                                 std::uint64_t player_id) {
+  return submit(spec, script_idx, player_id, RequestMeta{});
+}
+
+RequestId CloudPlatform::submit(const game::GameSpec* spec,
+                                std::size_t script_idx,
+                                std::uint64_t player_id,
+                                const RequestMeta& meta) {
   COCG_EXPECTS(spec != nullptr);
   COCG_EXPECTS(script_idx < spec->scripts.size());
   GameRequest req;
@@ -104,8 +111,10 @@ RequestId CloudPlatform::submit(const game::GameSpec* spec,
   req.script_idx = script_idx;
   req.player_id = player_id;
   req.arrival = engine_.now();
+  req.meta = meta;
   queue_.push_back(req);
   obs_requests_.add();
+  if (arrival_hook_) arrival_hook_(queue_.back());
   return req.id;
 }
 
@@ -189,6 +198,7 @@ void CloudPlatform::try_admit_queue() {
     as.script_idx = req.script_idx;
     as.player_id = req.player_id;
     as.request_arrival = req.arrival;
+    as.meta = req.meta;
     as.trace.set_label(req.spec->name + "#" + std::to_string(sid.value));
     // Size the telemetry buffer for the expected run length (plus slack for
     // loading extensions) so steady-state sampling never reallocates.
@@ -439,6 +449,9 @@ void CloudPlatform::finish_session(SessionId sid, TimeMs end) {
   run.wait_ms = as.session->start_time() - as.request_arrival;
   run.qos_violation_ms = as.session->qos_violation_ms();
   run.loading_extension_ms = as.session->loading_extension_ms();
+  run.region = as.meta.region;
+  run.profile = as.meta.profile;
+  run.expected_session_ms = as.meta.expected_session_ms;
   run.mean_fps_ratio = as.session->mean_fps_ratio();
   run.mean_fps = as.session->mean_fps();
   if (!as.latency_ms.empty()) {
@@ -511,10 +524,17 @@ void CloudPlatform::control_tick() {
 void CloudPlatform::schedule_request(const game::GameSpec* spec,
                                      std::size_t script_idx,
                                      std::uint64_t player_id, TimeMs at) {
+  schedule_request(spec, script_idx, player_id, at, RequestMeta{});
+}
+
+void CloudPlatform::schedule_request(const game::GameSpec* spec,
+                                     std::size_t script_idx,
+                                     std::uint64_t player_id, TimeMs at,
+                                     const RequestMeta& meta) {
   COCG_EXPECTS(spec != nullptr);
   COCG_EXPECTS(script_idx < spec->scripts.size());
-  engine_.schedule_at(at, [this, spec, script_idx, player_id] {
-    submit(spec, script_idx, player_id);
+  engine_.schedule_at(at, [this, spec, script_idx, player_id, meta] {
+    submit(spec, script_idx, player_id, meta);
   });
 }
 

@@ -8,6 +8,18 @@
 
 namespace cocg::platform {
 
+/// Per-session traffic context carried from the arrival stream into the
+/// session (and out again on CompletedRun). Indices and codes are opaque
+/// to the platform: `region` indexes the fleet's traffic::RegionTable
+/// (0 = "global"), `profile` encodes traffic::PlayerProfile, and
+/// `expected_session_ms` is the player's *declared* expected session
+/// length — metadata for QoS/capacity work, never a control input.
+struct RequestMeta {
+  std::uint32_t region = 0;
+  std::uint8_t profile = 1;  ///< traffic::PlayerProfile::kRegular
+  DurationMs expected_session_ms = 0;
+};
+
 /// A pending "start this game for this player" request.
 struct GameRequest {
   RequestId id;
@@ -15,6 +27,7 @@ struct GameRequest {
   std::size_t script_idx = 0;
   std::uint64_t player_id = 0;
   TimeMs arrival = 0;
+  RequestMeta meta;
 };
 
 /// Closed-loop source (the Fig. 11 methodology): a game "continuously runs

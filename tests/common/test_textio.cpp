@@ -1,0 +1,136 @@
+// LineReader — the diagnostic substrate every text artifact format
+// (profiles, models, traffic traces) builds on. The contract under test:
+// malformed, truncated or garbage input always fails with the artifact
+// name, a 1-based line number, and the field being parsed.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "common/textio.h"
+
+namespace cocg {
+namespace {
+
+std::string error_of(const std::function<void(LineReader&)>& body,
+                     const std::string& text,
+                     const std::string& what = "artifact") {
+  std::istringstream is(text);
+  LineReader r(is, what);
+  try {
+    body(r);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(LineReader, ReadsLinesAndCountsFromOne) {
+  std::istringstream is("alpha\nbeta\n");
+  LineReader r(is, "artifact");
+  EXPECT_EQ(r.line_no(), 0);
+  EXPECT_EQ(r.line("first"), "alpha");
+  EXPECT_EQ(r.line_no(), 1);
+  EXPECT_EQ(r.line("second"), "beta");
+  EXPECT_EQ(r.line_no(), 2);
+}
+
+TEST(LineReader, TruncatedStreamNamesTheMissingKey) {
+  const std::string err = error_of(
+      [](LineReader& r) {
+        r.line("header");
+        r.line("payload");
+      },
+      "header-only\n");
+  EXPECT_EQ(err, "artifact line 2: truncated before 'payload'");
+}
+
+TEST(LineReader, EmptyStreamFailsOnLineOne) {
+  const std::string err =
+      error_of([](LineReader& r) { r.line("magic"); }, "");
+  EXPECT_EQ(err, "artifact line 1: truncated before 'magic'");
+}
+
+TEST(LineReader, ExpectMismatchQuotesBothSides) {
+  const std::string err = error_of(
+      [](LineReader& r) { r.expect("servers "); }, "garbage here\n");
+  EXPECT_EQ(err, "artifact line 1: expected 'servers ', got 'garbage here'");
+}
+
+TEST(LineReader, ExpectReturnsTheRemainder) {
+  std::istringstream is("servers 4 extra\n");
+  LineReader r(is, "artifact");
+  auto ls = r.expect("servers ");
+  EXPECT_EQ(r.field<int>(ls, "count"), 4);
+  EXPECT_EQ(r.field<std::string>(ls, "tail"), "extra");
+}
+
+TEST(LineReader, BadFieldNamesFieldAndLine) {
+  const std::string err = error_of(
+      [](LineReader& r) {
+        r.line("skip");
+        auto ls = r.expect("rate ");
+        r.field<double>(ls, "rate value");
+      },
+      "skip\nrate not-a-number\n");
+  EXPECT_EQ(err, "artifact line 2: bad or missing field 'rate value'");
+}
+
+TEST(LineReader, MissingFieldFailsLikeGarbage) {
+  const std::string err = error_of(
+      [](LineReader& r) {
+        auto ls = r.expect("pair ");
+        r.field<int>(ls, "first");
+        r.field<int>(ls, "second");
+      },
+      "pair 7\n");
+  EXPECT_EQ(err, "artifact line 1: bad or missing field 'second'");
+}
+
+TEST(LineReader, ArtifactNamePrefixesEveryDiagnostic) {
+  const std::string err = error_of(
+      [](LineReader& r) { r.line("anything"); }, "", "trace");
+  EXPECT_EQ(err, "trace line 1: truncated before 'anything'");
+}
+
+TEST(LineReader, FailThrowsWithCurrentLineNumber) {
+  std::istringstream is("a\nb\n");
+  LineReader r(is, "artifact");
+  r.line("a");
+  r.line("b");
+  try {
+    r.fail("custom complaint");
+    FAIL() << "fail() returned";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "artifact line 2: custom complaint");
+  }
+}
+
+TEST(FullPrecision, DoublesRoundTripExactly) {
+  const double values[] = {1.0 / 3.0, 0.1, 6.0221409e23, -2.2250738585072014e-308};
+  for (const double v : values) {
+    std::ostringstream os;
+    {
+      FullPrecision guard(os);
+      os << v;
+    }
+    std::istringstream is(os.str());
+    double back = 0.0;
+    ASSERT_TRUE(static_cast<bool>(is >> back)) << os.str();
+    EXPECT_EQ(back, v) << os.str();
+  }
+}
+
+TEST(FullPrecision, RestoresStreamPrecisionOnExit) {
+  std::ostringstream os;
+  const auto before = os.precision();
+  {
+    FullPrecision guard(os);
+    EXPECT_NE(os.precision(), before);
+  }
+  EXPECT_EQ(os.precision(), before);
+}
+
+}  // namespace
+}  // namespace cocg

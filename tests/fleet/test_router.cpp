@@ -100,6 +100,61 @@ TEST(Router, PowerOfTwoIsSeedDeterministic) {
   EXPECT_NE(run(42), run(43));
 }
 
+TEST(RouterPolicyNames, RegionAffinityTokens) {
+  EXPECT_EQ(parse_router_policy("region_affinity"),
+            RouterPolicy::kRegionAffinity);
+  EXPECT_EQ(parse_router_policy("region"), RouterPolicy::kRegionAffinity);
+  EXPECT_EQ(parse_router_policy("ra"), RouterPolicy::kRegionAffinity);
+  EXPECT_STREQ(router_policy_name(RouterPolicy::kRegionAffinity),
+               "region_affinity");
+}
+
+TEST(Router, RegionAffinityPinsToHomeShard) {
+  Router r(RouterPolicy::kRegionAffinity, 1);
+  auto loads = uniform_loads(4, 1000000);  // huge views: route() cost ~0
+  // home = region % shards; stays home while costs are level.
+  EXPECT_EQ(r.route(loads, 1), 1);
+  EXPECT_EQ(r.route(loads, 2), 2);
+  EXPECT_EQ(r.route(loads, 3), 3);
+  EXPECT_EQ(r.route(loads, 5), 1);  // wraps
+  EXPECT_EQ(r.route(loads, 2), 2);  // repeat arrivals keep their home
+}
+
+TEST(Router, RegionAffinitySpillsFromHotHome) {
+  Router r(RouterPolicy::kRegionAffinity, 1);
+  auto loads = uniform_loads(4, 1000000);
+  loads[0].forward_cost = 0.9;
+  loads[1].forward_cost = 0.8;
+  loads[2].forward_cost = 1.5;  // home of region 2
+  loads[3].forward_cost = 0.2;  // cheapest
+  // 1.5 > 0.2 + 1.0: affinity yields to the hot spot, spill to cheapest.
+  EXPECT_EQ(r.route(loads, 2), 3);
+  // Exactly at the margin (cost == cheapest + 1.0) affinity wins.
+  loads[2].forward_cost = 1.2;
+  EXPECT_EQ(r.route(loads, 2), 2);
+}
+
+TEST(Router, RegionAffinityBalancesTheGlobalRegion) {
+  Router r(RouterPolicy::kRegionAffinity, 1);
+  auto loads = uniform_loads(3);
+  loads[0].running = 8;
+  loads[1].running = 2;
+  loads[2].running = 5;
+  // Region 0 ("global") has no home: falls back to least-loaded.
+  EXPECT_EQ(r.route(loads, 0), 1);
+}
+
+TEST(Router, RegionlessRouteOverloadIsGlobal) {
+  // route(loads) must behave exactly like route(loads, 0).
+  auto loads_a = uniform_loads(3);
+  auto loads_b = uniform_loads(3);
+  Router a(RouterPolicy::kRegionAffinity, 1);
+  Router b(RouterPolicy::kRegionAffinity, 1);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.route(loads_a), b.route(loads_b, 0));
+  }
+}
+
 TEST(Router, SingleShardAlwaysZero) {
   for (auto p : {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded,
                  RouterPolicy::kPowerOfTwo}) {

@@ -122,6 +122,61 @@ TEST(BenchDiff, MismatchedRowLabelsSkippedWithWarning) {
   EXPECT_NE(d.warnings[0].find("rows[1]"), std::string::npos);
 }
 
+TEST(BenchDiff, RowCountMismatchFallsBackToLabelMatching) {
+  const auto base = parse(kBaseline);
+  // Candidate gained a third configuration; positional pairing would
+  // compare apples to oranges. Rows are matched by their string labels
+  // instead, and the s8 regression must still be caught.
+  const auto cand = parse(
+      "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":1000.0,\"rows\":["
+      "{\"servers\":16,\"obs\":\"new\",\"ticks_per_sec\":9.0,\"wall_s\":9.0},"
+      "{\"servers\":8,\"obs\":\"on\",\"ticks_per_sec\":400.0,\"wall_s\":2.0},"
+      "{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":1000.0,"
+      "\"wall_s\":1.0}]}");
+  const BenchDiff d = diff_bench(base, cand);
+  EXPECT_TRUE(d.any_regression);
+  bool found = false;
+  for (const auto& m : d.metrics) {
+    if (m.key == "ticks_per_sec" && m.baseline == 500.0) {
+      found = true;
+      EXPECT_TRUE(m.regression);
+      EXPECT_DOUBLE_EQ(m.ratio, 0.8);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  auto has_warning = [&](const std::string& needle) {
+    for (const auto& w : d.warnings) {
+      if (w.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_warning("matching rows by labels"));
+  EXPECT_TRUE(has_warning("matched 2 row(s) by labels"));
+  // The candidate's new configuration is reported, not silently dropped.
+  EXPECT_TRUE(has_warning("obs=new"));
+  EXPECT_TRUE(has_warning("has no baseline row"));
+}
+
+TEST(BenchDiff, LabelFallbackReportsVanishedBaselineRows) {
+  const auto base = parse(kBaseline);
+  // Candidate lost the s8 row entirely.
+  const auto cand = parse(
+      "{\"experiment\":\"tick\",\"ticks_per_sec_s1\":1000.0,\"rows\":["
+      "{\"servers\":1,\"obs\":\"off\",\"ticks_per_sec\":1000.0,"
+      "\"wall_s\":1.0}]}");
+  const BenchDiff d = diff_bench(base, cand);
+  EXPECT_FALSE(d.any_regression);  // nothing comparable regressed
+  bool missing_reported = false;
+  for (const auto& w : d.warnings) {
+    if (w.find("rows[1]") != std::string::npos &&
+        w.find("has no candidate row") != std::string::npos) {
+      missing_reported = true;
+    }
+  }
+  EXPECT_TRUE(missing_reported);
+}
+
 TEST(BenchDiff, ResolveBaselinePicksMatchingExperimentInDir) {
   TempDir dir("resolve");
   dir.file("BENCH_other.json", "{\"experiment\":\"other\",\"rows\":[]}");

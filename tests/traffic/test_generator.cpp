@@ -1,0 +1,228 @@
+// Workload generator: determinism, rate accuracy, and the shape of each
+// recipe (diurnal cycle, flash crowd, regional failover).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "game/library.h"
+#include "traffic/generator.h"
+#include "traffic/trace.h"
+
+namespace cocg::traffic {
+namespace {
+
+const std::vector<game::GameSpec>& suite() {
+  static const std::vector<game::GameSpec> s = game::paper_suite();
+  return s;
+}
+
+GeneratorConfig base_config() {
+  GeneratorConfig cfg;
+  cfg.duration_ms = 60 * 60 * 1000;
+  cfg.arrivals_per_hour = 2000.0;
+  cfg.seed = 1234;
+  for (const auto& g : suite()) cfg.games.push_back(&g);
+  return cfg;
+}
+
+std::string encode(const Trace& t) {
+  std::ostringstream os;
+  write_trace(t, os);
+  return os.str();
+}
+
+TEST(TrafficGenerator, SameSeedSameConfigIsByteIdentical) {
+  const GeneratorConfig cfg = base_config();
+  const Trace a = generate_trace(cfg);
+  const Trace b = generate_trace(cfg);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(encode(a), encode(b));
+}
+
+TEST(TrafficGenerator, DifferentSeedDiffers) {
+  GeneratorConfig cfg = base_config();
+  const Trace a = generate_trace(cfg);
+  cfg.seed += 1;
+  const Trace b = generate_trace(cfg);
+  EXPECT_NE(a, b);
+}
+
+TEST(TrafficGenerator, PoissonRateIsApproximatelyHonored) {
+  const GeneratorConfig cfg = base_config();  // 2000/h for one hour
+  const Trace t = generate_trace(cfg);
+  const double n = static_cast<double>(t.events.size());
+  // Poisson(2000): 6 sigma ≈ 268. Anything outside ±15% is a real bug.
+  EXPECT_GT(n, 2000.0 * 0.85);
+  EXPECT_LT(n, 2000.0 * 1.15);
+}
+
+TEST(TrafficGenerator, EventsAreTimeOrderedAndInRange) {
+  GeneratorConfig cfg = base_config();
+  cfg.regions = {"eu", "us"};
+  const Trace t = generate_trace(cfg);
+  ASSERT_FALSE(t.events.empty());
+  TimeMs prev = 0;
+  for (const auto& e : t.events) {
+    EXPECT_GE(e.t, prev);
+    prev = e.t;
+    EXPECT_LT(e.t, cfg.duration_ms);
+    EXPECT_LT(e.game, t.games.size());
+    EXPECT_LT(e.region, t.regions.size());
+    EXPECT_GE(e.player_id, 1u);
+    EXPECT_LE(e.player_id, static_cast<std::uint64_t>(cfg.player_pool));
+    EXPECT_GT(e.expected_session_ms, 0);
+    EXPECT_EQ(e.shard, -1);  // generated, never captured
+    EXPECT_LT(e.script_idx, cfg.games[e.game]->scripts.size());
+  }
+}
+
+TEST(TrafficGenerator, MetaRecordsRecipeAndSeed) {
+  GeneratorConfig cfg = base_config();
+  cfg.pattern = Pattern::kDiurnal;
+  const Trace t = generate_trace(cfg);
+  EXPECT_EQ(t.meta.at("generator"), "diurnal");
+  EXPECT_EQ(t.meta.at("seed"), "1234");
+}
+
+TEST(TrafficGenerator, DiurnalPeakBeatsTrough) {
+  GeneratorConfig cfg = base_config();
+  cfg.pattern = Pattern::kDiurnal;
+  cfg.arrivals_per_hour = 20000.0;
+  cfg.diurnal_amplitude = 0.8;
+  cfg.diurnal_period_ms = cfg.duration_ms;  // one full cycle in the trace
+  const Trace t = generate_trace(cfg);
+  // sin > 0 over the first half period, < 0 over the second: with A=0.8
+  // the first-half mass should dominate by far more than noise.
+  std::size_t first = 0;
+  for (const auto& e : t.events) {
+    if (e.t < cfg.duration_ms / 2) ++first;
+  }
+  const std::size_t second = t.events.size() - first;
+  EXPECT_GT(static_cast<double>(first),
+            1.5 * static_cast<double>(second))
+      << "first half " << first << " vs second half " << second;
+}
+
+TEST(TrafficGenerator, FlashCrowdSpikesTheTargetGame) {
+  GeneratorConfig cfg = base_config();
+  cfg.pattern = Pattern::kFlashCrowd;
+  cfg.arrivals_per_hour = 20000.0;
+  cfg.flash_game = 2;
+  cfg.flash_start_ms = 10 * 60 * 1000;
+  cfg.flash_ramp_ms = 5 * 60 * 1000;
+  cfg.flash_hold_ms = 20 * 60 * 1000;
+  cfg.flash_multiplier = 8.0;
+  const Trace t = generate_trace(cfg);
+
+  const TimeMs hold_begin = cfg.flash_start_ms + cfg.flash_ramp_ms;
+  const TimeMs hold_end = hold_begin + cfg.flash_hold_ms;
+  std::size_t in_flash = 0, in_total = 0, out_flash = 0, out_total = 0;
+  for (const auto& e : t.events) {
+    const bool holding = e.t >= hold_begin && e.t < hold_end;
+    (holding ? in_total : out_total) += 1;
+    if (e.game == cfg.flash_game) (holding ? in_flash : out_flash) += 1;
+  }
+  ASSERT_GT(in_total, 0u);
+  ASSERT_GT(out_total, 0u);
+  const double share_in =
+      static_cast<double>(in_flash) / static_cast<double>(in_total);
+  const double share_out =
+      static_cast<double>(out_flash) / static_cast<double>(out_total);
+  // 5 games, uniform: base share 1/5; held share 8/12 = 2/3.
+  EXPECT_GT(share_in, 2.0 * share_out)
+      << "flash share " << share_in << " vs baseline " << share_out;
+  // Flash crowds are additional players: total rate rises with the spike.
+  const double hold_rate = static_cast<double>(in_total) /
+                           static_cast<double>(cfg.flash_hold_ms);
+  const double out_rate =
+      static_cast<double>(out_total) /
+      static_cast<double>(cfg.duration_ms - cfg.flash_hold_ms);
+  EXPECT_GT(hold_rate, 1.5 * out_rate);
+}
+
+TEST(TrafficGenerator, FailoverDrainsTheEvacuatedRegion) {
+  GeneratorConfig cfg = base_config();
+  cfg.pattern = Pattern::kRegionalFailover;
+  cfg.arrivals_per_hour = 20000.0;
+  cfg.regions = {"eu", "us", "apac"};
+  cfg.failover_from = 0;
+  cfg.failover_to = 1;
+  cfg.failover_at_ms = 30 * 60 * 1000;
+  cfg.failover_ramp_ms = 5 * 60 * 1000;
+  const Trace t = generate_trace(cfg);
+
+  const TimeMs done = cfg.failover_at_ms + cfg.failover_ramp_ms;
+  std::size_t before_from = 0, before_all = 0;
+  std::size_t after_from = 0, after_to = 0, after_all = 0;
+  for (const auto& e : t.events) {
+    if (e.t < cfg.failover_at_ms) {
+      ++before_all;
+      if (e.region == 0) ++before_from;
+    } else if (e.t >= done) {
+      ++after_all;
+      if (e.region == 0) ++after_from;
+      if (e.region == 1) ++after_to;
+    }
+  }
+  ASSERT_GT(before_all, 0u);
+  ASSERT_GT(after_all, 0u);
+  // Before: eu ≈ 1/3 of traffic. After the ramp: eu exactly 0, us ≈ 2/3.
+  EXPECT_GT(static_cast<double>(before_from),
+            0.2 * static_cast<double>(before_all));
+  EXPECT_EQ(after_from, 0u);
+  EXPECT_GT(static_cast<double>(after_to),
+            0.5 * static_cast<double>(after_all));
+}
+
+TEST(TrafficGenerator, ValidatesConfig) {
+  {
+    GeneratorConfig cfg = base_config();
+    cfg.games.clear();
+    EXPECT_THROW(generate_trace(cfg), std::runtime_error);
+  }
+  {
+    GeneratorConfig cfg = base_config();
+    cfg.diurnal_amplitude = 1.5;
+    EXPECT_THROW(generate_trace(cfg), std::runtime_error);
+  }
+  {
+    GeneratorConfig cfg = base_config();
+    cfg.pattern = Pattern::kFlashCrowd;
+    cfg.flash_game = cfg.games.size();  // out of range
+    EXPECT_THROW(generate_trace(cfg), std::runtime_error);
+  }
+  {
+    GeneratorConfig cfg = base_config();
+    cfg.pattern = Pattern::kRegionalFailover;
+    cfg.regions = {"only-one"};
+    EXPECT_THROW(generate_trace(cfg), std::runtime_error);
+  }
+  {
+    GeneratorConfig cfg = base_config();
+    cfg.game_weights = {1.0};  // wrong length
+    EXPECT_THROW(generate_trace(cfg), std::runtime_error);
+  }
+}
+
+TEST(TrafficGenerator, PatternNamesRoundTrip) {
+  EXPECT_EQ(parse_pattern("poisson"), Pattern::kPoisson);
+  EXPECT_EQ(parse_pattern("diurnal"), Pattern::kDiurnal);
+  EXPECT_EQ(parse_pattern("flash"), Pattern::kFlashCrowd);
+  EXPECT_EQ(parse_pattern("failover"), Pattern::kRegionalFailover);
+  EXPECT_STREQ(pattern_name(Pattern::kFlashCrowd), "flash");
+  EXPECT_THROW(parse_pattern("tsunami"), std::runtime_error);
+}
+
+TEST(TrafficGenerator, GeneratedTraceRoundTripsThroughText) {
+  GeneratorConfig cfg = base_config();
+  cfg.regions = {"eu", "us"};
+  cfg.region_weights = {2.0, 1.0};
+  const Trace t = generate_trace(cfg);
+  std::istringstream is(encode(t));
+  EXPECT_EQ(read_trace(is), t);
+}
+
+}  // namespace
+}  // namespace cocg::traffic

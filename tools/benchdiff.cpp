@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "common/table.h"
@@ -62,6 +63,20 @@ bool labels_match(const obs::JsonValue& base, const obs::JsonValue& cand,
   return true;
 }
 
+/// A row's identity: every string field, in (map-sorted) key order. Used
+/// to pair rows across files when positional matching is impossible.
+std::string row_label_key(const obs::JsonValue& row) {
+  std::string key;
+  for (const auto& [k, v] : row.object) {
+    if (v.kind != obs::JsonValue::Kind::kString) continue;
+    key += k;
+    key += '=';
+    key += v.string;
+    key += ';';
+  }
+  return key;
+}
+
 bool load_json_file(const std::string& path, obs::JsonValue& out,
                     std::string& err) {
   std::ifstream is(path);
@@ -109,10 +124,40 @@ BenchDiff diff_bench(const obs::JsonValue& baseline,
     return out;
   }
   if (brows->array.size() != crows->array.size()) {
+    // Positional pairing is meaningless when the row sets diverged (a
+    // bench gained or lost a configuration); fall back to pairing rows
+    // whose string labels agree and report what found no partner.
     out.warnings.push_back(
         "row count mismatch: baseline " + std::to_string(brows->array.size()) +
         " vs candidate " + std::to_string(crows->array.size()) +
-        " (comparing the common prefix)");
+        " (matching rows by labels)");
+    std::map<std::string, const obs::JsonValue*> by_label;
+    for (const auto& crow : crows->array) {
+      if (crow.is_object()) by_label.emplace(row_label_key(crow), &crow);
+    }
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < brows->array.size(); ++i) {
+      const auto& brow = brows->array[i];
+      if (!brow.is_object()) continue;
+      const std::string key = row_label_key(brow);
+      const auto it = by_label.find(key);
+      if (it == by_label.end()) {
+        out.warnings.push_back("rows[" + std::to_string(i) + "] {" + key +
+                               "} has no candidate row, skipped");
+        continue;
+      }
+      ++matched;
+      diff_numeric_fields(brow, *it->second, "rows[" + std::to_string(i) + "]",
+                          opts, out);
+      by_label.erase(it);
+    }
+    for (const auto& [key, crow] : by_label) {
+      out.warnings.push_back("candidate row {" + key +
+                             "} has no baseline row, skipped");
+    }
+    out.warnings.push_back("matched " + std::to_string(matched) +
+                           " row(s) by labels");
+    return out;
   }
   const std::size_t n = std::min(brows->array.size(), crows->array.size());
   for (std::size_t i = 0; i < n; ++i) {

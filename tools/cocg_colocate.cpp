@@ -2,6 +2,8 @@
 //
 //   cocg_colocate <scheduler> <gameA> <gameB> [minutes] [gpus] [seed]
 //                 [--models-in dir] [--models-out dir]
+//                 [--trace-in t.trace] [--capture-out t.trace]
+//                 [--health-interval-s S]
 //                 [--metrics-out m.json] [--events-out e.jsonl]
 //                 [--trace-out t.json] [--health-out h.jsonl]
 //                 [--obs-out dir]
@@ -15,6 +17,14 @@
 // latency statistics — the Fig. 11 cell of your choosing. The
 // observability flags additionally dump the metrics registry, the
 // decision event log, and a Perfetto-loadable trace.
+//
+// --capture-out records every request joining the admission queue as a
+// traffic trace (docs/traffic.md); --trace-in schedules a trace's
+// arrivals INSTEAD of the closed-loop pair sources (the positional games
+// still select the schedulers' focus pair but submit no load). Unlike
+// the fleet, a colocate replay is not bit-exact against its capture: the
+// closed-loop replenisher consumes platform RNG draws the replayed run
+// never makes. Use cocg_fleet for byte-identical capture/replay.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,6 +40,8 @@
 #include "obs/cli.h"
 #include "obs/health.h"
 #include "platform/cloud_platform.h"
+#include "traffic/source.h"
+#include "traffic/trace.h"
 
 using namespace cocg;
 
@@ -41,6 +53,12 @@ int usage() {
                "  --models-in DIR    load trained bundles instead of"
                " retraining\n"
                "  --models-out DIR   save the trained bundles for reuse\n"
+               "  --trace-in FILE    schedule a traffic trace's arrivals"
+               " instead of the closed-loop pair\n"
+               "  --capture-out FILE record the arrival stream as a"
+               " traffic trace\n"
+               "  --health-interval-s S  seconds between health"
+               " snapshots (default 30)\n"
                "games: DOTA2, CSGO, 'Genshin Impact', 'Devil May Cry',"
                " Contra\n"
             << obs::cli_usage_with_health();
@@ -78,17 +96,26 @@ void write_platform_health(const platform::CloudPlatform& cloud, TimeMs t,
   obs::write_health_snapshot(snap, os);
 }
 
-/// Remove `--models-in X` / `--models-out X` before positional parsing.
-void strip_model_flags(std::vector<std::string>& args,
-                       std::string& models_in, std::string& models_out) {
+/// Remove the value-taking tool flags before positional parsing.
+void strip_tool_flags(std::vector<std::string>& args, std::string& models_in,
+                      std::string& models_out, std::string& trace_in,
+                      std::string& capture_out, int& health_interval_s) {
   std::vector<std::string> rest;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] == "--models-in" || args[i] == "--models-out") {
+    std::string* value = nullptr;
+    if (args[i] == "--models-in") value = &models_in;
+    else if (args[i] == "--models-out") value = &models_out;
+    else if (args[i] == "--trace-in") value = &trace_in;
+    else if (args[i] == "--capture-out") value = &capture_out;
+    if (value != nullptr || args[i] == "--health-interval-s") {
       if (i + 1 >= args.size()) {
         throw std::runtime_error("missing value for " + args[i]);
       }
-      const bool in = args[i] == "--models-in";
-      (in ? models_in : models_out) = args[++i];
+      if (value != nullptr) {
+        *value = args[++i];
+      } else {
+        health_interval_s = std::max(1, std::atoi(args[++i].c_str()));
+      }
     } else {
       rest.push_back(args[i]);
     }
@@ -103,8 +130,10 @@ int main(int argc, char** argv) {
     std::vector<std::string> args(argv + 1, argv + argc);
     const obs::CliOptions obs_opts =
         obs::strip_cli_flags(args, /*with_health=*/true);
-    std::string models_in, models_out;
-    strip_model_flags(args, models_in, models_out);
+    std::string models_in, models_out, trace_in, capture_out;
+    int health_interval_s = 30;
+    strip_tool_flags(args, models_in, models_out, trace_in, capture_out,
+                     health_interval_s);
     if (args.size() < 3) return usage();
     const std::string sched_name = args[0];
     static const std::vector<game::GameSpec> suite = game::paper_suite();
@@ -156,8 +185,46 @@ int main(int argc, char** argv) {
     spec.num_gpus = gpus;
     cloud.add_server(spec);
     cloud.enable_utilization_recording(true);
-    cloud.add_source({a, a->short_game ? 2 : 1, 8});
-    cloud.add_source({b, b->short_game ? 2 : 1, 8});
+
+    // One region table shared by replay binding and capture, so a
+    // captured replay keeps the original trace's region names.
+    traffic::RegionTable regions;
+    if (trace_in.empty()) {
+      cloud.add_source({a, a->short_game ? 2 : 1, 8});
+      cloud.add_source({b, b->short_game ? 2 : 1, 8});
+    } else {
+      const traffic::Trace trace = traffic::load_trace(trace_in);
+      std::vector<const game::GameSpec*> specs;
+      for (const auto& g : suite) specs.push_back(&g);
+      const auto replay = traffic::bind_trace(trace, specs, regions);
+      for (const auto& arr : replay) {
+        platform::RequestMeta meta;
+        meta.region = arr.region;
+        meta.profile = static_cast<std::uint8_t>(arr.profile);
+        meta.expected_session_ms = arr.expected_session_ms;
+        cloud.schedule_request(arr.spec, arr.script_idx, arr.player_id,
+                               arr.at, meta);
+      }
+      std::cout << "scheduled " << replay.size() << " arrival(s) from "
+                << trace_in << " (replaces closed-loop sources)\n";
+    }
+
+    traffic::TraceRecorder recorder;
+    if (!capture_out.empty()) {
+      recorder.set_meta("capture", "cocg_colocate");
+      recorder.set_meta("seed", std::to_string(seed));
+      cloud.set_arrival_hook([&](const platform::GameRequest& req) {
+        traffic::Arrival arr;
+        arr.at = req.arrival;
+        arr.spec = req.spec;
+        arr.script_idx = static_cast<std::uint32_t>(req.script_idx);
+        arr.player_id = req.player_id;
+        arr.region = req.meta.region;
+        arr.profile = static_cast<traffic::PlayerProfile>(req.meta.profile);
+        arr.expected_session_ms = req.meta.expected_session_ms;
+        recorder.record(arr, regions, /*shard=*/-1);
+      });
+    }
 
     std::cout << "running " << a->name << " + " << b->name << " under "
               << cloud.scheduler().name() << " for " << minutes
@@ -170,8 +237,11 @@ int main(int argc, char** argv) {
       if (!health_os) {
         throw std::runtime_error("cannot open " + obs_opts.health_out);
       }
-      // Split-phase run with one health line per 30 simulated seconds.
-      const DurationMs step = 30'000;
+      // Split-phase run with one health line per --health-interval-s of
+      // simulated time.
+      const DurationMs step =
+          static_cast<DurationMs>(health_interval_s) * 1000;
+      obs::write_health_header(step, health_os);
       cloud.begin(horizon);
       for (TimeMs t = 0; t < horizon;) {
         t = std::min<TimeMs>(t + step, horizon);
@@ -225,6 +295,11 @@ int main(int argc, char** argv) {
                TablePrinter::fmt_pct(row.latency_attainment_pct, 1)});
     }
     table.print(std::cout);
+    if (!capture_out.empty()) {
+      traffic::save_trace(recorder.trace(), capture_out);
+      std::cout << "captured " << recorder.size() << " arrival(s) to "
+                << capture_out << "\n";
+    }
     obs::write_outputs(obs_opts);
     set_log_clock(nullptr);
     return 0;

@@ -1,11 +1,13 @@
 // cocg_fleet — sharded multi-cluster simulation from the command line.
 //
-//   cocg_fleet [--shards K] [--threads T] [--policy rr|ll|p2c]
+//   cocg_fleet [--shards K] [--threads T] [--policy rr|ll|p2c|region]
 //              [--servers N] [--gpus G] [--arrivals-per-hour X]
 //              [--minutes M] [--seed S] [--scheduler cocg|vbp|gaugur|improved]
 //              [--games "A,B,..."]
+//              [--trace-in t.trace] [--replay-reroute]
+//              [--capture-out t.trace]
 //              [--models-in dir] [--models-out dir] [--retrain-per-shard]
-//              [--report-out r.json]
+//              [--report-out r.json] [--health-interval-s S]
 //              [--metrics-out m.json] [--events-out e.jsonl]
 //              [--trace-out t.json] [--health-out h.jsonl]
 //              [--obs-out dir]
@@ -25,6 +27,15 @@
 // dump the *merged* per-shard registries, the time-ordered event JSONL
 // (with a shard field), and a Perfetto trace with one process group per
 // shard.
+//
+// Capture/replay (docs/traffic.md): --capture-out records the run's
+// arrival stream plus router verdicts as a traffic trace; --trace-in
+// replays a trace INSTEAD of the internal Poisson sources (recorded
+// verdicts honored, so replaying a capture reproduces the original
+// report byte-for-byte at any --threads); --replay-reroute clears the
+// verdicts so the configured --policy re-routes the identical stream —
+// how two router policies are compared on the same traffic. Note
+// --trace-out is the *Perfetto* trace (obs flag), not the traffic trace.
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -50,7 +61,7 @@ int usage() {
       << "usage: cocg_fleet [options]\n"
          "  --shards K             number of shards (default 2)\n"
          "  --threads T            runner threads (default = shards)\n"
-         "  --policy P             rr | ll | p2c (default ll)\n"
+         "  --policy P             rr | ll | p2c | region (default ll)\n"
          "  --servers N            total servers, split round-robin"
          " (default 2*shards)\n"
          "  --gpus G               GPUs per server (default 2)\n"
@@ -62,6 +73,14 @@ int usage() {
          " (default cocg)\n"
          "  --games \"A,B\"          comma-separated subset of the paper"
          " suite (default: all)\n"
+         "  --trace-in FILE        replay a traffic trace instead of the"
+         " internal Poisson sources\n"
+         "  --replay-reroute       ignore recorded router verdicts; let"
+         " --policy re-route the stream\n"
+         "  --capture-out FILE     record the arrival stream + router"
+         " verdicts as a traffic trace\n"
+         "  --health-interval-s S  seconds between health snapshots"
+         " (default 30)\n"
          "  --models-in DIR        load trained bundles instead of"
          " training\n"
          "  --models-out DIR       save the trained bundles for reuse\n"
@@ -106,7 +125,10 @@ int main(int argc, char** argv) {
     std::string sched_name = "cocg";
     std::string games_csv;
     std::string models_in, models_out, report_out;
+    std::string trace_in, capture_out;
+    bool replay_reroute = false;
     bool retrain_per_shard = false;
+    int health_interval_s = 30;
 
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& a = args[i];
@@ -130,6 +152,10 @@ int main(int argc, char** argv) {
       else if (a == "--models-out") models_out = next();
       else if (a == "--retrain-per-shard") retrain_per_shard = true;
       else if (a == "--report-out") report_out = next();
+      else if (a == "--trace-in") trace_in = next();
+      else if (a == "--capture-out") capture_out = next();
+      else if (a == "--replay-reroute") replay_reroute = true;
+      else if (a == "--health-interval-s") health_interval_s = std::max(1, std::atoi(next().c_str()));
       else if (a == "--help" || a == "-h") return usage();
       else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -203,8 +229,25 @@ int main(int argc, char** argv) {
     hw::ServerSpec spec;
     spec.num_gpus = gpus;
     for (int i = 0; i < servers; ++i) sim.add_server(spec);
-    for (const auto* g : games) {
-      sim.add_global_source({g, arrivals_per_hour, 16});
+    if (trace_in.empty()) {
+      for (const auto* g : games) {
+        sim.add_global_source({g, arrivals_per_hour, 16});
+      }
+    } else {
+      const traffic::Trace trace = traffic::load_trace(trace_in);
+      const std::size_t n = sim.add_trace_arrivals(
+          trace, games, /*use_recorded_routing=*/!replay_reroute);
+      std::cout << "replaying " << n << " arrival(s) from " << trace_in
+                << (replay_reroute ? " (re-routed by policy)"
+                                   : " (recorded routing)")
+                << "\n";
+    }
+    traffic::TraceRecorder recorder;
+    if (!capture_out.empty()) {
+      recorder.set_meta("capture", "cocg_fleet");
+      recorder.set_meta("seed", std::to_string(seed));
+      recorder.set_meta("policy", fleet::router_policy_name(*policy));
+      sim.enable_capture(&recorder);
     }
 
     std::ofstream health_os;
@@ -213,8 +256,10 @@ int main(int argc, char** argv) {
       if (!health_os) {
         throw std::runtime_error("cannot open " + obs_opts.health_out);
       }
-      // One snapshot per 30 simulated seconds, emitted at epoch barriers.
-      sim.enable_health_stream(&health_os, DurationMs{30'000});
+      const auto health_period =
+          static_cast<DurationMs>(health_interval_s) * 1000;
+      obs::write_health_header(health_period, health_os);
+      sim.enable_health_stream(&health_os, health_period);
     }
 
     std::cout << "running " << shards << " shard(s) x " << servers
@@ -267,6 +312,23 @@ int main(int argc, char** argv) {
                                                1)});
     }
     slo_table.print(std::cout);
+
+    if (rep.regions.size() > 1) {
+      TablePrinter per_region(
+          {"region", "routed", "completed", "mean FPS ratio"});
+      for (const auto& row : rep.regions) {
+        per_region.add_row({row.region, std::to_string(row.routed),
+                            std::to_string(row.completed),
+                            TablePrinter::fmt(row.mean_fps_ratio, 3)});
+      }
+      per_region.print(std::cout);
+    }
+
+    if (!capture_out.empty()) {
+      traffic::save_trace(recorder.trace(), capture_out);
+      std::cout << "captured " << recorder.size() << " arrival(s) to "
+                << capture_out << "\n";
+    }
 
     if (!obs_opts.health_out.empty()) {
       std::cout << "wrote health snapshots to " << obs_opts.health_out

@@ -1,0 +1,222 @@
+// cocg_trafficgen — generate production-shaped traffic traces.
+//
+//   cocg_trafficgen [--pattern poisson|diurnal|flash|failover]
+//                   [--minutes M] [--arrivals-per-hour X] [--seed S]
+//                   [--games "A,B,..."] [--regions "eu,us,..."]
+//                   [--player-pool N]
+//                   [--diurnal-amplitude A] [--diurnal-period-min P]
+//                   [--flash-game NAME] [--flash-start-min T]
+//                   [--flash-ramp-min R] [--flash-hold-min H]
+//                   [--flash-multiplier X]
+//                   [--failover-from R1] [--failover-to R2]
+//                   [--failover-at-min T] [--failover-ramp-min R]
+//                   --out t.trace
+//
+// Writes a versioned text trace (docs/traffic.md) that cocg_fleet
+// --trace-in or cocg_colocate --trace-in can replay. Same flags + same
+// seed → byte-identical file. The summary table breaks the generated
+// stream down per game and per region so recipe mistakes (a flash crowd
+// on the wrong game, a failover from an empty region) are visible before
+// a long replay is launched.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "game/library.h"
+#include "traffic/generator.h"
+#include "traffic/trace.h"
+
+using namespace cocg;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: cocg_trafficgen --out FILE [options]\n"
+         "  --pattern P            poisson | diurnal | flash | failover"
+         " (default poisson)\n"
+         "  --minutes M            trace horizon in minutes (default 60)\n"
+         "  --arrivals-per-hour X  aggregate baseline rate (default 600)\n"
+         "  --seed S               generator seed (default 42)\n"
+         "  --games \"A,B\"          comma-separated subset of the paper"
+         " suite (default: all)\n"
+         "  --regions \"eu,us\"      region mix (default: single global"
+         " region)\n"
+         "  --player-pool N        player id pool size (default 10000)\n"
+         "  --diurnal-amplitude A  day/night swing in [0,1) (default 0.6)\n"
+         "  --diurnal-period-min P cycle length in minutes (default 1440)\n"
+         "  --flash-game NAME      game that spikes (default: first)\n"
+         "  --flash-start-min T    spike start (default 0)\n"
+         "  --flash-ramp-min R     ramp up/down length (default 5)\n"
+         "  --flash-hold-min H     plateau length (default 20)\n"
+         "  --flash-multiplier X   peak share multiplier (default 8)\n"
+         "  --failover-from R      evacuating region (default: first)\n"
+         "  --failover-to R        receiving region (default: second)\n"
+         "  --failover-at-min T    evacuation start (default 0)\n"
+         "  --failover-ramp-min R  shift duration (default 5)\n"
+         "  --out FILE             where to write the trace (required)\n";
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item =
+        s.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    traffic::GeneratorConfig cfg;
+    int minutes = 60;
+    std::string pattern_name = "poisson";
+    std::string games_csv, regions_csv, out_path;
+    std::string flash_game_name, failover_from_name, failover_to_name;
+    double diurnal_period_min = 24.0 * 60.0;
+    double flash_start_min = 0.0, flash_ramp_min = 5.0, flash_hold_min = 20.0;
+    double failover_at_min = 0.0, failover_ramp_min = 5.0;
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= args.size()) {
+          throw std::runtime_error("missing value for " + a);
+        }
+        return args[++i];
+      };
+      if (a == "--pattern") pattern_name = next();
+      else if (a == "--minutes") minutes = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--arrivals-per-hour") cfg.arrivals_per_hour = std::atof(next().c_str());
+      else if (a == "--seed") cfg.seed = std::strtoull(next().c_str(), nullptr, 10);
+      else if (a == "--games") games_csv = next();
+      else if (a == "--regions") regions_csv = next();
+      else if (a == "--player-pool") cfg.player_pool = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--diurnal-amplitude") cfg.diurnal_amplitude = std::atof(next().c_str());
+      else if (a == "--diurnal-period-min") diurnal_period_min = std::atof(next().c_str());
+      else if (a == "--flash-game") flash_game_name = next();
+      else if (a == "--flash-start-min") flash_start_min = std::atof(next().c_str());
+      else if (a == "--flash-ramp-min") flash_ramp_min = std::atof(next().c_str());
+      else if (a == "--flash-hold-min") flash_hold_min = std::atof(next().c_str());
+      else if (a == "--flash-multiplier") cfg.flash_multiplier = std::atof(next().c_str());
+      else if (a == "--failover-from") failover_from_name = next();
+      else if (a == "--failover-to") failover_to_name = next();
+      else if (a == "--failover-at-min") failover_at_min = std::atof(next().c_str());
+      else if (a == "--failover-ramp-min") failover_ramp_min = std::atof(next().c_str());
+      else if (a == "--out") out_path = next();
+      else if (a == "--help" || a == "-h") return usage();
+      else {
+        std::cerr << "unknown flag: " << a << "\n";
+        return usage();
+      }
+    }
+    if (out_path.empty()) {
+      std::cerr << "--out is required\n";
+      return usage();
+    }
+    cfg.pattern = traffic::parse_pattern(pattern_name);
+    cfg.duration_ms = static_cast<DurationMs>(minutes) * 60 * 1000;
+    cfg.diurnal_period_ms =
+        static_cast<DurationMs>(diurnal_period_min * 60.0 * 1000.0);
+    cfg.flash_start_ms =
+        static_cast<TimeMs>(flash_start_min * 60.0 * 1000.0);
+    cfg.flash_ramp_ms =
+        static_cast<DurationMs>(flash_ramp_min * 60.0 * 1000.0);
+    cfg.flash_hold_ms =
+        static_cast<DurationMs>(flash_hold_min * 60.0 * 1000.0);
+    cfg.failover_at_ms =
+        static_cast<TimeMs>(failover_at_min * 60.0 * 1000.0);
+    cfg.failover_ramp_ms =
+        static_cast<DurationMs>(failover_ramp_min * 60.0 * 1000.0);
+
+    static const std::vector<game::GameSpec> suite = game::paper_suite();
+    if (games_csv.empty()) {
+      for (const auto& g : suite) cfg.games.push_back(&g);
+    } else {
+      for (const auto& name : split_csv(games_csv)) {
+        const game::GameSpec* found = nullptr;
+        for (const auto& g : suite) {
+          if (g.name == name) found = &g;
+        }
+        if (found == nullptr) {
+          std::cerr << "unknown game: " << name << "\n";
+          return usage();
+        }
+        cfg.games.push_back(found);
+      }
+    }
+    cfg.regions = split_csv(regions_csv);
+
+    auto game_index = [&](const std::string& name,
+                          const char* flag) -> std::size_t {
+      for (std::size_t g = 0; g < cfg.games.size(); ++g) {
+        if (cfg.games[g]->name == name) return g;
+      }
+      throw std::runtime_error(std::string(flag) + ": " + name +
+                               " is not in --games");
+    };
+    auto region_index = [&](const std::string& name,
+                            const char* flag) -> std::size_t {
+      for (std::size_t r = 0; r < cfg.regions.size(); ++r) {
+        if (cfg.regions[r] == name) return r;
+      }
+      throw std::runtime_error(std::string(flag) + ": " + name +
+                               " is not in --regions");
+    };
+    if (!flash_game_name.empty()) {
+      cfg.flash_game = game_index(flash_game_name, "--flash-game");
+    }
+    if (!failover_from_name.empty()) {
+      cfg.failover_from = region_index(failover_from_name, "--failover-from");
+    }
+    if (!failover_to_name.empty()) {
+      cfg.failover_to = region_index(failover_to_name, "--failover-to");
+    }
+
+    const traffic::Trace trace = traffic::generate_trace(cfg);
+    traffic::save_trace(trace, out_path);
+
+    std::cout << "wrote " << trace.events.size() << " arrival(s) ["
+              << traffic::pattern_name(cfg.pattern) << ", " << minutes
+              << " min, seed " << cfg.seed << "] to " << out_path << "\n";
+
+    std::vector<std::size_t> per_game(trace.games.size(), 0);
+    std::vector<std::size_t> per_region(trace.regions.size(), 0);
+    for (const auto& e : trace.events) {
+      ++per_game[e.game];
+      ++per_region[e.region];
+    }
+    TablePrinter games_table({"game", "category", "arrivals"});
+    for (std::size_t g = 0; g < trace.games.size(); ++g) {
+      games_table.add_row({trace.games[g].name,
+                           game::category_name(trace.games[g].category),
+                           std::to_string(per_game[g])});
+    }
+    games_table.print(std::cout);
+    if (trace.regions.size() > 1) {
+      TablePrinter regions_table({"region", "arrivals"});
+      for (std::size_t r = 0; r < trace.regions.size(); ++r) {
+        regions_table.add_row(
+            {trace.regions[r], std::to_string(per_region[r])});
+      }
+      regions_table.print(std::cout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
