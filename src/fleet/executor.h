@@ -1,0 +1,111 @@
+// ShardExecutor — post-lockstep shard scheduling with work stealing.
+//
+// The lockstep EpochPool advances every shard exactly one control period
+// per run() call and meets at a barrier, so the slowest shard of each
+// epoch stalls the whole fleet. The ShardExecutor removes the structural
+// barrier: each shard owns a private FIFO queue of epoch jobs, and the
+// fleet coordinator may enqueue many epochs ahead whenever the routing
+// data dependency allows it (see fleet.cpp). Workers prefer their home
+// shards (shard % threads == worker) and, when those queues are empty,
+// steal the *whole next epoch* of the laggard shard — the runnable shard
+// with the deepest backlog — so a slow shard is driven by every idle
+// worker in turn instead of stalling them.
+//
+// Determinism contract: a shard's jobs execute in submission order and
+// never concurrently with each other (thread confinement), so per-shard
+// state evolves exactly as it would single-threaded; which worker runs a
+// job affects wall clock only. The fleet's steal runner therefore
+// produces byte-identical reports to lockstep (tests/fleet enforces
+// this at 1, 2 and 8 threads).
+//
+// Error handling matches EpochPool: every submitted job still runs, the
+// first failure by submission index is rethrown from drain() with the
+// job's index in the message.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cocg::fleet {
+
+/// Which execution model Fleet::run uses. Lockstep is the bitwise
+/// reference; steal must reproduce its reports exactly.
+enum class RunnerKind { kLockstep, kSteal };
+
+const char* runner_kind_name(RunnerKind kind);
+/// Parse "lockstep" / "steal". Returns false on unknown names.
+bool parse_runner_kind(const std::string& name, RunnerKind& out);
+
+class ShardExecutor {
+ public:
+  /// Spawns `threads` worker threads serving `shards` queues. Unlike
+  /// EpochPool the caller never claims jobs: the coordinator keeps
+  /// routing future epochs while workers execute, which is where the
+  /// post-lockstep overlap comes from.
+  ShardExecutor(int threads, int shards);
+  ~ShardExecutor();
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  int threads() const { return threads_; }
+  int shards() const { return static_cast<int>(queues_.size()); }
+
+  /// Enqueue the next epoch job for `shard`. Jobs of one shard run in
+  /// submission order, one at a time.
+  void submit(int shard, std::function<void()> job);
+
+  /// Block until every submitted job has finished. Rethrows the first
+  /// error by submission index (wrapped with the job index). Safe to
+  /// call repeatedly; submit() may be called again afterwards.
+  void drain();
+
+  // --- wall-clock diagnostics (stable only after drain()) ---
+  std::uint64_t jobs_run() const;
+  /// Jobs executed by a worker other than the shard's home worker.
+  std::uint64_t steals() const;
+  std::uint64_t steal_ns() const;  ///< wall time inside stolen jobs
+  std::uint64_t idle_waits() const;
+  std::uint64_t idle_ns() const;   ///< wall time workers spent blocked
+
+ private:
+  struct ShardQueue {
+    std::deque<std::pair<std::size_t, std::function<void()>>> jobs;
+    bool busy = false;  ///< a worker is executing this shard right now
+  };
+
+  void worker_loop(int worker);
+  /// Pick a runnable shard for `worker` (deepest home queue first, then
+  /// deepest queue overall). Returns -1 when nothing is runnable.
+  int pick_shard_locked(int worker) const;
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers: queue state changed
+  std::condition_variable done_cv_;  ///< drain(): a job completed
+  std::vector<ShardQueue> queues_;
+  std::size_t submitted_ = 0;
+  std::size_t done_ = 0;
+  std::size_t first_error_idx_ = 0;
+  std::exception_ptr error_;
+  bool shutdown_ = false;
+
+  std::uint64_t jobs_run_ = 0;
+  std::uint64_t steals_ = 0;
+  std::uint64_t steal_ns_ = 0;
+  std::uint64_t idle_waits_ = 0;
+  std::uint64_t idle_ns_ = 0;
+};
+
+}  // namespace cocg::fleet

@@ -146,7 +146,7 @@ void Fleet::refresh_loads() {
   }
 }
 
-void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
+void Fleet::drain_sources(TimeMs t0, TimeMs t1) {
   epoch_arrivals_.clear();
   for (auto& src : sources_) src->generate(t0, t1, epoch_arrivals_);
   // Sources emit stream-major; route the window in arrival-time order
@@ -157,6 +157,9 @@ void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
                    [](const traffic::Arrival& a, const traffic::Arrival& b) {
                      return a.at < b.at;
                    });
+}
+
+void Fleet::route_epoch(std::vector<std::vector<StagedRequest>>* staging) {
   for (const auto& a : epoch_arrivals_) {
     int shard = 0;
     if (a.shard >= 0 && a.shard < num_shards()) {
@@ -174,8 +177,13 @@ void Fleet::generate_and_route(TimeMs t0, TimeMs t1) {
     meta.region = a.region;
     meta.profile = static_cast<std::uint8_t>(a.profile);
     meta.expected_session_ms = a.expected_session_ms;
-    s.platform->schedule_request(a.spec, a.script_idx, a.player_id, a.at,
-                                 meta);
+    if (staging == nullptr) {
+      s.platform->schedule_request(a.spec, a.script_idx, a.player_id, a.at,
+                                   meta);
+    } else {
+      (*staging)[static_cast<std::size_t>(shard)].push_back(
+          StagedRequest{a.spec, a.script_idx, a.player_id, a.at, meta});
+    }
     ++s.routed;
     ++arrivals_;
     if (a.region >= region_routed_.size()) {
@@ -235,6 +243,19 @@ void Fleet::run(DurationMs duration_ms) {
   health_prev_t_ = 0;
   health_prev_arrivals_ = 0;
 
+  if (cfg_.runner == RunnerKind::kSteal) {
+    run_steal(duration_ms);
+  } else {
+    run_lockstep(duration_ms);
+  }
+
+  for (auto& s : shards_) {
+    obs::ScopedDomain sd(*s.domain);
+    s.platform->finish();
+  }
+}
+
+void Fleet::run_lockstep(DurationMs duration_ms) {
   EpochPool pool(cfg_.threads);
   std::vector<std::function<void()>> jobs(shards_.size());
   const DurationMs epoch = cfg_.platform.control_period_ms;
@@ -244,7 +265,8 @@ void Fleet::run(DurationMs duration_ms) {
     // Routing first: every cross-shard input for this epoch is fixed
     // before any shard advances, so thread scheduling cannot influence
     // results.
-    generate_and_route(t, t1);
+    drain_sources(t, t1);
+    route_epoch(nullptr);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = shards_[i];
       jobs[i] = [&s, t1] {
@@ -265,9 +287,104 @@ void Fleet::run(DurationMs duration_ms) {
       }
     }
   }
-  for (auto& s : shards_) {
-    obs::ScopedDomain sd(*s.domain);
-    s.platform->finish();
+}
+
+// The steal runner removes the structural barrier: shards sync only where
+// a real data dependency exists. Round-robin routing and recorded-verdict
+// replay never read the load snapshots, so the coordinator can route
+// whole epochs ahead and keep every shard's queue full — a slow shard no
+// longer stalls the rest. Load-based policies (ll/p2c/region) force a
+// drain before any epoch that routes a fresh arrival, and a due health
+// snapshot forces one too (snapshots are defined with all shards at the
+// boundary); in the worst case the schedule degenerates to lockstep's.
+// Arrival injection happens inside the shard's epoch job so engine state
+// stays thread-confined and bitwise identical to lockstep (the job runs
+// after the shard reached the window's start, exactly where the lockstep
+// coordinator would have scheduled the same requests in the same order).
+void Fleet::run_steal(DurationMs duration_ms) {
+  ShardExecutor exec(cfg_.threads, num_shards());
+  exec_stats_ = ExecutorStats{};
+  staged_.assign(shards_.size(), {});
+  const DurationMs epoch = cfg_.platform.control_period_ms;
+  const bool loads_free = cfg_.policy == RouterPolicy::kRoundRobin;
+  TimeMs t = 0;
+  bool synced = true;  // loads_ reflect every shard at time t right now
+  while (t < duration_ms) {
+    const TimeMs t1 = std::min<TimeMs>(t + epoch, duration_ms);
+    drain_sources(t, t1);
+    bool needs_loads = false;
+    if (!loads_free) {
+      for (const auto& a : epoch_arrivals_) {
+        if (!(a.shard >= 0 && a.shard < num_shards())) {
+          needs_loads = true;  // fresh routing under a load-based policy
+          break;
+        }
+      }
+    }
+    const bool health_due =
+        health_os_ != nullptr && t > 0 && t >= health_next_due_;
+    if ((needs_loads && !synced) || health_due) {
+      ++exec_stats_.syncs;
+      {
+        obs::StageScope barrier_scope(prof_barrier_);
+        exec.drain();  // every shard is now exactly at time t
+      }
+      refresh_loads();
+      synced = true;
+      if (health_due) {
+        write_health_snapshot_now(t);
+        if (health_period_ms_ > 0) {
+          while (health_next_due_ <= t) health_next_due_ += health_period_ms_;
+        }
+      }
+    }
+    route_epoch(&staged_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = shards_[i];
+      exec.submit(static_cast<int>(i),
+                  [&s, t1, staged = std::move(staged_[i])] {
+                    obs::ScopedDomain sd(*s.domain);
+                    for (const auto& r : staged) {
+                      s.platform->schedule_request(r.spec, r.script_idx,
+                                                   r.player_id, r.at, r.meta);
+                    }
+                    s.platform->advance_until(t1);
+                  });
+      staged_[i].clear();
+    }
+    synced = false;
+    t = t1;
+  }
+  {
+    obs::StageScope barrier_scope(prof_barrier_);
+    exec.drain();
+  }
+  refresh_loads();
+  if (health_os_ != nullptr && t >= health_next_due_) {
+    write_health_snapshot_now(t);
+    if (health_period_ms_ > 0) {
+      while (health_next_due_ <= t) health_next_due_ += health_period_ms_;
+    }
+  }
+  exec_stats_.jobs_run = exec.jobs_run();
+  exec_stats_.steals = exec.steals();
+  exec_stats_.steal_ns = exec.steal_ns();
+  exec_stats_.idle_waits = exec.idle_waits();
+  exec_stats_.idle_ns = exec.idle_ns();
+  // Executor schedule costs feed the coordinator profiler in wall-clock
+  // mode only: deterministic-mode stage costs must stay a pure function
+  // of the call sequence (thread-count invariant), which wall-clock
+  // steal/idle times are not.
+  if (obs::profiling_enabled() &&
+      obs::profiler_clock_mode() == obs::ProfilerClockMode::kWall) {
+    obs::StageProfile p{};
+    auto& steal_row = p[static_cast<std::size_t>(obs::Stage::kExecutorSteal)];
+    steal_row.calls = exec_stats_.steals;
+    steal_row.total_ns = exec_stats_.steal_ns;
+    auto& idle_row = p[static_cast<std::size_t>(obs::Stage::kExecutorIdle)];
+    idle_row.calls = exec_stats_.idle_waits;
+    idle_row.total_ns = exec_stats_.idle_ns;
+    coord_prof_.merge_from(p);
   }
 }
 

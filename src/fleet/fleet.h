@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/executor.h"
 #include "fleet/router.h"
 #include "obs/domain.h"
 #include "obs/health.h"
@@ -50,8 +51,14 @@ namespace cocg::fleet {
 
 struct FleetConfig {
   int shards = 1;
-  int threads = 1;  ///< EpochPool size; never changes results, only speed
+  int threads = 1;  ///< runner parallelism; never changes results, only speed
   RouterPolicy policy = RouterPolicy::kRoundRobin;
+  /// Execution model: kLockstep advances all shards one epoch per barrier
+  /// (the bitwise reference); kSteal gives each shard a private epoch-job
+  /// queue (ShardExecutor) and lets the coordinator route ahead whenever
+  /// the routing policy has no load-snapshot dependency on the epoch —
+  /// reports are byte-identical either way (tests/fleet enforces it).
+  RunnerKind runner = RunnerKind::kLockstep;
   std::uint64_t seed = 42;
   /// Per-shard platform template. `platform.seed` is ignored — each shard
   /// derives its own seed from `seed` — and `platform.control_period_ms`
@@ -172,9 +179,22 @@ class Fleet {
   /// stream must outlive run(); pass nullptr to disable.
   void enable_health_stream(std::ostream* os, DurationMs period_ms = 0);
 
-  /// Run every shard for `duration_ms` of simulated time in lockstep
-  /// epochs of one control period. One-shot.
+  /// Run every shard for `duration_ms` of simulated time in epochs of one
+  /// control period, under the configured runner (lockstep barriers or the
+  /// work-stealing ShardExecutor — identical results). One-shot.
   void run(DurationMs duration_ms);
+
+  /// Steal-runner schedule diagnostics from the last run() (all zeros
+  /// under lockstep). Wall-clock quantities — never part of the report.
+  struct ExecutorStats {
+    std::uint64_t jobs_run = 0;
+    std::uint64_t steals = 0;      ///< epochs executed off their home worker
+    std::uint64_t steal_ns = 0;
+    std::uint64_t idle_waits = 0;
+    std::uint64_t idle_ns = 0;
+    std::uint64_t syncs = 0;  ///< forced drains (load-dependent routing/health)
+  };
+  const ExecutorStats& executor_stats() const { return exec_stats_; }
 
   // --- per-shard access (read-only after run) ---
   const platform::CloudPlatform& shard(int i) const;
@@ -210,10 +230,28 @@ class Fleet {
     std::size_t routed = 0;
   };
 
+  /// A routed arrival staged for injection at the start of its shard's
+  /// epoch job (steal runner): the request is scheduled onto the shard's
+  /// event queue by the worker that owns the shard for that epoch, so
+  /// engine state stays thread-confined and evolves exactly as lockstep's.
+  struct StagedRequest {
+    const game::GameSpec* spec = nullptr;
+    std::size_t script_idx = 0;
+    std::uint64_t player_id = 0;
+    TimeMs at = 0;
+    platform::RequestMeta meta;
+  };
+
   void refresh_loads();
-  /// Drain every arrival source for (t0, t1], order the window by time,
-  /// and route the arrivals onto shard event queues.
-  void generate_and_route(TimeMs t0, TimeMs t1);
+  /// Drain every arrival source for (t0, t1] into epoch_arrivals_, ordered
+  /// by arrival time (stable — ties keep source registration order).
+  void drain_sources(TimeMs t0, TimeMs t1);
+  /// Route epoch_arrivals_. With `staging == nullptr` requests go straight
+  /// onto shard event queues (lockstep); otherwise they are staged per
+  /// shard for injection inside that shard's epoch job (steal).
+  void route_epoch(std::vector<std::vector<StagedRequest>>* staging);
+  void run_lockstep(DurationMs duration_ms);
+  void run_steal(DurationMs duration_ms);
   void write_health_snapshot_now(TimeMs t);
   traffic::PoissonSource& poisson_source();
 
@@ -231,6 +269,9 @@ class Fleet {
   std::vector<std::unique_ptr<std::vector<traffic::Arrival>>> bound_;
   traffic::TraceRecorder* recorder_ = nullptr;
   std::vector<traffic::Arrival> epoch_arrivals_;  ///< per-epoch scratch
+  /// Steal-runner staging buffers, one per shard (per-epoch scratch).
+  std::vector<std::vector<StagedRequest>> staged_;
+  ExecutorStats exec_stats_;
   std::vector<std::size_t> region_routed_;
   std::size_t arrivals_ = 0;
   std::size_t next_server_shard_ = 0;

@@ -1,8 +1,22 @@
 #include "fleet/runner.h"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/check.h"
 
 namespace cocg::fleet {
+
+void rethrow_job_error(const std::exception_ptr& err, std::size_t job_index) {
+  const std::string prefix = "epoch job " + std::to_string(job_index) + ": ";
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(prefix + e.what());
+  } catch (...) {
+    throw std::runtime_error(prefix + "unknown exception");
+  }
+}
 
 EpochPool::EpochPool(int threads) : threads_(threads) {
   COCG_EXPECTS(threads >= 1);
@@ -83,7 +97,7 @@ void EpochPool::run(const std::vector<std::function<void()>>& jobs) {
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] { return done_jobs_ == jobs.size(); });
   jobs_ = nullptr;
-  if (error_ != nullptr) std::rethrow_exception(error_);
+  if (error_ != nullptr) rethrow_job_error(error_, first_error_idx_);
 }
 
 }  // namespace cocg::fleet

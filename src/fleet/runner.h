@@ -22,6 +22,13 @@
 
 namespace cocg::fleet {
 
+/// Rethrow a captured job error with the failing job's index prefixed to
+/// the message: "epoch job <idx>: <what>". Non-std::exception payloads
+/// become "epoch job <idx>: unknown exception". Shared by EpochPool and
+/// ShardExecutor so both runners report failures identically.
+[[noreturn]] void rethrow_job_error(const std::exception_ptr& err,
+                                    std::size_t job_index);
+
 class EpochPool {
  public:
   /// `threads` >= 1. One worker thread per slot beyond the first; the

@@ -1,0 +1,168 @@
+#include "hw/batch_kernels.h"
+
+// This TU is compiled with vectorization forced on (see src/hw/CMakeLists:
+// -O3 -fno-trapping-math for this file only). -fno-trapping-math lets GCC
+// if-convert the masked satisfaction division; it does not change any
+// computed value, it only permits speculating FP ops whose exception
+// flags nobody reads.
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define COCG_NO_VECTORIZE __attribute__((optimize("no-tree-vectorize")))
+#else
+#define COCG_NO_VECTORIZE
+#endif
+
+namespace cocg::hw::batch {
+
+void min_into(double* dst, const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = b[i] < a[i] ? b[i] : a[i];
+  }
+}
+
+void scale_into(double* dst, const double* src, double s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = src[i] * s;
+  }
+}
+
+void mul_into(double* dst, const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+void satisfaction_init(double* sat, double* any, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    sat[i] = 1.0;
+    any[i] = 0.0;
+  }
+}
+
+void satisfaction_apply_dim(double* sat, double* any, const double* demand,
+                            const double* supplied, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Full-width division against a safe denominator so the loop
+    // if-converts; demanded lanes divide by the real demand, undemanded
+    // lanes' quotient is discarded by the select. Bit-identical to the
+    // branchy scalar form for every kept lane. The predicate is repeated
+    // inline on purpose: hoisting it into a bool defeats GCC's
+    // if-conversion ("control flow in loop") and the loop stays scalar.
+    const double denom = demand[i] > 0.0 ? demand[i] : 1.0;
+    const double r = supplied[i] / denom;
+    const double folded = r < sat[i] ? r : sat[i];
+    sat[i] = demand[i] > 0.0 ? folded : sat[i];
+    any[i] = demand[i] > 0.0 ? 1.0 : any[i];
+  }
+}
+
+void satisfaction_finalize(double* sat, const double* any, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clamped = sat[i] > 0.0 ? sat[i] : 0.0;
+    sat[i] = any[i] != 0.0 ? clamped : 1.0;
+  }
+}
+
+void satisfaction_into(double* sat, const double* d0, const double* s0,
+                       const double* d1, const double* s1, const double* d2,
+                       const double* s2, const double* d3, const double* s3,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Same select-based form as satisfaction_apply_dim, dimension by
+    // dimension in fixed order, with the fold state in registers. Each
+    // step repeats the demand predicate inline (hoisting it defeats
+    // if-conversion, exactly as in apply_dim).
+    double s = 1.0;
+    double anyv = 0.0;
+    double denom = d0[i] > 0.0 ? d0[i] : 1.0;
+    double r = s0[i] / denom;
+    double folded = r < s ? r : s;
+    s = d0[i] > 0.0 ? folded : s;
+    anyv = d0[i] > 0.0 ? 1.0 : anyv;
+    denom = d1[i] > 0.0 ? d1[i] : 1.0;
+    r = s1[i] / denom;
+    folded = r < s ? r : s;
+    s = d1[i] > 0.0 ? folded : s;
+    anyv = d1[i] > 0.0 ? 1.0 : anyv;
+    denom = d2[i] > 0.0 ? d2[i] : 1.0;
+    r = s2[i] / denom;
+    folded = r < s ? r : s;
+    s = d2[i] > 0.0 ? folded : s;
+    anyv = d2[i] > 0.0 ? 1.0 : anyv;
+    denom = d3[i] > 0.0 ? d3[i] : 1.0;
+    r = s3[i] / denom;
+    folded = r < s ? r : s;
+    s = d3[i] > 0.0 ? folded : s;
+    anyv = d3[i] > 0.0 ? 1.0 : anyv;
+    const double clamped = s > 0.0 ? s : 0.0;
+    sat[i] = anyv != 0.0 ? clamped : 1.0;
+  }
+}
+
+double sum_ordered(const double* a, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += a[i];
+  return total;
+}
+
+COCG_NO_VECTORIZE
+void min_into_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = b[i] < a[i] ? b[i] : a[i];
+  }
+}
+
+COCG_NO_VECTORIZE
+void scale_into_scalar(double* dst, const double* src, double s,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = src[i] * s;
+  }
+}
+
+COCG_NO_VECTORIZE
+void mul_into_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] * b[i];
+  }
+}
+
+COCG_NO_VECTORIZE
+void satisfaction_apply_dim_scalar(double* sat, double* any,
+                                   const double* demand,
+                                   const double* supplied, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (demand[i] > 0.0) {
+      const double r = supplied[i] / demand[i];
+      if (r < sat[i]) sat[i] = r;
+      any[i] = 1.0;
+    }
+  }
+}
+
+COCG_NO_VECTORIZE
+void satisfaction_into_scalar(double* sat, const double* d0, const double* s0,
+                              const double* d1, const double* s1,
+                              const double* d2, const double* s2,
+                              const double* d3, const double* s3,
+                              std::size_t n) {
+  // Branchy per-lane form: skips the divide on undemanded dims, like
+  // ResourceVector::satisfaction_ratio does.
+  const double* dims[4][2] = {{d0, s0}, {d1, s1}, {d2, s2}, {d3, s3}};
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 1.0;
+    bool anyv = false;
+    for (const auto& ds : dims) {
+      if (ds[0][i] > 0.0) {
+        const double r = ds[1][i] / ds[0][i];
+        if (r < s) s = r;
+        anyv = true;
+      }
+    }
+    sat[i] = anyv ? (s > 0.0 ? s : 0.0) : 1.0;
+  }
+}
+
+}  // namespace cocg::hw::batch

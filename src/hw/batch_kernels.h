@@ -1,0 +1,83 @@
+// SoA batch kernels for the tick pipeline's per-session resource math.
+//
+// The contention resolve and utilization accumulation used to walk AoS
+// ResourceVectors one session at a time; these kernels run the same
+// arithmetic as tight elementwise loops over contiguous per-dimension
+// lane arrays (one double per session), which GCC auto-vectorizes — CI
+// compiles this TU with -fopt-info-vec and fails if the loops stop
+// vectorizing (tools/check_vectorize.sh).
+//
+// Bit-identity contract: every kernel performs exactly the scalar
+// expression per lane (no reassociation, no FMA contraction beyond what
+// the scalar build already does), so outputs are bit-identical to the
+// *_scalar reference variants below and to the pre-SoA AoS code
+// (tests/hw/test_batch_kernels.cpp enforces both). Reductions that feed
+// results (sum_ordered) stay scalar on purpose: vectorizing a float sum
+// reorders the additions, and the repo's determinism contract forbids
+// that.
+//
+// The *_scalar variants are the portable scalar fallback and the
+// bench_micro comparator: same code with vectorization suppressed (GCC);
+// on other compilers they may still vectorize, which only narrows the
+// measured speedup, never changes results.
+#pragma once
+
+#include <cstddef>
+
+namespace cocg::hw::batch {
+
+/// dst[i] = min(a[i], b[i]) — desired draw per dimension.
+void min_into(double* dst, const double* a, const double* b, std::size_t n);
+/// dst[i] = src[i] * s — broadcast pool scale (CPU / RAM dims).
+void scale_into(double* dst, const double* src, double s, std::size_t n);
+/// dst[i] = a[i] * b[i] — per-lane gathered device scale (GPU dims).
+void mul_into(double* dst, const double* a, const double* b, std::size_t n);
+
+/// Satisfaction lanes, bit-identical to ResourceVector::satisfaction_ratio
+/// applied per session: init sets sat = 1.0 / any = 0.0 (the
+/// demanded mask is a double lane — 0.0 or 1.0 — so every loop stays
+/// uniformly double-typed and vectorizes); apply_dim folds one
+/// dimension (sat = min(sat, supplied/demand) where demand > 0, and marks
+/// the lane demanded); finalize clamps to [0, ..] and rewrites undemanded
+/// lanes to 1.0. Call apply_dim once per resource dimension, any order —
+/// min is exact, so the result does not depend on dimension order.
+void satisfaction_init(double* sat, double* any, std::size_t n);
+void satisfaction_apply_dim(double* sat, double* any, const double* demand,
+                            const double* supplied, std::size_t n);
+void satisfaction_finalize(double* sat, const double* any, std::size_t n);
+
+/// Fused satisfaction over all four resource dimensions in one pass:
+/// per lane, exactly the init → apply_dim(d0..d3) → finalize sequence
+/// above with the running state kept in registers instead of re-read
+/// from memory between dimensions. Bit-identical to the composable
+/// pipeline (and to ResourceVector::satisfaction_ratio); ~6x fewer
+/// memory passes, which is what the per-server resolve (n of a few
+/// dozen lanes) actually pays for. Still a single if-converted
+/// vectorizable loop.
+void satisfaction_into(double* sat, const double* d0, const double* s0,
+                       const double* d1, const double* s1, const double* d2,
+                       const double* s2, const double* d3, const double* s3,
+                       std::size_t n);
+
+/// Strictly-ordered sum (lane 0 first). The addition order is part of
+/// the determinism contract; GCC may lower this as an in-order fold-left
+/// reduction (vector loads, sequential adds), which keeps it exactly.
+double sum_ordered(const double* a, std::size_t n);
+
+// --- portable scalar references (bit-identity oracle + bench baseline) ---
+void min_into_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n);
+void scale_into_scalar(double* dst, const double* src, double s,
+                       std::size_t n);
+void mul_into_scalar(double* dst, const double* a, const double* b,
+                     std::size_t n);
+void satisfaction_apply_dim_scalar(double* sat, double* any,
+                                   const double* demand,
+                                   const double* supplied, std::size_t n);
+void satisfaction_into_scalar(double* sat, const double* d0, const double* s0,
+                              const double* d1, const double* s1,
+                              const double* d2, const double* s2,
+                              const double* d3, const double* s3,
+                              std::size_t n);
+
+}  // namespace cocg::hw::batch

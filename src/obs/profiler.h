@@ -48,9 +48,11 @@ enum class Stage : std::uint8_t {
   kRegulator,           ///< loading-steal resolve + reallocation
   kRouter,              ///< fleet per-arrival shard choice
   kShardBarrier,        ///< fleet epoch barrier (pool run + join)
+  kExecutorSteal,       ///< steal runner: epochs run off their home worker
+  kExecutorIdle,        ///< steal runner: worker wall time with no runnable job
 };
 
-inline constexpr std::size_t kNumStages = 9;
+inline constexpr std::size_t kNumStages = 11;
 
 /// Stable snake_case stage name ("rng_draws", ...); used as the JSON key
 /// in every export.

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "game/plan.h"
+#include "hw/batch_kernels.h"
 
 namespace cocg::platform {
 
@@ -47,6 +48,7 @@ CloudPlatform::CloudPlatform(PlatformConfig cfg,
   obs_admitted_ = reg.counter("platform.sessions_admitted");
   obs_completed_ = reg.counter("platform.sessions_completed");
   obs_hw_ticks_ = reg.counter("platform.hardware_ticks");
+  obs_session_ticks_ = reg.counter("platform.session_ticks");
   obs_control_ticks_ = reg.counter("platform.control_ticks");
   obs_queue_depth_ = reg.gauge("platform.queue_depth");
   obs_running_ = reg.gauge("platform.running_sessions");
@@ -282,6 +284,7 @@ void CloudPlatform::hardware_tick() {
     }
     const auto& supplies =
         hw::resolve_server(srv.spec(), draws, scratch_.resolve);
+    obs_session_ticks_.add(draws.size());
 
     // Utilization snapshots (per GPU view). The registry gauges and trace
     // counter tracks are the metrics-facing export; util_log_ keeps the
@@ -299,19 +302,30 @@ void CloudPlatform::hardware_tick() {
         util[g].server = srv.id();
         util[g].gpu_index = static_cast<int>(g);
       }
-      for (std::size_t i = 0; i < draws.size(); ++i) {
-        // CPU/RAM are charged to every view; GPU dims to the pinned view.
-        for (std::size_t g = 0; g < ngpus; ++g) {
-          util[g].total_supplied[Dim::kCpuPct] +=
-              supplies[i].supplied[Dim::kCpuPct];
-          util[g].total_supplied[Dim::kRamMb] +=
-              supplies[i].supplied[Dim::kRamMb];
-        }
+      // CPU/RAM are charged to every view; every view adds the same
+      // supplies in the same session order, so one ordered sum over the
+      // SoA supply lanes equals each view's former sequential total
+      // bit-for-bit. GPU dims bucket to the pinned view in draw order.
+      const auto& lanes = scratch_.resolve.lanes;
+      const std::size_t ndraws = draws.size();
+      const double cpu_sum = hw::batch::sum_ordered(
+          lanes.supplied[static_cast<std::size_t>(Dim::kCpuPct)].data(),
+          ndraws);
+      const double ram_sum = hw::batch::sum_ordered(
+          lanes.supplied[static_cast<std::size_t>(Dim::kRamMb)].data(),
+          ndraws);
+      for (std::size_t g = 0; g < ngpus; ++g) {
+        util[g].total_supplied[Dim::kCpuPct] = cpu_sum;
+        util[g].total_supplied[Dim::kRamMb] = ram_sum;
+      }
+      const double* gpu_lane =
+          lanes.supplied[static_cast<std::size_t>(Dim::kGpuPct)].data();
+      const double* vram_lane =
+          lanes.supplied[static_cast<std::size_t>(Dim::kGpuMemMb)].data();
+      for (std::size_t i = 0; i < ndraws; ++i) {
         auto& pinned = util[static_cast<std::size_t>(draws[i].gpu_index)];
-        pinned.total_supplied[Dim::kGpuPct] +=
-            supplies[i].supplied[Dim::kGpuPct];
-        pinned.total_supplied[Dim::kGpuMemMb] +=
-            supplies[i].supplied[Dim::kGpuMemMb];
+        pinned.total_supplied[Dim::kGpuPct] += gpu_lane[i];
+        pinned.total_supplied[Dim::kGpuMemMb] += vram_lane[i];
       }
       for (std::size_t g = 0; g < ngpus; ++g) {
         UtilizationPoint& up = util[g];

@@ -270,6 +270,126 @@ TEST(Fleet, ReportJsonIsCanonical) {
   EXPECT_EQ(os.str(), json);
 }
 
+// --- steal runner: lockstep is the bitwise oracle ---
+
+/// Everything a run externalizes, for byte comparison across runners.
+struct RunSurface {
+  std::string report, events, metrics, trace;
+};
+
+RunSurface run_surface(Fleet& f, DurationMs horizon) {
+  f.run(horizon);
+  RunSurface out;
+  out.report = report_json(f.report());
+  out.events = f.merged_events_jsonl();
+  obs::MetricsRegistry merged;
+  f.merge_metrics(merged);
+  out.metrics = merged.to_json();
+  std::ostringstream tr;
+  f.write_merged_trace(tr);
+  out.trace = tr.str();
+  return out;
+}
+
+std::unique_ptr<Fleet> make_runner_fleet(RunnerKind runner, int threads,
+                                         RouterPolicy policy) {
+  auto cfg = small_config(4, threads, policy);
+  cfg.runner = runner;
+  auto f = std::make_unique<Fleet>(cfg, greedy_factory());
+  for (int i = 0; i < 8; ++i) f->add_server(hw::ServerSpec{});
+  f->add_global_source({&contra(), 60.0, 8});
+  f->add_global_source({&csgo(), 40.0, 8});
+  return f;
+}
+
+// The tentpole contract: the steal runner must reproduce the lockstep
+// runner's entire external surface byte-for-byte at any thread count,
+// under both a loads-free policy (rr — full run-ahead, no syncs) and a
+// load-based one (ll — sync every fresh-routed epoch).
+TEST(FleetSteal, ByteIdenticalToLockstepAcrossThreadCounts) {
+  ObsGuard guard(/*trace=*/true);
+  constexpr DurationMs kHorizon = 30 * 60 * 1000;
+  for (RouterPolicy policy :
+       {RouterPolicy::kRoundRobin, RouterPolicy::kLeastLoaded}) {
+    auto lockstep = make_runner_fleet(RunnerKind::kLockstep, 1, policy);
+    const RunSurface base = run_surface(*lockstep, kHorizon);
+    ASSERT_FALSE(base.events.empty());
+    for (int threads : {1, 2, 8}) {
+      auto steal = make_runner_fleet(RunnerKind::kSteal, threads, policy);
+      const RunSurface got = run_surface(*steal, kHorizon);
+      EXPECT_EQ(base.report, got.report) << threads;
+      EXPECT_EQ(base.events, got.events) << threads;
+      EXPECT_EQ(base.metrics, got.metrics) << threads;
+      EXPECT_EQ(base.trace, got.trace) << threads;
+    }
+  }
+}
+
+TEST(FleetSteal, RoundRobinRunsAheadWithoutSyncs) {
+  auto f = make_runner_fleet(RunnerKind::kSteal, 2, RouterPolicy::kRoundRobin);
+  f->run(30 * 60 * 1000);
+  const auto& es = f->executor_stats();
+  EXPECT_GT(es.jobs_run, 0u);
+  // rr never reads the load snapshots and no health stream is attached,
+  // so the coordinator should never have had to drain mid-run.
+  EXPECT_EQ(es.syncs, 0u);
+}
+
+TEST(FleetSteal, LoadBasedPolicySyncsButStaysIdentical) {
+  auto f = make_runner_fleet(RunnerKind::kSteal, 2, RouterPolicy::kLeastLoaded);
+  f->run(30 * 60 * 1000);
+  const auto& es = f->executor_stats();
+  // ll reads loads on every freshly routed epoch: syncs must happen.
+  EXPECT_GT(es.syncs, 0u);
+  EXPECT_GT(es.jobs_run, 0u);
+}
+
+TEST(FleetSteal, HealthSnapshotsIdenticalAcrossRunners) {
+  ObsGuard guard;
+  auto run_with = [](RunnerKind runner) {
+    auto f = make_runner_fleet(runner, 2, RouterPolicy::kRoundRobin);
+    std::ostringstream health;
+    f->enable_health_stream(&health, 60 * 1000);
+    f->run(10 * 60 * 1000);
+    return health.str();
+  };
+  const std::string lockstep = run_with(RunnerKind::kLockstep);
+  const std::string steal = run_with(RunnerKind::kSteal);
+  ASSERT_FALSE(lockstep.empty());
+  EXPECT_EQ(lockstep, steal);
+}
+
+// Capture under one runner, replay under the other: recorded verdicts
+// bypass the router entirely, so the steal replay runs fully ahead and
+// must still reproduce the capture run's report byte-for-byte.
+TEST(FleetSteal, CaptureReplayRoundTripsAcrossRunners) {
+  ObsGuard guard;
+  constexpr DurationMs kHorizon = 20 * 60 * 1000;
+  traffic::TraceRecorder rec;
+  auto captured = make_runner_fleet(RunnerKind::kLockstep, 1,
+                                    RouterPolicy::kLeastLoaded);
+  captured->enable_capture(&rec);
+  const RunSurface base = run_surface(*captured, kHorizon);
+  ASSERT_GT(rec.size(), 0u);
+
+  const std::vector<const game::GameSpec*> specs = {&contra(), &csgo()};
+  for (RunnerKind runner : {RunnerKind::kLockstep, RunnerKind::kSteal}) {
+    for (int threads : {1, 8}) {
+      auto cfg = small_config(4, threads, RouterPolicy::kLeastLoaded);
+      cfg.runner = runner;
+      Fleet replay(cfg, greedy_factory());
+      for (int i = 0; i < 8; ++i) replay.add_server(hw::ServerSpec{});
+      replay.add_trace_arrivals(rec.trace(), specs,
+                                /*use_recorded_routing=*/true);
+      const RunSurface got = run_surface(replay, kHorizon);
+      EXPECT_EQ(base.report, got.report)
+          << runner_kind_name(runner) << " x" << threads;
+      EXPECT_EQ(base.events, got.events)
+          << runner_kind_name(runner) << " x" << threads;
+    }
+  }
+}
+
 // --- train-once model sharing (core::ModelBank) across shards ---
 
 /// Fleet run under the real CoCG scheduler; returns the canonical report

@@ -69,12 +69,51 @@ TEST(EpochPool, RethrowsFirstExceptionByJobIndex) {
     pool.run(jobs);
     FAIL() << "expected rethrow";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "job one");
+    // The failing job's index is part of the message, so a 64-shard run
+    // names the shard that died instead of an anonymous "what()".
+    EXPECT_STREQ(e.what(), "epoch job 1: job one");
   }
   // The pool survives a throwing epoch.
   std::vector<std::function<void()>> ok = {[&] { ++ran; }};
   pool.run(ok);
   EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(EpochPool, ManyFailuresReportTheLowestJobIndex) {
+  // Every job throws; whatever order the threads run them in, the
+  // rethrown error must be job 0's, and every job must still have run.
+  for (int threads : {1, 2, 4}) {
+    EpochPool pool(threads);
+    std::atomic<int> attempts{0};
+    std::vector<std::function<void()>> jobs;
+    for (int i = 0; i < 16; ++i) {
+      jobs.push_back([&attempts, i] {
+        ++attempts;
+        throw std::runtime_error("boom " + std::to_string(i));
+      });
+    }
+    try {
+      pool.run(jobs);
+      FAIL() << "expected rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "epoch job 0: boom 0") << threads;
+    }
+    EXPECT_EQ(attempts.load(), 16) << threads;
+  }
+}
+
+TEST(EpochPool, NonStdExceptionIsWrappedWithItsIndex) {
+  EpochPool pool(2);
+  std::vector<std::function<void()>> jobs = {
+      [] {},
+      [] { throw 42; },
+  };
+  try {
+    pool.run(jobs);
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "epoch job 1: unknown exception");
+  }
 }
 
 TEST(EpochPool, MoreJobsThanThreads) {

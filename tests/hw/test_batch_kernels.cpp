@@ -1,0 +1,229 @@
+#include "hw/batch_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "hw/contention.h"
+#include "hw/server.h"
+
+namespace cocg::hw {
+namespace {
+
+/// Bitwise comparison — the kernels' contract is bit-identity, not
+/// closeness, so EXPECT_DOUBLE_EQ (4 ulps) would be too weak.
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::vector<double> random_lanes(Rng& rng, std::size_t n, double lo,
+                                 double hi, double zero_fraction = 0.0) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    x = rng.uniform(0.0, 1.0) < zero_fraction ? 0.0 : rng.uniform(lo, hi);
+  }
+  return v;
+}
+
+TEST(BatchKernels, ElementwiseKernelsMatchScalarBitForBit) {
+  Rng rng(7);
+  // Odd sizes on purpose: remainder lanes after the vector body.
+  for (std::size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1001u}) {
+    const auto a = random_lanes(rng, n, 0.0, 100.0);
+    const auto b = random_lanes(rng, n, 0.0, 100.0);
+    std::vector<double> vec(n), ref(n);
+
+    batch::min_into(vec.data(), a.data(), b.data(), n);
+    batch::min_into_scalar(ref.data(), a.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(bits_equal(vec[i], ref[i]));
+
+    const double s = 0.37219;
+    batch::scale_into(vec.data(), a.data(), s, n);
+    batch::scale_into_scalar(ref.data(), a.data(), s, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(bits_equal(vec[i], ref[i]));
+
+    batch::mul_into(vec.data(), a.data(), b.data(), n);
+    batch::mul_into_scalar(ref.data(), a.data(), b.data(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(bits_equal(vec[i], ref[i]));
+  }
+}
+
+TEST(BatchKernels, SatisfactionLanesMatchScalarIncludingZeroDemand) {
+  Rng rng(11);
+  for (std::size_t n : {1u, 5u, 8u, 333u}) {
+    // Half the lanes have zero demand in any given dimension; some lanes
+    // have zero demand in EVERY dimension (must finalize to 1.0).
+    std::vector<std::vector<double>> demand(kNumDims), supplied(kNumDims);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      demand[d] = random_lanes(rng, n, 0.01, 50.0, /*zero_fraction=*/0.5);
+      supplied[d] = random_lanes(rng, n, 0.0, 50.0);
+    }
+    for (std::size_t d = 0; d < kNumDims; ++d) demand[d][0] = 0.0;
+
+    std::vector<double> sat_vec(n), any_vec(n), sat_ref(n), any_ref(n);
+    batch::satisfaction_init(sat_vec.data(), any_vec.data(), n);
+    batch::satisfaction_init(sat_ref.data(), any_ref.data(), n);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      batch::satisfaction_apply_dim(sat_vec.data(), any_vec.data(),
+                                    demand[d].data(), supplied[d].data(), n);
+      batch::satisfaction_apply_dim_scalar(sat_ref.data(), any_ref.data(),
+                                           demand[d].data(),
+                                           supplied[d].data(), n);
+    }
+    batch::satisfaction_finalize(sat_vec.data(), any_vec.data(), n);
+    batch::satisfaction_finalize(sat_ref.data(), any_ref.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bits_equal(sat_vec[i], sat_ref[i])) << i;
+    }
+    EXPECT_TRUE(bits_equal(sat_vec[0], 1.0));  // no demand at all
+  }
+}
+
+TEST(BatchKernels, SatisfactionMatchesResourceVectorRatio) {
+  // One lane per random session: the lane pipeline must reproduce
+  // ResourceVector::satisfaction_ratio exactly.
+  Rng rng(23);
+  const std::size_t n = 257;
+  std::vector<std::vector<double>> demand(kNumDims), supplied(kNumDims);
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    demand[d] = random_lanes(rng, n, 0.01, 80.0, 0.3);
+    supplied[d] = random_lanes(rng, n, 0.0, 80.0);
+  }
+  std::vector<double> sat(n), any(n);
+  batch::satisfaction_init(sat.data(), any.data(), n);
+  for (std::size_t d = 0; d < kNumDims; ++d) {
+    batch::satisfaction_apply_dim(sat.data(), any.data(), demand[d].data(),
+                                  supplied[d].data(), n);
+  }
+  batch::satisfaction_finalize(sat.data(), any.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ResourceVector dem, sup;
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      dem.at(d) = demand[d][i];
+      sup.at(d) = supplied[d][i];
+    }
+    EXPECT_TRUE(bits_equal(sat[i], dem.satisfaction_ratio(sup))) << i;
+  }
+}
+
+TEST(BatchKernels, FusedSatisfactionMatchesPipelineAndScalar) {
+  // satisfaction_into must reproduce the composable
+  // init/apply_dim/finalize pipeline (and its own branchy scalar twin)
+  // bit for bit, including all-zero-demand lanes.
+  Rng rng(31);
+  for (std::size_t n : {1u, 4u, 8u, 129u}) {
+    std::vector<std::vector<double>> demand(kNumDims), supplied(kNumDims);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      demand[d] = random_lanes(rng, n, 0.01, 50.0, /*zero_fraction=*/0.5);
+      supplied[d] = random_lanes(rng, n, 0.0, 50.0);
+    }
+    for (std::size_t d = 0; d < kNumDims; ++d) demand[d][0] = 0.0;
+
+    std::vector<double> pipe(n), any(n), fused(n), fused_ref(n);
+    batch::satisfaction_init(pipe.data(), any.data(), n);
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      batch::satisfaction_apply_dim(pipe.data(), any.data(), demand[d].data(),
+                                    supplied[d].data(), n);
+    }
+    batch::satisfaction_finalize(pipe.data(), any.data(), n);
+    batch::satisfaction_into(fused.data(), demand[0].data(),
+                             supplied[0].data(), demand[1].data(),
+                             supplied[1].data(), demand[2].data(),
+                             supplied[2].data(), demand[3].data(),
+                             supplied[3].data(), n);
+    batch::satisfaction_into_scalar(fused_ref.data(), demand[0].data(),
+                                    supplied[0].data(), demand[1].data(),
+                                    supplied[1].data(), demand[2].data(),
+                                    supplied[2].data(), demand[3].data(),
+                                    supplied[3].data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(bits_equal(fused[i], pipe[i])) << i;
+      EXPECT_TRUE(bits_equal(fused[i], fused_ref[i])) << i;
+    }
+    EXPECT_TRUE(bits_equal(fused[0], 1.0));  // no demand at all
+  }
+}
+
+TEST(BatchKernels, SumOrderedIsTheSequentialFold) {
+  Rng rng(5);
+  const auto a = random_lanes(rng, 1003, 0.0, 1e6);
+  double expect = 0.0;
+  for (const double x : a) expect += x;
+  EXPECT_TRUE(bits_equal(batch::sum_ordered(a.data(), a.size()), expect));
+  EXPECT_TRUE(bits_equal(batch::sum_ordered(a.data(), 0), 0.0));
+}
+
+// --- resolve_server: the SoA path against the kept AoS reference ---
+
+TEST(ResolveServerSoA, BitIdenticalToReferenceRandomized) {
+  Rng rng(99);
+  ServerSpec spec;
+  spec.num_gpus = 3;
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t n = 1 + static_cast<std::size_t>(
+                                  rng.uniform(0.0, 40.0));
+    std::vector<PinnedDraw> draws;
+    draws.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      PinnedDraw d;
+      d.draw.sid = SessionId{s};
+      for (std::size_t k = 0; k < kNumDims; ++k) {
+        // Mix of saturating and idle load, with occasional zero demand.
+        d.draw.demand.at(k) =
+            rng.uniform(0.0, 1.0) < 0.2 ? 0.0 : rng.uniform(0.0, 90.0);
+        d.draw.allocation.at(k) = rng.uniform(0.0, 90.0);
+      }
+      d.gpu_index = static_cast<int>(rng.uniform(0.0, 3.0));
+      if (d.gpu_index >= spec.num_gpus) d.gpu_index = spec.num_gpus - 1;
+      draws.push_back(d);
+    }
+    ServerResolveScratch soa, ref;
+    const auto& got = resolve_server(spec, draws, soa);
+    const auto& want = resolve_server_reference(spec, draws, ref);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < n; ++s) {
+      EXPECT_EQ(got[s].sid, want[s].sid);
+      for (std::size_t k = 0; k < kNumDims; ++k) {
+        EXPECT_TRUE(bits_equal(got[s].supplied.at(k), want[s].supplied.at(k)))
+            << "iter " << iter << " session " << s << " dim " << k;
+      }
+      EXPECT_TRUE(bits_equal(got[s].satisfaction, want[s].satisfaction))
+          << "iter " << iter << " session " << s;
+    }
+  }
+}
+
+TEST(ResolveServerSoA, EmptyDrawListResolvesEmpty) {
+  ServerSpec spec;
+  ServerResolveScratch scratch;
+  EXPECT_TRUE(resolve_server(spec, {}, scratch).empty());
+}
+
+TEST(ResolveServerSoA, LanesExposeSuppliesForUtilAccumulation) {
+  // hardware_tick reads scratch.lanes.supplied directly after resolve;
+  // the lanes must match the transposed AoS output.
+  ServerSpec spec;
+  spec.num_gpus = 2;
+  std::vector<PinnedDraw> draws;
+  for (std::size_t s = 0; s < 9; ++s) {
+    PinnedDraw d;
+    d.draw.sid = SessionId{s};
+    d.draw.demand = {30, 40, 1000, 1000};
+    d.draw.allocation = {50, 50, 2000, 2000};
+    d.gpu_index = static_cast<int>(s % 2);
+    draws.push_back(d);
+  }
+  ServerResolveScratch scratch;
+  const auto& out = resolve_server(spec, draws, scratch);
+  for (std::size_t s = 0; s < draws.size(); ++s) {
+    for (std::size_t k = 0; k < kNumDims; ++k) {
+      EXPECT_TRUE(
+          bits_equal(scratch.lanes.supplied[k][s], out[s].supplied.at(k)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cocg::hw

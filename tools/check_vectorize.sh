@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Verifies the SoA batch kernels (src/hw/batch_kernels.cpp) actually
+# auto-vectorize under the flags the build uses for that TU
+# (-O3 -fno-trapping-math; see src/hw/CMakeLists.txt). Compiles the TU
+# with -fopt-info-vec-optimized and requires a "loop vectorized" report
+# on each vector kernel's loop line — a silent regression to scalar code
+# would otherwise only show up as a bench slowdown. Also checks the
+# *_scalar reference variants stayed scalar, or the bench comparison
+# measures vector-vs-vector.
+#
+# Usage: tools/check_vectorize.sh [compiler]   (default: c++)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CXX="${1:-c++}"
+SRC=src/hw/batch_kernels.cpp
+
+if ! "$CXX" --version 2>/dev/null | grep -qiE 'g\+\+|gcc|Free Software'; then
+  echo "check_vectorize: $CXX is not GCC; -fopt-info-vec unsupported, skipping"
+  exit 0
+fi
+
+out=$(mktemp /tmp/cocg_vec_report.XXXXXX)
+trap 'rm -f "$out" /tmp/cocg_vec_check.o' EXIT
+
+"$CXX" -std=c++20 -O3 -fno-trapping-math -fopt-info-vec-optimized="$out" \
+  -Isrc -c "$SRC" -o /tmp/cocg_vec_check.o
+
+# First loop line inside a function definition, by exact function name.
+loop_line() {
+  awk -v fn="$1" '
+    $0 ~ "^(void|double) "fn"\\(" { found = 1 }
+    found && /for \(/ { print NR; exit }' "$SRC"
+}
+
+status=0
+for fn in min_into scale_into mul_into \
+          satisfaction_init satisfaction_apply_dim satisfaction_finalize \
+          satisfaction_into; do
+  line=$(loop_line "$fn")
+  if grep -q ":${line}:[0-9]*: optimized: loop vectorized" "$out"; then
+    echo "check_vectorize: OK   $fn (line $line)"
+  else
+    echo "check_vectorize: FAIL $fn (line $line) did not vectorize"
+    status=1
+  fi
+done
+
+# The no-tree-vectorize attribute must keep the scalar references scalar.
+# (sum_ordered is exempt: GCC may vectorize it as an in-order fold-left
+# reduction, which keeps the exact addition order.)
+for fn in min_into_scalar scale_into_scalar mul_into_scalar \
+          satisfaction_apply_dim_scalar satisfaction_into_scalar; do
+  line=$(loop_line "$fn")
+  if grep -q ":${line}:[0-9]*: optimized: loop vectorized" "$out"; then
+    echo "check_vectorize: FAIL $fn (line $line) vectorized; must stay scalar"
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  grep "loop vectorized" "$out" | sed 's/^/  report: /' || true
+  exit "$status"
+fi
+echo "check_vectorize: all kernels OK"

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_parse.h"
 #include "common/log.h"
 #include "common/table.h"
 #include "core/model_bank.h"
@@ -114,7 +115,8 @@ void strip_tool_flags(std::vector<std::string>& args, std::string& models_in,
       if (value != nullptr) {
         *value = args[++i];
       } else {
-        health_interval_s = std::max(1, std::atoi(args[++i].c_str()));
+        health_interval_s =
+            tools::parse_positive_int("--health-interval-s", args[++i]);
       }
     } else {
       rest.push_back(args[i]);
@@ -148,11 +150,11 @@ int main(int argc, char** argv) {
       return usage();
     }
     const int minutes =
-        args.size() > 3 ? std::max(1, std::atoi(args[3].c_str())) : 120;
+        args.size() > 3 ? tools::parse_positive_int("minutes", args[3]) : 120;
     const int gpus =
-        args.size() > 4 ? std::max(1, std::atoi(args[4].c_str())) : 1;
+        args.size() > 4 ? tools::parse_positive_int("gpus", args[4]) : 1;
     const std::uint64_t seed =
-        args.size() > 5 ? std::strtoull(args[5].c_str(), nullptr, 10) : 1;
+        args.size() > 5 ? tools::parse_u64("seed", args[5]) : 1;
 
     std::map<std::string, core::TrainedGame> models;
     if (!models_in.empty()) {

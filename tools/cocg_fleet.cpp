@@ -51,6 +51,7 @@
 #include "fleet/fleet.h"
 #include "game/library.h"
 #include "obs/cli.h"
+#include "cli_parse.h"
 
 using namespace cocg;
 
@@ -61,6 +62,8 @@ int usage() {
       << "usage: cocg_fleet [options]\n"
          "  --shards K             number of shards (default 2)\n"
          "  --threads T            runner threads (default = shards)\n"
+         "  --runner R             lockstep | steal (default lockstep);"
+         " identical results, different scheduling\n"
          "  --policy P             rr | ll | p2c | region (default ll)\n"
          "  --servers N            total servers, split round-robin"
          " (default 2*shards)\n"
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
 
     int shards = 2;
     int threads = 0;  // 0 → match shards
+    std::string runner_name = "lockstep";
     std::string policy_name = "ll";
     int servers = 0;  // 0 → 2 per shard
     int gpus = 2;
@@ -138,14 +142,15 @@ int main(int argc, char** argv) {
         }
         return args[++i];
       };
-      if (a == "--shards") shards = std::max(1, std::atoi(next().c_str()));
-      else if (a == "--threads") threads = std::max(1, std::atoi(next().c_str()));
+      if (a == "--shards") shards = tools::parse_positive_int(a, next());
+      else if (a == "--threads") threads = tools::parse_positive_int(a, next());
+      else if (a == "--runner") runner_name = next();
       else if (a == "--policy") policy_name = next();
-      else if (a == "--servers") servers = std::max(1, std::atoi(next().c_str()));
-      else if (a == "--gpus") gpus = std::max(1, std::atoi(next().c_str()));
-      else if (a == "--arrivals-per-hour") arrivals_per_hour = std::atof(next().c_str());
-      else if (a == "--minutes") minutes = std::max(1, std::atoi(next().c_str()));
-      else if (a == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+      else if (a == "--servers") servers = tools::parse_positive_int(a, next());
+      else if (a == "--gpus") gpus = tools::parse_positive_int(a, next());
+      else if (a == "--arrivals-per-hour") arrivals_per_hour = tools::parse_positive_double(a, next());
+      else if (a == "--minutes") minutes = tools::parse_positive_int(a, next());
+      else if (a == "--seed") seed = tools::parse_u64(a, next());
       else if (a == "--scheduler") sched_name = next();
       else if (a == "--games") games_csv = next();
       else if (a == "--models-in") models_in = next();
@@ -155,7 +160,7 @@ int main(int argc, char** argv) {
       else if (a == "--trace-in") trace_in = next();
       else if (a == "--capture-out") capture_out = next();
       else if (a == "--replay-reroute") replay_reroute = true;
-      else if (a == "--health-interval-s") health_interval_s = std::max(1, std::atoi(next().c_str()));
+      else if (a == "--health-interval-s") health_interval_s = tools::parse_positive_int(a, next());
       else if (a == "--help" || a == "-h") return usage();
       else {
         std::cerr << "unknown flag: " << a << "\n";
@@ -165,6 +170,11 @@ int main(int argc, char** argv) {
     const auto policy = fleet::parse_router_policy(policy_name);
     if (!policy) {
       std::cerr << "unknown policy: " << policy_name << "\n";
+      return usage();
+    }
+    fleet::RunnerKind runner = fleet::RunnerKind::kLockstep;
+    if (!fleet::parse_runner_kind(runner_name, runner)) {
+      std::cerr << "unknown runner: " << runner_name << "\n";
       return usage();
     }
     if (threads == 0) threads = shards;
@@ -216,6 +226,7 @@ int main(int argc, char** argv) {
     fleet::FleetConfig fcfg;
     fcfg.shards = shards;
     fcfg.threads = threads;
+    fcfg.runner = runner;
     fcfg.policy = *policy;
     fcfg.seed = seed;
     fleet::Fleet sim(fcfg, [&](int) {
@@ -265,7 +276,8 @@ int main(int argc, char** argv) {
     std::cout << "running " << shards << " shard(s) x " << servers
               << " server(s) under " << sched_name << ", policy "
               << fleet::router_policy_name(*policy) << ", " << threads
-              << " thread(s), " << minutes << " min...\n";
+              << " thread(s), " << fleet::runner_kind_name(runner)
+              << " runner, " << minutes << " min...\n";
     const auto wall0 = std::chrono::steady_clock::now();
     const DurationMs horizon = static_cast<DurationMs>(minutes) * 60 * 1000;
     sim.run(horizon);
@@ -288,6 +300,13 @@ int main(int argc, char** argv) {
                    TablePrinter::fmt(rep.qos_violation_s, 0)});
     table.add_row({"mean admission wait (s)",
                    TablePrinter::fmt(rep.mean_wait_s, 1)});
+    if (runner == fleet::RunnerKind::kSteal) {
+      const auto& es = sim.executor_stats();
+      table.add_row({"executor epochs run", std::to_string(es.jobs_run)});
+      table.add_row({"executor steals / syncs",
+                     std::to_string(es.steals) + " / " +
+                         std::to_string(es.syncs)});
+    }
     table.print(std::cout);
 
     TablePrinter per_shard({"shard", "servers", "routed", "completed",
