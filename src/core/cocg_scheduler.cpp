@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "schedcheck/session.h"
 
 namespace cocg::core {
 
@@ -357,6 +358,15 @@ void CocgScheduler::control(platform::PlatformView& view) {
       COCG_INFO("CoCG cannot replace model for "
                 << game << " (no training corpus in bundle), keeping "
                 << ml::model_kind_name(tg.predictor->model_kind()));
+      for (auto& [sid, st] : state_) {
+        if (st.game == game) st.monitor->reset_error_streak();
+      }
+      continue;
+    }
+    // Schedule point: fire the replacement now (1) or skip this control
+    // tick (0). Skipping still clears the streaks, so a forced skip delays
+    // the migration by at least another full error streak.
+    if (schedcheck::decide(schedcheck::Point::kMigrationTrigger, 2, 1) == 0) {
       for (auto& [sid, st] : state_) {
         if (st.game == game) st.monitor->reset_error_streak();
       }

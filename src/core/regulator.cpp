@@ -1,6 +1,7 @@
 #include "core/regulator.h"
 
 #include "common/check.h"
+#include "schedcheck/session.h"
 
 namespace cocg::core {
 
@@ -16,20 +17,47 @@ std::vector<RegulatorAction> Regulator::resolve(
     actions.push_back(RegulatorAction{s.sid, false, s.wanted});
     total += s.wanted;
   }
-  if (total.fits_within(limit)) return actions;  // no pressure: release all
+  if (total.fits_within(limit) && !schedcheck::active()) {
+    return actions;  // no pressure: release all
+  }
 
-  // Steal from loading sessions, in order, until the view fits.
+  // Steal from loading sessions until the view fits. The natural order is
+  // input order (deterministic: ascending sid); under schedcheck the
+  // victim pick and each hold are schedule points, so replay can reorder
+  // victims or hold sessions the natural run would have released —
+  // "delayed regulator holds" in the fuzzer's mutation menu.
+  std::vector<std::size_t> eligible;
+  eligible.reserve(sessions.size());
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     const auto& s = sessions[i];
     if (!s.in_loading) continue;
     if (s.stolen_ms >= cfg_.max_steal_ms) continue;  // budget exhausted
+    eligible.push_back(i);
+  }
+  bool over = !total.fits_within(limit);
+  while (!eligible.empty()) {
+    std::size_t pick = 0;
+    if (eligible.size() > 1) {
+      pick = static_cast<std::size_t>(schedcheck::decide(
+          schedcheck::Point::kRegulatorVictim,
+          static_cast<int>(eligible.size()), 0));
+    }
+    const std::size_t i = eligible[pick];
+    eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(pick));
+    const int hold =
+        schedcheck::decide(schedcheck::Point::kRegulatorHold, 2, over ? 1 : 0);
+    if (hold == 0) {
+      if (!over) break;  // natural run: fits again, release the rest
+      continue;          // forced release: move to the next victim
+    }
     const ResourceVector throttled =
-        s.loading_demand * cfg_.held_loading_frac;
+        sessions[i].loading_demand * cfg_.held_loading_frac;
     total -= actions[i].allocation;
     total += throttled;
     actions[i].hold = true;
     actions[i].allocation = throttled;
-    if (total.fits_within(limit)) return actions;
+    over = !total.fits_within(limit);
+    if (!over && !schedcheck::active()) return actions;
   }
   // Still over: nothing more the regulator may legally steal; contention
   // resolution will squeeze proportionally (§IV-D's bounded degradation).

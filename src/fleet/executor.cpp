@@ -177,4 +177,9 @@ std::uint64_t ShardExecutor::idle_ns() const {
   return idle_ns_;
 }
 
+ShardExecutor::Counters ShardExecutor::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return Counters{jobs_run_, steals_, steal_ns_, idle_waits_, idle_ns_};
+}
+
 }  // namespace cocg::fleet

@@ -77,6 +77,17 @@ class ShardExecutor {
   std::uint64_t idle_waits() const;
   std::uint64_t idle_ns() const;   ///< wall time workers spent blocked
 
+  /// All diagnostics in one lock acquisition — the mid-run health
+  /// heartbeat reads this at sync points (quiescent after drain()).
+  struct Counters {
+    std::uint64_t jobs_run = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t steal_ns = 0;
+    std::uint64_t idle_waits = 0;
+    std::uint64_t idle_ns = 0;
+  };
+  Counters snapshot() const;
+
  private:
   struct ShardQueue {
     std::deque<std::pair<std::size_t, std::function<void()>>> jobs;

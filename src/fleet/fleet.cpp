@@ -21,6 +21,16 @@ std::uint64_t derived_seed(std::uint64_t fleet_seed, std::uint64_t salt) {
 constexpr std::uint64_t kArrivalSalt = 1u << 20;
 constexpr std::uint64_t kRouterSalt = (1u << 20) + 1;
 
+// Schedule-stream clocks (raw function pointers — binding a stream must
+// not allocate). The coordinator stamps records with the epoch start; a
+// shard stream stamps them with its platform's simulated now().
+TimeMs coord_clock(const void* arg) {
+  return *static_cast<const TimeMs*>(arg);
+}
+TimeMs shard_clock(const void* arg) {
+  return static_cast<const platform::CloudPlatform*>(arg)->now();
+}
+
 }  // namespace
 
 Fleet::Fleet(FleetConfig cfg, const SchedulerFactory& make_scheduler)
@@ -170,7 +180,15 @@ void Fleet::route_epoch(std::vector<std::vector<StagedRequest>>* staging) {
       shard = a.shard;
     } else {
       obs::StageScope route_scope(prof_router_);
-      shard = router_.route(loads_, a.region);
+      // Schedule point: the natural choice runs the real router (RNG
+      // draws, in-place load accounting); a forced choice skips the
+      // router entirely and applies the accounting explicitly, so replay
+      // neither consumes router state nor double-counts load.
+      bool forced = false;
+      shard = schedcheck::decide_lazy(
+          schedcheck::Point::kRouterChoice, num_shards(),
+          [&] { return router_.route(loads_, a.region); }, &forced);
+      if (forced) router_.account(loads_, shard);
     }
     auto& s = shards_[static_cast<std::size_t>(shard)];
     platform::RequestMeta meta;
@@ -200,6 +218,20 @@ void Fleet::enable_health_stream(std::ostream* os, DurationMs period_ms) {
   health_period_ms_ = period_ms;
 }
 
+void Fleet::set_schedule_session(schedcheck::Session* session) {
+  COCG_EXPECTS_MSG(!ran_, "set_schedule_session must precede run()");
+  if (session != nullptr) {
+    COCG_EXPECTS_MSG(session->num_streams() == num_shards() + 1,
+                     "schedule session stream count != shards + 1");
+  }
+  sched_session_ = session;
+}
+
+void Fleet::set_barrier_hook(std::function<void(TimeMs)> hook) {
+  COCG_EXPECTS_MSG(!ran_, "set_barrier_hook must precede run()");
+  barrier_hook_ = std::move(hook);
+}
+
 void Fleet::write_health_snapshot_now(TimeMs t) {
   obs::HealthSnapshot snap;
   snap.t = t;
@@ -224,6 +256,18 @@ void Fleet::write_health_snapshot_now(TimeMs t) {
   }
   snap.slo = merged_slo_attainment();
   snap.stage_costs = merged_stage_profile();
+  if (live_exec_ != nullptr) {
+    // Steal runner mid-run: snapshots are written at sync points, where
+    // drain() just made the counters quiescent. One lock acquisition.
+    const auto c = live_exec_->snapshot();
+    snap.executor.present = true;
+    snap.executor.jobs_run = c.jobs_run;
+    snap.executor.steals = c.steals;
+    snap.executor.steal_ns = c.steal_ns;
+    snap.executor.idle_waits = c.idle_waits;
+    snap.executor.idle_ns = c.idle_ns;
+    snap.executor.syncs = exec_stats_.syncs;
+  }
   obs::write_health_snapshot(snap, *health_os_);
   health_prev_t_ = t;
   health_prev_arrivals_ = arrivals_;
@@ -233,9 +277,14 @@ void Fleet::run(DurationMs duration_ms) {
   COCG_EXPECTS(duration_ms > 0);
   COCG_EXPECTS_MSG(!ran_, "Fleet::run is one-shot");
   ran_ = true;
-  for (auto& s : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto& s = shards_[i];
     COCG_EXPECTS_MSG(s.platform->now() == 0, "fleet shards must start fresh");
     obs::ScopedDomain sd(*s.domain);
+    // begin() can already admit closed-loop requests — keep those
+    // admission decisions on the shard's stream.
+    schedcheck::ScopedStream ss(sched_session_, static_cast<int>(i) + 1,
+                                &shard_clock, s.platform.get());
     s.platform->begin(duration_ms);
   }
   refresh_loads();
@@ -249,8 +298,11 @@ void Fleet::run(DurationMs duration_ms) {
     run_lockstep(duration_ms);
   }
 
-  for (auto& s : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto& s = shards_[i];
     obs::ScopedDomain sd(*s.domain);
+    schedcheck::ScopedStream ss(sched_session_, static_cast<int>(i) + 1,
+                                &shard_clock, s.platform.get());
     s.platform->finish();
   }
 }
@@ -259,9 +311,13 @@ void Fleet::run_lockstep(DurationMs duration_ms) {
   EpochPool pool(cfg_.threads);
   std::vector<std::function<void()>> jobs(shards_.size());
   const DurationMs epoch = cfg_.platform.control_period_ms;
+  schedcheck::ScopedStream coord(sched_session_,
+                                 schedcheck::Session::kCoordinatorStream,
+                                 &coord_clock, &sched_now_);
   TimeMs t = 0;
   while (t < duration_ms) {
     const TimeMs t1 = std::min<TimeMs>(t + epoch, duration_ms);
+    sched_now_ = t;
     // Routing first: every cross-shard input for this epoch is fixed
     // before any shard advances, so thread scheduling cannot influence
     // results.
@@ -269,8 +325,10 @@ void Fleet::run_lockstep(DurationMs duration_ms) {
     route_epoch(nullptr);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = shards_[i];
-      jobs[i] = [&s, t1] {
+      jobs[i] = [&s, t1, this, i] {
         obs::ScopedDomain sd(*s.domain);
+        schedcheck::ScopedStream ss(sched_session_, static_cast<int>(i) + 1,
+                                    &shard_clock, s.platform.get());
         s.platform->advance_until(t1);
       };
     }
@@ -280,6 +338,7 @@ void Fleet::run_lockstep(DurationMs duration_ms) {
     }
     t = t1;
     refresh_loads();  // barrier snapshot for the next epoch's routing
+    if (barrier_hook_) barrier_hook_(t);
     if (health_os_ != nullptr && t >= health_next_due_) {
       write_health_snapshot_now(t);
       if (health_period_ms_ > 0) {
@@ -304,13 +363,24 @@ void Fleet::run_lockstep(DurationMs duration_ms) {
 void Fleet::run_steal(DurationMs duration_ms) {
   ShardExecutor exec(cfg_.threads, num_shards());
   exec_stats_ = ExecutorStats{};
+  live_exec_ = &exec;
+  // The hook may throw (invariant violation aborts the run) — never leave
+  // a dangling executor pointer behind.
+  struct LiveExecReset {
+    Fleet* fleet;
+    ~LiveExecReset() { fleet->live_exec_ = nullptr; }
+  } live_reset{this};
   staged_.assign(shards_.size(), {});
   const DurationMs epoch = cfg_.platform.control_period_ms;
   const bool loads_free = cfg_.policy == RouterPolicy::kRoundRobin;
+  schedcheck::ScopedStream coord(sched_session_,
+                                 schedcheck::Session::kCoordinatorStream,
+                                 &coord_clock, &sched_now_);
   TimeMs t = 0;
   bool synced = true;  // loads_ reflect every shard at time t right now
   while (t < duration_ms) {
     const TimeMs t1 = std::min<TimeMs>(t + epoch, duration_ms);
+    sched_now_ = t;
     drain_sources(t, t1);
     bool needs_loads = false;
     if (!loads_free) {
@@ -323,7 +393,13 @@ void Fleet::run_steal(DurationMs duration_ms) {
     }
     const bool health_due =
         health_os_ != nullptr && t > 0 && t >= health_next_due_;
-    if ((needs_loads && !synced) || health_due) {
+    // Schedule point: the run-ahead sync. Forcing 0 where the natural run
+    // would drain routes this epoch on stale load snapshots (shard epoch
+    // skew); forcing 1 inserts an extra rendezvous.
+    const bool natural_sync = (needs_loads && !synced) || health_due;
+    const bool sync = schedcheck::decide(schedcheck::Point::kExecutorSync, 2,
+                                         natural_sync ? 1 : 0) != 0;
+    if (sync) {
       ++exec_stats_.syncs;
       {
         obs::StageScope barrier_scope(prof_barrier_);
@@ -331,6 +407,7 @@ void Fleet::run_steal(DurationMs duration_ms) {
       }
       refresh_loads();
       synced = true;
+      if (barrier_hook_) barrier_hook_(t);
       if (health_due) {
         write_health_snapshot_now(t);
         if (health_period_ms_ > 0) {
@@ -342,8 +419,12 @@ void Fleet::run_steal(DurationMs duration_ms) {
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       Shard& s = shards_[i];
       exec.submit(static_cast<int>(i),
-                  [&s, t1, staged = std::move(staged_[i])] {
+                  [&s, t1, this, i, staged = std::move(staged_[i])] {
                     obs::ScopedDomain sd(*s.domain);
+                    schedcheck::ScopedStream ss(sched_session_,
+                                                static_cast<int>(i) + 1,
+                                                &shard_clock,
+                                                s.platform.get());
                     for (const auto& r : staged) {
                       s.platform->schedule_request(r.spec, r.script_idx,
                                                    r.player_id, r.at, r.meta);
@@ -360,6 +441,7 @@ void Fleet::run_steal(DurationMs duration_ms) {
     exec.drain();
   }
   refresh_loads();
+  if (barrier_hook_) barrier_hook_(t);
   if (health_os_ != nullptr && t >= health_next_due_) {
     write_health_snapshot_now(t);
     if (health_period_ms_ > 0) {
@@ -371,6 +453,12 @@ void Fleet::run_steal(DurationMs duration_ms) {
   exec_stats_.steal_ns = exec.steal_ns();
   exec_stats_.idle_waits = exec.idle_waits();
   exec_stats_.idle_ns = exec.idle_ns();
+  // Steals are wall-class schedule points: thread confinement means the
+  // victim choice cannot affect results, so they are counted, never
+  // recorded or forced (docs/schedcheck.md).
+  if (sched_session_ != nullptr) {
+    sched_session_->note_wall_points(exec_stats_.steals);
+  }
   // Executor schedule costs feed the coordinator profiler in wall-clock
   // mode only: deterministic-mode stage costs must stay a pure function
   // of the call sequence (thread-count invariant), which wall-clock
@@ -578,6 +666,21 @@ std::string report_json(const FleetReport& rep) {
   std::ostringstream os;
   write_report_json(rep, os);
   return os.str();
+}
+
+void write_report_json(const FleetReport& rep, std::ostream& os,
+                       const Fleet::ExecutorStats& exec) {
+  // Base encoding minus the closing brace, then the executor object.
+  std::ostringstream base;
+  write_report_json(rep, base);
+  std::string body = base.str();
+  COCG_CHECK(body.size() >= 2 && body.compare(body.size() - 2, 2, "}\n") == 0);
+  body.resize(body.size() - 2);
+  os << body << ",\"executor\":{\"jobs_run\":" << exec.jobs_run
+     << ",\"steals\":" << exec.steals << ",\"steal_ns\":" << exec.steal_ns
+     << ",\"idle_waits\":" << exec.idle_waits
+     << ",\"idle_ns\":" << exec.idle_ns << ",\"syncs\":" << exec.syncs
+     << "}}\n";
 }
 
 }  // namespace cocg::fleet

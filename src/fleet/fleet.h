@@ -44,6 +44,7 @@
 #include "obs/domain.h"
 #include "obs/health.h"
 #include "platform/cloud_platform.h"
+#include "schedcheck/session.h"
 #include "traffic/source.h"
 #include "traffic/trace.h"
 
@@ -179,6 +180,20 @@ class Fleet {
   /// stream must outlive run(); pass nullptr to disable.
   void enable_health_stream(std::ostream* os, DurationMs period_ms = 0);
 
+  /// Attach a schedcheck record/replay session (src/schedcheck). The
+  /// session must outlive run() and already be in record or replay mode;
+  /// stream 0 receives coordinator decisions (router choice, executor
+  /// sync), stream i+1 shard i's (admission, migration, regulator).
+  /// Null (the default) leaves every decision point on its one-branch
+  /// disabled fast path. Call before run().
+  void set_schedule_session(schedcheck::Session* session);
+
+  /// Invoked at every epoch barrier (all shards quiescent at time `t`,
+  /// load snapshots fresh) and once after the final epoch — the schedcheck
+  /// invariant suite hangs off this. A throwing hook aborts run() with the
+  /// exception. Call before run().
+  void set_barrier_hook(std::function<void(TimeMs)> hook);
+
   /// Run every shard for `duration_ms` of simulated time in epochs of one
   /// control period, under the configured runner (lockstep barriers or the
   /// work-stealing ShardExecutor — identical results). One-shot.
@@ -289,6 +304,22 @@ class Fleet {
   TimeMs health_next_due_ = 0;
   TimeMs health_prev_t_ = 0;
   std::size_t health_prev_arrivals_ = 0;
+
+  /// schedcheck wiring (all null/empty unless explicitly attached).
+  schedcheck::Session* sched_session_ = nullptr;
+  std::function<void(TimeMs)> barrier_hook_;
+  TimeMs sched_now_ = 0;  ///< coordinator-stream clock (epoch start)
+  /// Live executor during run_steal() only — lets the health heartbeat
+  /// export mid-run executor counters at sync points.
+  const ShardExecutor* live_exec_ = nullptr;
 };
+
+/// Extended canonical report: the base encoding plus a trailing
+/// `"executor"` object (wall-clock schedule diagnostics). Wall-clock
+/// numbers are not deterministic, so this variant is for operator-facing
+/// outputs; determinism tests keep using the 2-argument form. Pass
+/// all-zero stats (a lockstep run) to get a stable executor object.
+void write_report_json(const FleetReport& rep, std::ostream& os,
+                       const Fleet::ExecutorStats& exec);
 
 }  // namespace cocg::fleet

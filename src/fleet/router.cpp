@@ -106,11 +106,17 @@ int Router::route(std::vector<ShardLoad>& loads) {
 int Router::route(std::vector<ShardLoad>& loads, std::uint32_t region) {
   COCG_EXPECTS(!loads.empty());
   const int chosen = pick(loads, region);
+  account(loads, chosen);
+  return chosen;
+}
+
+void Router::account(std::vector<ShardLoad>& loads, int chosen) const {
+  COCG_EXPECTS(chosen >= 0 &&
+               static_cast<std::size_t>(chosen) < loads.size());
   auto& l = loads[static_cast<std::size_t>(chosen)];
   ++l.queued;
   l.forward_cost +=
       1.0 / static_cast<double>(std::max<std::size_t>(1, l.gpu_views));
-  return chosen;
 }
 
 }  // namespace cocg::fleet

@@ -73,6 +73,11 @@ class Router {
   /// index) to pick the arrival's home shard.
   int route(std::vector<ShardLoad>& loads, std::uint32_t region);
 
+  /// The in-place load accounting route() applies after picking. Public so
+  /// a replay that *forces* the shard choice (schedcheck) can apply the
+  /// same accounting without consuming router state or RNG draws.
+  void account(std::vector<ShardLoad>& loads, int chosen) const;
+
   RouterPolicy policy() const { return policy_; }
 
  private:

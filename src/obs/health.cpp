@@ -21,6 +21,14 @@ void write_health_snapshot(const HealthSnapshot& s, std::ostream& os) {
   SloTracker::write_attainment_json(s.slo, os);
   os << ",\"stage_costs\":";
   write_stage_costs_json(s.stage_costs, os);
+  if (s.executor.present) {
+    os << ",\"executor\":{\"jobs_run\":" << s.executor.jobs_run
+       << ",\"steals\":" << s.executor.steals
+       << ",\"steal_ns\":" << s.executor.steal_ns
+       << ",\"idle_waits\":" << s.executor.idle_waits
+       << ",\"idle_ns\":" << s.executor.idle_ns
+       << ",\"syncs\":" << s.executor.syncs << '}';
+  }
   os << "}\n";
 }
 

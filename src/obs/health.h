@@ -42,6 +42,19 @@ struct HealthShard {
   double mean_gpu_util = 0.0;      ///< mean max-dimension GPU fraction
 };
 
+/// Work-stealing executor counters (fleet steal runner). `present` gates
+/// the field in the JSONL line — lockstep runs keep the legacy schema
+/// byte-for-byte.
+struct HealthExecutor {
+  bool present = false;
+  std::uint64_t jobs_run = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_ns = 0;
+  std::uint64_t idle_waits = 0;
+  std::uint64_t idle_ns = 0;
+  std::uint64_t syncs = 0;
+};
+
 struct HealthSnapshot {
   TimeMs t = 0;
   std::uint64_t arrivals = 0;  ///< cumulative arrivals generated
@@ -49,6 +62,7 @@ struct HealthSnapshot {
   std::vector<HealthShard> shards;
   std::vector<SloAttainment> slo;
   StageProfile stage_costs{};  ///< cumulative; zeros when profiling is off
+  HealthExecutor executor{};   ///< cumulative; emitted only when present
 };
 
 /// Append one JSONL line (newline included).

@@ -6,6 +6,8 @@
 #include "common/log.h"
 #include "game/plan.h"
 #include "hw/batch_kernels.h"
+#include "schedcheck/fault.h"
+#include "schedcheck/session.h"
 
 namespace cocg::platform {
 
@@ -176,6 +178,14 @@ void CloudPlatform::try_admit_queue() {
       remaining.push_back(req);
       continue;
     }
+    // Schedule point: commit the placement now (1) or defer the request to
+    // the next admission pass (0). The natural choice is always commit;
+    // replay/fuzzing uses the deferral arm to shift admissions relative to
+    // other shards' decisions.
+    if (schedcheck::decide(schedcheck::Point::kAdmission, 2, 1) == 0) {
+      remaining.push_back(req);
+      continue;
+    }
     // Materialize the session.
     const SessionId sid{next_session_++};
     auto& srv = server_mut(placement->server);
@@ -226,6 +236,25 @@ void CloudPlatform::try_admit_queue() {
           req.spec->name + "#" + std::to_string(sid.value));
     }
     scheduler_->on_session_start(*this, sid);
+    // Test-only planted bug (schedcheck fuzzer efficacy): when an
+    // admission lands while any session sits in a regulator loading hold,
+    // mirror the new session onto the next server with a zero allocation —
+    // a cross-server double-host only that interleaving can produce.
+    if (schedcheck::fault() == schedcheck::Fault::kDoubleHostWindow &&
+        servers_.size() >= 2) {
+      bool hold_open = false;
+      sessions_.for_each([&](SessionId other, const ActiveSession& o) {
+        if (other != sid && o.session != nullptr &&
+            o.session->loading_hold()) {
+          hold_open = true;
+        }
+      });
+      if (hold_open) {
+        const ServerId shadow{(placement->server.value + 1) %
+                              servers_.size()};
+        server_mut(shadow).place(sid, 0, ResourceVector{});
+      }
+    }
   }
   queue_ = std::move(remaining);
 }

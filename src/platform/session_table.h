@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -111,6 +112,60 @@ class SessionTable {
 
   /// Slots ever allocated (live + recycled) — capacity introspection.
   std::size_t slot_count() const { return slots_.size(); }
+
+  /// Structural audit for the schedcheck invariant suite: verifies the
+  /// index ↔ slot agreement, free-list validity (dead, in-range, no
+  /// duplicates), the live/free partition of the slot vector, and the
+  /// cached size. Returns "" when consistent, else a description of the
+  /// first problem found. O(slots); not for the tick path.
+  std::string consistency_error() const {
+    std::vector<char> on_free(slots_.size(), 0);
+    for (const std::uint32_t slot : free_) {
+      if (slot >= slots_.size()) {
+        return "free-list entry " + std::to_string(slot) +
+               " out of range (slots: " + std::to_string(slots_.size()) + ")";
+      }
+      if (on_free[slot]) {
+        return "slot " + std::to_string(slot) + " appears twice on the free list";
+      }
+      if (slots_[slot].sid.valid()) {
+        return "slot " + std::to_string(slot) +
+               " is on the free list but holds live session " +
+               std::to_string(slots_[slot].sid.value);
+      }
+      on_free[slot] = 1;
+    }
+    std::size_t live = 0;
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      const SessionId sid = slots_[slot].sid;
+      if (!sid.valid()) {
+        if (!on_free[slot]) {
+          return "dead slot " + std::to_string(slot) +
+                 " is missing from the free list";
+        }
+        continue;
+      }
+      ++live;
+      if (sid.value >= index_.size() || index_[sid.value] != slot) {
+        return "live session " + std::to_string(sid.value) + " in slot " +
+               std::to_string(slot) + " is not indexed back to its slot";
+      }
+    }
+    for (std::size_t id = 0; id < index_.size(); ++id) {
+      const std::uint32_t slot = index_[id];
+      if (slot == kNoSlot) continue;
+      if (slot >= slots_.size() || slots_[slot].sid.value != id) {
+        return "index entry for session " + std::to_string(id) +
+               " points at slot " + std::to_string(slot) +
+               " which does not hold it";
+      }
+    }
+    if (live != size_) {
+      return "cached size " + std::to_string(size_) + " != live slots " +
+             std::to_string(live);
+    }
+    return {};
+  }
 
  private:
   static constexpr std::uint32_t kNoSlot =

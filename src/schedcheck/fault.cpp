@@ -1,0 +1,15 @@
+#include "schedcheck/fault.h"
+
+#include <atomic>
+
+namespace cocg::schedcheck {
+
+namespace {
+std::atomic<Fault> g_fault{Fault::kNone};
+}  // namespace
+
+void set_fault(Fault f) { g_fault.store(f, std::memory_order_relaxed); }
+
+Fault fault() { return g_fault.load(std::memory_order_relaxed); }
+
+}  // namespace cocg::schedcheck

@@ -1,0 +1,26 @@
+// Test-only fault injection for the fuzzer efficacy tests.
+//
+// Faults are intentionally planted bugs, armed globally by the harness and
+// checked at specific platform code sites. They exist so the fuzz pipeline
+// can be validated end to end: a fault that only misbehaves under an
+// unusual decision interleaving (e.g. a regulator hold overlapping an
+// admission) must be *found* by the schedule fuzzer and *shrunk* by the
+// minimizer. Production runs never arm a fault; the armed check is one
+// relaxed atomic load.
+#pragma once
+
+namespace cocg::schedcheck {
+
+enum class Fault {
+  kNone = 0,
+  /// When any active session is in a loading hold at admission time, the
+  /// newly admitted session is also placed (with a zero allocation) on the
+  /// next server — a cross-server double-host that only a hold/admission
+  /// overlap can trigger.
+  kDoubleHostWindow,
+};
+
+void set_fault(Fault f);
+Fault fault();
+
+}  // namespace cocg::schedcheck

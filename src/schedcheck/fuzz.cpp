@@ -1,0 +1,189 @@
+#include "schedcheck/fuzz.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cocg::schedcheck {
+
+namespace {
+
+/// A record position inside a schedule.
+struct Pos {
+  std::size_t stream = 0;
+  std::size_t idx = 0;
+};
+
+std::vector<Pos> positions_of(const Schedule& s,
+                              bool (*pred)(const Record&)) {
+  std::vector<Pos> out;
+  for (std::size_t si = 0; si < s.streams.size(); ++si) {
+    for (std::size_t ri = 0; ri < s.streams[si].size(); ++ri) {
+      if (pred(s.streams[si][ri])) out.push_back(Pos{si, ri});
+    }
+  }
+  return out;
+}
+
+Record& at(Schedule& s, Pos p) { return s.streams[p.stream][p.idx]; }
+
+Pos pick(const std::vector<Pos>& candidates, Rng& rng) {
+  return candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+/// Restore the per-stream strictly-increasing-seq invariant after a seq
+/// shift: sort by seq, then drop all but the first record of any seq.
+void normalize_stream(std::vector<Record>& recs) {
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.seq < b.seq;
+                   });
+  recs.erase(std::unique(recs.begin(), recs.end(),
+                         [](const Record& a, const Record& b) {
+                           return a.seq == b.seq;
+                         }),
+             recs.end());
+}
+
+/// One mutation kind per entry; each reports whether it could apply.
+enum class MutationKind {
+  kRouterRotate = 0,    ///< router choice +k mod shards (tie-break flip)
+  kHoldFlip,            ///< regulator hold <-> release (delayed holds)
+  kVictimReindex,       ///< regulator steal-victim reorder
+  kSyncFlip,            ///< executor sync <-> run-ahead (epoch skew)
+  kAdmissionFlip,       ///< admission commit <-> defer
+  kMigrationFlip,       ///< migration fire <-> skip
+  kDelete,              ///< drop a record (decision free-runs)
+  kSeqShift,            ///< move a decision to a later decision index
+};
+constexpr int kNumMutationKinds = 8;
+
+bool is_router(const Record& r) { return r.point == Point::kRouterChoice; }
+bool is_hold(const Record& r) { return r.point == Point::kRegulatorHold; }
+bool is_victim(const Record& r) {
+  return r.point == Point::kRegulatorVictim && r.nchoices > 1;
+}
+bool is_sync(const Record& r) { return r.point == Point::kExecutorSync; }
+bool is_admission(const Record& r) { return r.point == Point::kAdmission; }
+bool is_migration(const Record& r) {
+  return r.point == Point::kMigrationTrigger;
+}
+bool is_any(const Record&) { return true; }
+
+/// Applies one mutation of the given kind; returns false when the
+/// schedule has no applicable record.
+bool apply_mutation(Schedule& s, MutationKind kind, Rng& rng) {
+  switch (kind) {
+    case MutationKind::kRouterRotate: {
+      const auto c = positions_of(s, &is_router);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      if (r.nchoices < 2) return false;
+      const auto step = static_cast<std::uint32_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(r.nchoices) - 1));
+      r.choice = (r.choice + step) % r.nchoices;
+      return true;
+    }
+    case MutationKind::kHoldFlip: {
+      const auto c = positions_of(s, &is_hold);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      r.choice = 1 - (r.choice & 1u);
+      return true;
+    }
+    case MutationKind::kVictimReindex: {
+      const auto c = positions_of(s, &is_victim);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      r.choice = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(r.nchoices) - 1));
+      return true;
+    }
+    case MutationKind::kSyncFlip: {
+      const auto c = positions_of(s, &is_sync);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      r.choice = 1 - (r.choice & 1u);
+      return true;
+    }
+    case MutationKind::kAdmissionFlip: {
+      const auto c = positions_of(s, &is_admission);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      r.choice = 1 - (r.choice & 1u);
+      return true;
+    }
+    case MutationKind::kMigrationFlip: {
+      const auto c = positions_of(s, &is_migration);
+      if (c.empty()) return false;
+      Record& r = at(s, pick(c, rng));
+      r.choice = 1 - (r.choice & 1u);
+      return true;
+    }
+    case MutationKind::kDelete: {
+      const auto c = positions_of(s, &is_any);
+      if (c.empty()) return false;
+      const Pos p = pick(c, rng);
+      auto& recs = s.streams[p.stream];
+      recs.erase(recs.begin() + static_cast<std::ptrdiff_t>(p.idx));
+      return true;
+    }
+    case MutationKind::kSeqShift: {
+      const auto c = positions_of(s, &is_any);
+      if (c.empty()) return false;
+      const Pos p = pick(c, rng);
+      auto& recs = s.streams[p.stream];
+      recs[p.idx].seq += static_cast<std::uint64_t>(rng.uniform_int(1, 3));
+      normalize_stream(recs);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Schedule mutate_schedule(const Schedule& base, Rng& rng, int count) {
+  COCG_EXPECTS(count >= 1);
+  Schedule s = base;
+  int applied = 0;
+  // A sparse schedule may lack records of the drawn kind; retry with a
+  // fresh draw, bounded so an (almost) empty schedule cannot spin.
+  int attempts = 0;
+  while (applied < count && attempts < count * 16) {
+    ++attempts;
+    const auto kind = static_cast<MutationKind>(
+        rng.uniform_int(0, kNumMutationKinds - 1));
+    if (apply_mutation(s, kind, rng)) ++applied;
+  }
+  return s;
+}
+
+FuzzResult fuzz(const Schedule& base, const FuzzOptions& opts,
+                const RunScheduleFn& run) {
+  COCG_EXPECTS(opts.variants >= 1);
+  COCG_EXPECTS(opts.max_mutations >= 1);
+  COCG_EXPECTS(run != nullptr);
+  FuzzResult result;
+  Rng rng(opts.seed);
+  for (int v = 0; v < opts.variants; ++v) {
+    const int count =
+        static_cast<int>(rng.uniform_int(1, opts.max_mutations));
+    Schedule variant = mutate_schedule(base, rng, count);
+    result.mutations_applied += static_cast<std::uint64_t>(count);
+    RunOutcome outcome = run(variant);
+    ++result.variants_run;
+    if (outcome.aborted) {
+      ++result.failures;
+      if (static_cast<int>(result.kept.size()) < opts.keep_failures) {
+        result.kept.push_back(FuzzFailure{v, std::move(variant),
+                                          std::move(outcome.violations)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cocg::schedcheck

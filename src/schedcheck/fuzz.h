@@ -1,0 +1,52 @@
+// Schedule fuzzer — perturbs a recorded schedule under a seeded RNG and
+// replays each variant (non-strict: unmatched decisions free-run) against
+// the invariant suite. The mutation menu targets the decision classes the
+// instrumentation exposes: router tie-break flips, delayed/early regulator
+// holds, victim reordering, admission deferral, migration suppression,
+// executor sync flips (shard epoch skew), record deletion, and seq shifts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "schedcheck/harness.h"
+#include "schedcheck/schedule.h"
+
+namespace cocg::schedcheck {
+
+struct FuzzOptions {
+  int variants = 200;       ///< schedule variants to generate and run
+  std::uint64_t seed = 1;   ///< mutation RNG seed (fully deterministic)
+  int max_mutations = 4;    ///< 1..max mutations per variant
+  int keep_failures = 8;    ///< failing schedules retained in the result
+};
+
+struct FuzzFailure {
+  int variant = 0;          ///< 0-based variant index (re-derivable by seed)
+  Schedule schedule;        ///< the failing variant, meta included
+  std::vector<Violation> violations;
+};
+
+struct FuzzResult {
+  int variants_run = 0;
+  int failures = 0;         ///< total failing variants (≥ kept)
+  std::uint64_t mutations_applied = 0;
+  std::vector<FuzzFailure> kept;  ///< first keep_failures failures
+};
+
+/// Runs a schedule variant and reports the outcome — normally
+/// `replay_run(scenario, variant)` bound by the caller; injected so tests
+/// can fuzz against synthetic run functions.
+using RunScheduleFn = std::function<RunOutcome(const Schedule&)>;
+
+/// Apply `count` random mutations to a copy of `base`. Exposed for tests;
+/// the result is always a structurally valid schedule (per-stream seqs
+/// strictly increasing).
+Schedule mutate_schedule(const Schedule& base, Rng& rng, int count);
+
+FuzzResult fuzz(const Schedule& base, const FuzzOptions& opts,
+                const RunScheduleFn& run);
+
+}  // namespace cocg::schedcheck

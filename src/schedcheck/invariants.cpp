@@ -1,0 +1,188 @@
+#include "schedcheck/invariants.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/resources.h"
+#include "fleet/fleet.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::schedcheck {
+
+namespace {
+
+/// The regulator may legally oversubscribe a view (reallocate with
+/// allow_oversubscribe); 2x capacity is far beyond anything the control
+/// loops produce and catches runaway accounting without false positives.
+constexpr double kOversubscribeCeiling = 2.0;
+
+void add(std::vector<Violation>& out, std::string invariant,
+         std::string detail, TimeMs t, int shard) {
+  out.push_back(Violation{std::move(invariant), std::move(detail), t, shard});
+}
+
+}  // namespace
+
+InvariantViolationError::InvariantViolationError(
+    std::vector<Violation> violations)
+    : std::runtime_error("schedule invariant violated: " +
+                         (violations.empty() ? std::string("(none?)")
+                                             : violations.front().invariant +
+                                                   ": " +
+                                                   violations.front().detail)),
+      violations_(std::move(violations)) {}
+
+std::vector<Violation> check_platform(const platform::CloudPlatform& p,
+                                      int shard, TimeMs t) {
+  std::vector<Violation> out;
+
+  // Pass 1: hosting census. Every hosted sid must appear exactly once
+  // across all servers and be present in the session table.
+  std::unordered_map<std::uint64_t, ServerId> host_of;
+  for (std::size_t s = 0; s < p.num_servers(); ++s) {
+    const ServerId sv{s};
+    for (const auto& h : p.server(sv).hosted()) {
+      auto [it, inserted] = host_of.emplace(h.sid.value, sv);
+      if (!inserted) {
+        add(out, "double_host",
+            "session " + std::to_string(h.sid.value) + " hosted on server " +
+                std::to_string(it->second.value) + " and server " +
+                std::to_string(s),
+            t, shard);
+      }
+      const auto& alloc = h.placement.allocation;
+      for (std::size_t d = 0; d < kNumDims; ++d) {
+        if (alloc.at(d) < 0.0) {
+          add(out, "capacity",
+              "session " + std::to_string(h.sid.value) +
+                  " has a negative allocation dim on server " +
+                  std::to_string(s),
+              t, shard);
+          break;
+        }
+      }
+      if (h.placement.gpu_index < 0 ||
+          h.placement.gpu_index >= p.server(sv).spec().num_gpus) {
+        add(out, "capacity",
+            "session " + std::to_string(h.sid.value) + " pinned to GPU " +
+                std::to_string(h.placement.gpu_index) + " of server " +
+                std::to_string(s) + " (" +
+                std::to_string(p.server(sv).spec().num_gpus) + " GPUs)",
+            t, shard);
+      }
+    }
+  }
+
+  // Pass 2: the session table against the hosting census.
+  const std::vector<SessionId> ids = p.session_ids();
+  for (const SessionId sid : ids) {
+    const auto info = p.session_info(sid);
+    const auto it = host_of.find(sid.value);
+    if (it == host_of.end()) {
+      add(out, "lost_session",
+          "session " + std::to_string(sid.value) +
+              " is in the table but hosted on no server",
+          t, shard);
+      continue;
+    }
+    if (!(info.server == it->second) &&
+        !p.server(info.server).hosts(sid)) {
+      add(out, "placement_mismatch",
+          "session " + std::to_string(sid.value) + " recorded on server " +
+              std::to_string(info.server.value) + " but hosted on server " +
+              std::to_string(it->second.value),
+          t, shard);
+    }
+  }
+  // Hosted sids that are not in the table (stale host entries).
+  for (const auto& [sid, sv] : host_of) {
+    if (!std::binary_search(ids.begin(), ids.end(), SessionId{sid})) {
+      add(out, "lost_session",
+          "server " + std::to_string(sv.value) + " hosts session " +
+              std::to_string(sid) + " which is not in the table",
+          t, shard);
+    }
+  }
+
+  // Pass 3: per-view capacity ceilings.
+  for (std::size_t s = 0; s < p.num_servers(); ++s) {
+    const auto& srv = p.server(ServerId{s});
+    const ResourceVector cap = srv.spec().per_gpu_capacity();
+    for (int g = 0; g < srv.spec().num_gpus; ++g) {
+      const ResourceVector allocated = srv.allocated_on_gpu(g);
+      for (std::size_t d = 0; d < kNumDims; ++d) {
+        if (allocated.at(d) < -1e-9) {
+          add(out, "capacity",
+              "server " + std::to_string(s) + " gpu " + std::to_string(g) +
+                  " has negative total allocation in dim " +
+                  std::to_string(d),
+              t, shard);
+        } else if (cap.at(d) > 0.0 &&
+                   allocated.at(d) > cap.at(d) * kOversubscribeCeiling) {
+          add(out, "capacity",
+              "server " + std::to_string(s) + " gpu " + std::to_string(g) +
+                  " allocation dim " + std::to_string(d) + " is " +
+                  std::to_string(allocated.at(d)) + " > " +
+                  std::to_string(kOversubscribeCeiling) + "x capacity",
+              t, shard);
+        }
+      }
+    }
+  }
+
+  // Pass 4: conservation ledger.
+  const std::uint64_t running = p.running_sessions();
+  const std::uint64_t completed = p.completed_runs().size();
+  const std::uint64_t queued = p.queued_requests();
+  if (p.sessions_admitted() != running + completed) {
+    add(out, "conservation",
+        "admitted " + std::to_string(p.sessions_admitted()) +
+            " != running " + std::to_string(running) + " + completed " +
+            std::to_string(completed),
+        t, shard);
+  }
+  if (p.submitted_requests() != queued + running + completed) {
+    add(out, "conservation",
+        "submitted " + std::to_string(p.submitted_requests()) +
+            " != queued " + std::to_string(queued) + " + running " +
+            std::to_string(running) + " + completed " +
+            std::to_string(completed),
+        t, shard);
+  }
+
+  // Pass 5: SessionTable structural audit.
+  const std::string table_err = p.session_table_consistency();
+  if (!table_err.empty()) add(out, "table", table_err, t, shard);
+
+  return out;
+}
+
+std::vector<Violation> check_fleet(const fleet::Fleet& fleet, TimeMs t) {
+  std::vector<Violation> out;
+  std::size_t routed = 0;
+  for (int i = 0; i < fleet.num_shards(); ++i) {
+    auto shard_v = check_platform(fleet.shard(i), i, t);
+    out.insert(out.end(), std::make_move_iterator(shard_v.begin()),
+               std::make_move_iterator(shard_v.end()));
+    routed += fleet.routed_to(i);
+  }
+  if (routed != fleet.arrivals_generated()) {
+    add(out, "conservation",
+        "router ledger: " + std::to_string(fleet.arrivals_generated()) +
+            " arrivals generated but " + std::to_string(routed) +
+            " routed to shards",
+        t, -1);
+  }
+  return out;
+}
+
+std::string describe(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const auto& v : violations) {
+    out += "[t=" + std::to_string(v.t) + " shard=" + std::to_string(v.shard) +
+           "] " + v.invariant + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace cocg::schedcheck

@@ -1,0 +1,64 @@
+// Always-on invariant checkers the schedule fuzzer drives runs against.
+//
+// Checks run at fleet epoch barriers (every shard quiescent, load
+// snapshots fresh) via Fleet::set_barrier_hook — the only points where a
+// cross-shard structural audit is well-defined. They are structural, not
+// behavioral: any schedule, however contorted, must keep them true; a
+// violation is a real bug (or a planted fault), never an artifact of an
+// unusual-but-legal interleaving.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cocg::fleet {
+class Fleet;
+}
+namespace cocg::platform {
+class CloudPlatform;
+}
+
+namespace cocg::schedcheck {
+
+struct Violation {
+  std::string invariant;  ///< "double_host", "lost_session", ...
+  std::string detail;
+  TimeMs t = 0;
+  int shard = -1;  ///< -1 for fleet-level checks
+};
+
+/// Carried out of an aborted run by the barrier hook; holds every
+/// violation found at the failing barrier.
+class InvariantViolationError : public std::runtime_error {
+ public:
+  explicit InvariantViolationError(std::vector<Violation> violations);
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ private:
+  std::vector<Violation> violations_;
+};
+
+/// Audit one shard platform at a quiescent point:
+///  * double_host           — a session hosted on more than one server;
+///  * placement_mismatch    — hosting disagrees with the session record;
+///  * lost_session          — a tabled session hosted nowhere;
+///  * conservation          — submitted != queued + running + completed
+///                            (and admitted != running + completed);
+///  * capacity              — negative allocation sums, out-of-range GPU
+///                            index, or allocations beyond the legal
+///                            oversubscription ceiling;
+///  * table                 — SessionTable structural audit failed.
+std::vector<Violation> check_platform(const platform::CloudPlatform& p,
+                                      int shard, TimeMs t);
+
+/// All shards plus the fleet-level router ledger
+/// (arrivals_generated == Σ routed).
+std::vector<Violation> check_fleet(const fleet::Fleet& fleet, TimeMs t);
+
+/// One line per violation — diagnostics for logs and CLI output.
+std::string describe(const std::vector<Violation>& violations);
+
+}  // namespace cocg::schedcheck

@@ -1,0 +1,107 @@
+#include "schedcheck/minimize.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cocg::schedcheck {
+
+namespace {
+
+/// Flattened handle on one record of the original schedule.
+struct Item {
+  std::size_t stream = 0;
+  std::size_t idx = 0;
+};
+
+std::vector<Item> flatten(const Schedule& s) {
+  std::vector<Item> out;
+  for (std::size_t si = 0; si < s.streams.size(); ++si) {
+    for (std::size_t ri = 0; ri < s.streams[si].size(); ++ri) {
+      out.push_back(Item{si, ri});
+    }
+  }
+  return out;
+}
+
+/// Rebuild a schedule keeping only `keep` (indices into the original
+/// per-stream vectors, so relative order — and therefore seq order — is
+/// preserved automatically).
+Schedule subset(const Schedule& base, const std::vector<Item>& keep) {
+  Schedule out;
+  out.meta = base.meta;
+  out.streams.resize(base.streams.size());
+  for (const Item& it : keep) {
+    out.streams[it.stream].push_back(base.streams[it.stream][it.idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult minimize(const Schedule& failing, const FailsFn& fails,
+                        const MinimizeOptions& opts) {
+  COCG_EXPECTS(fails != nullptr);
+  COCG_EXPECTS(opts.max_runs >= 1);
+
+  MinimizeResult res;
+  res.schedule = failing;
+
+  std::vector<Item> items = flatten(failing);
+  if (items.empty()) {
+    res.minimal = true;
+    return res;
+  }
+  if (!fails(failing)) {
+    throw std::invalid_argument(
+        "minimize: the input schedule does not reproduce the failure");
+  }
+  ++res.runs;
+
+  // Classic ddmin: try removing chunks, refining granularity on failure
+  // to make progress. `items` always denotes a failing configuration.
+  std::size_t granularity = 2;
+  while (items.size() >= 2 && res.runs < opts.max_runs) {
+    const std::size_t n = items.size();
+    granularity = std::min(granularity, n);
+    const std::size_t chunk = (n + granularity - 1) / granularity;
+    bool reduced = false;
+    for (std::size_t start = 0; start < n && res.runs < opts.max_runs;
+         start += chunk) {
+      const std::size_t stop = std::min(start + chunk, n);
+      // Complement: everything except [start, stop).
+      std::vector<Item> candidate;
+      candidate.reserve(n - (stop - start));
+      candidate.insert(candidate.end(), items.begin(),
+                       items.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       items.begin() + static_cast<std::ptrdiff_t>(stop),
+                       items.end());
+      if (candidate.empty()) continue;
+      ++res.runs;
+      if (fails(subset(failing, candidate))) {
+        items = std::move(candidate);
+        granularity = std::max<std::size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= items.size()) {
+        // Every single-record removal was tried and none reproduces:
+        // the set is 1-minimal.
+        res.minimal = true;
+        break;
+      }
+      granularity = std::min(items.size(), granularity * 2);
+    }
+  }
+  if (items.size() == 1) res.minimal = res.runs < opts.max_runs;
+
+  res.schedule = subset(failing, items);
+  return res;
+}
+
+}  // namespace cocg::schedcheck

@@ -1,0 +1,36 @@
+// Delta-debugging schedule minimizer (ddmin). Given a failing schedule
+// and a predicate that replays a candidate and reports whether the same
+// failure reproduces, shrinks the schedule to a locally 1-minimal record
+// set: removing any single remaining record makes the failure disappear.
+// Meta is preserved, per-stream seq order is maintained (subsets keep the
+// original record order, and seqs are never rewritten — sparse replay is
+// seq-anchored, so surviving records still bind to the same decisions).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "schedcheck/schedule.h"
+
+namespace cocg::schedcheck {
+
+struct MinimizeOptions {
+  int max_runs = 500;  ///< replay budget; minimization stops when exhausted
+};
+
+struct MinimizeResult {
+  Schedule schedule;     ///< smallest failing schedule found
+  int runs = 0;          ///< replays spent
+  bool minimal = false;  ///< true when 1-minimality was fully verified
+};
+
+/// Returns true when the candidate still reproduces the failure of
+/// interest — typically "replay aborts with the same invariant name".
+using FailsFn = std::function<bool(const Schedule&)>;
+
+/// ddmin over the flattened record list of `failing`. `fails(failing)`
+/// must be true; throws std::invalid_argument otherwise.
+MinimizeResult minimize(const Schedule& failing, const FailsFn& fails,
+                        const MinimizeOptions& opts = {});
+
+}  // namespace cocg::schedcheck

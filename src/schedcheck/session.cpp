@@ -1,0 +1,83 @@
+#include "schedcheck/session.h"
+
+namespace cocg::schedcheck::detail {
+
+StreamCtx*& tls_stream() {
+  thread_local StreamCtx* ctx = nullptr;
+  return ctx;
+}
+
+namespace {
+
+[[noreturn]] void throw_divergence(const StreamCtx& ctx, const Record& rec,
+                                   Point got, std::uint64_t seq) {
+  throw ScheduleDivergenceError(
+      "strict replay: stream " + std::to_string(ctx.stream) +
+      " expected point " + point_name(rec.point) + " at seq " +
+      std::to_string(rec.seq) + ", run is at " + point_name(got) + " seq " +
+      std::to_string(seq));
+}
+
+}  // namespace
+
+int decide_slow(StreamCtx& ctx, Point p, int nchoices, int natural,
+                bool* forced_out) {
+  COCG_EXPECTS(nchoices >= 1);
+  if (forced_out != nullptr) *forced_out = false;
+  const std::uint64_t seq = ctx.next_seq++;
+  ++ctx.decisions;
+
+  if (ctx.mode == Mode::kRecord) {
+    ctx.rec.push_back(Record{p, ctx.now(), seq,
+                             static_cast<std::uint32_t>(nchoices),
+                             static_cast<std::uint32_t>(natural)});
+    return natural;
+  }
+
+  // Replay. Skip records the run has already moved past — a mutated or
+  // minimized schedule can reference decisions that no longer happen.
+  const auto& src = *ctx.src;
+  while (ctx.cursor < src.size() && src[ctx.cursor].seq < seq) {
+    ++ctx.divergences;
+    if (ctx.strict) throw_divergence(ctx, src[ctx.cursor], p, seq);
+    ++ctx.cursor;
+  }
+
+  if (ctx.cursor < src.size() && src[ctx.cursor].seq == seq) {
+    const Record& rec = src[ctx.cursor];
+    if (rec.point != p) {
+      // Same decision index, different point: the schedule no longer
+      // describes this run — count it and fall through to free-run.
+      ++ctx.divergences;
+      if (ctx.strict) throw_divergence(ctx, rec, p, seq);
+    } else {
+      ++ctx.cursor;
+      ++ctx.forced;
+      int choice = static_cast<int>(rec.choice);
+      if (choice >= nchoices) {
+        // The call site's arity shrank (e.g. fewer eligible victims than
+        // when recorded); clamp into range rather than crash the run.
+        ++ctx.clamped;
+        choice = choice % nchoices;
+      }
+      if (forced_out != nullptr) *forced_out = true;
+      if (ctx.rerecord) {
+        ctx.rec.push_back(Record{p, ctx.now(), seq,
+                                 static_cast<std::uint32_t>(nchoices),
+                                 static_cast<std::uint32_t>(choice)});
+      }
+      return choice;
+    }
+  }
+
+  // No matching record: run free.
+  ++ctx.freerun;
+  if (ctx.rerecord) {
+    ctx.rec.push_back(Record{p, ctx.now(), seq,
+                             static_cast<std::uint32_t>(nchoices),
+                             static_cast<std::uint32_t>(natural)});
+  }
+  return natural;
+}
+
+}  // namespace cocg::schedcheck::detail

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 
 namespace cocg::fleet {
@@ -153,6 +154,35 @@ TEST(Router, RegionlessRouteOverloadIsGlobal) {
   for (int i = 0; i < 6; ++i) {
     EXPECT_EQ(a.route(loads_a), b.route(loads_b, 0));
   }
+}
+
+TEST(Router, RegionAffinityExactSpillBoundaryIsATie) {
+  // The spill predicate is strict (`>`): when the home shard is *exactly*
+  // one per-view unit above the cheapest — representable without rounding
+  // here: 1.5 == 0.5 + 1.0 — affinity must still win. One ulp above the
+  // boundary spills.
+  Router r(RouterPolicy::kRegionAffinity, 1);
+  auto loads = uniform_loads(4, 1000000);
+  loads[0].forward_cost = 0.5;  // cheapest
+  loads[1].forward_cost = 0.75;
+  loads[2].forward_cost = 1.5;  // home of region 2: exactly cheapest + 1.0
+  loads[3].forward_cost = 0.75;
+  EXPECT_EQ(r.route(loads, 2), 2);
+  loads[2].forward_cost = std::nextafter(1.5, 2.0);
+  EXPECT_EQ(r.route(loads, 2), 0);
+}
+
+TEST(Router, RegionAffinitySingleShardDegenerate) {
+  // K=1: home == cheapest == 0 for every region, including the global
+  // region's least-loaded fallback; the spill predicate can never fire.
+  Router r(RouterPolicy::kRegionAffinity, 9);
+  auto loads = uniform_loads(1);
+  loads[0].forward_cost = 123.0;  // arbitrarily hot: nowhere to spill
+  for (std::uint32_t region : {0u, 1u, 2u, 1000000u}) {
+    EXPECT_EQ(r.route(loads, region), 0) << region;
+  }
+  // Accounting still applies to the lone shard.
+  EXPECT_EQ(loads[0].queued, 4u);
 }
 
 TEST(Router, SingleShardAlwaysZero) {

@@ -64,6 +64,27 @@ TEST(SessionTable, ForEachVisitsOnlyLive) {
   EXPECT_EQ(visited, 3);
 }
 
+TEST(SessionTable, ConsistencyAuditCleanAcrossLifecycle) {
+  // consistency_error() is the schedcheck invariant suite's structural
+  // audit; it must stay empty through every legal sequence of operations,
+  // including slot recycling and interleaved erases.
+  SessionTable<int> t;
+  EXPECT_EQ(t.consistency_error(), "");
+  for (std::uint64_t i = 1; i <= 8; ++i) t.emplace(SessionId{i}) = 1;
+  EXPECT_EQ(t.consistency_error(), "");
+  t.erase(SessionId{3});
+  t.erase(SessionId{7});
+  t.erase(SessionId{1});
+  EXPECT_EQ(t.consistency_error(), "");
+  t.emplace(SessionId{20});  // recycles a freed slot
+  t.emplace(SessionId{21});
+  EXPECT_EQ(t.consistency_error(), "");
+  for (std::uint64_t i : {2, 4, 5, 6, 8, 20, 21}) t.erase(SessionId{i});
+  EXPECT_EQ(t.consistency_error(), "");
+  t.emplace(SessionId{100});
+  EXPECT_EQ(t.consistency_error(), "");
+}
+
 TEST(SessionTable, EraseReleasesValueEagerly) {
   SessionTable<std::shared_ptr<int>> t;
   auto p = std::make_shared<int>(7);

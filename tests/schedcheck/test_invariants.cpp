@@ -1,0 +1,61 @@
+#include "schedcheck/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "schedcheck/fault.h"
+#include "schedcheck/harness.h"
+
+namespace cocg::schedcheck {
+namespace {
+
+TEST(SchedInvariants, CleanFleetHasNoViolations) {
+  Scenario sc;
+  sc.minutes = 3;
+  const RunOutcome out = free_run(sc);
+  EXPECT_FALSE(out.aborted) << describe(out.violations);
+  EXPECT_TRUE(out.violations.empty());
+}
+
+TEST(SchedInvariants, PlantedDoubleHostAbortsAtTheBarrier) {
+  // The fault shadow-places an admitted session on a second server when
+  // any other session is in a loading hold. With sustained arrivals the
+  // overlap occurs naturally, and the barrier audit must catch it before
+  // the corrupted state crashes the tick path.
+  set_fault(Fault::kDoubleHostWindow);
+  Scenario sc;
+  sc.minutes = 5;
+  sc.arrivals_per_hour = 2400.0;  // dense arrivals: holds overlap admits
+  const RunOutcome out = free_run(sc);
+  set_fault(Fault::kNone);
+  ASSERT_TRUE(out.aborted);
+  ASSERT_FALSE(out.violations.empty());
+  bool double_host = false;
+  for (const auto& v : out.violations) {
+    if (v.invariant == "double_host") double_host = true;
+  }
+  EXPECT_TRUE(double_host) << describe(out.violations);
+}
+
+TEST(SchedInvariants, DescribeIsOneLinePerViolation) {
+  std::vector<Violation> vs;
+  vs.push_back({"double_host", "session 5 on server 0 and 1", 20000, 1});
+  vs.push_back({"conservation", "fleet ledger off by 1", 20000, -1});
+  const std::string text = describe(vs);
+  EXPECT_NE(text.find("double_host"), std::string::npos);
+  EXPECT_NE(text.find("conservation"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(SchedInvariants, ErrorCarriesViolations) {
+  std::vector<Violation> vs;
+  vs.push_back({"capacity", "gpu 3 over ceiling", 1000, 0});
+  const InvariantViolationError err(vs);
+  ASSERT_EQ(err.violations().size(), 1u);
+  EXPECT_EQ(err.violations()[0].invariant, "capacity");
+  EXPECT_NE(std::string(err.what()).find("capacity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cocg::schedcheck

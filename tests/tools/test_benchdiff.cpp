@@ -234,6 +234,28 @@ TEST(BenchDiffCli, DirectoryBaselineResolvedByExperiment) {
             2);
 }
 
+TEST(BenchDiffCli, MissingBaselineHasDistinctMessageAndExit2) {
+  // A baseline path that does not exist must fail with its own message —
+  // "no baseline to gate against" — not a generic parse error, so CI
+  // failures are immediately attributable to setup rather than perf.
+  TempDir dir("missing_base");
+  const std::string cand =
+      dir.file("BENCH_cand.json", candidate_with(1000.0, 500.0));
+  std::ostringstream out, err;
+  EXPECT_EQ(run_benchdiff_cli(
+                {cand, (dir.path() / "no_such_dir").string()}, out, err),
+            2);
+  EXPECT_NE(err.str().find("not found or unreadable"), std::string::npos);
+  EXPECT_NE(err.str().find("no baseline to gate against"),
+            std::string::npos);
+
+  // An unreadable (malformed) baseline file names the baseline too.
+  const std::string garbage = dir.file("BENCH_garbage.json", "not json {");
+  err.str("");
+  EXPECT_EQ(run_benchdiff_cli({cand, garbage}, out, err), 2);
+  EXPECT_NE(err.str().find("baseline"), std::string::npos);
+}
+
 TEST(BenchDiffCli, GateFlagSelectsWhichKeysAreGated) {
   TempDir dir("gate");
   const std::string base = dir.file("BENCH_base.json", kBaseline);

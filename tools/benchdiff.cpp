@@ -257,6 +257,17 @@ int run_benchdiff_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << load_err << "\n";
     return 2;
   }
+  // A missing baseline is a distinct failure from a regression: the gate
+  // has nothing to compare against, so fail loudly with its own message
+  // (CI treats exit 2 as "fix the setup", not "perf regressed").
+  {
+    std::error_code ec;
+    if (!std::filesystem::exists(base_arg, ec) || ec) {
+      err << "error: baseline " << base_arg
+          << " not found or unreadable — no baseline to gate against\n";
+      return 2;
+    }
+  }
   const std::string base_path =
       resolve_baseline(base_arg, cand.get_string("experiment"));
   if (base_path.empty()) {
@@ -266,7 +277,7 @@ int run_benchdiff_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   obs::JsonValue base;
   if (!load_json_file(base_path, base, load_err)) {
-    err << "error: " << load_err << "\n";
+    err << "error: baseline unreadable: " << load_err << "\n";
     return 2;
   }
 

@@ -356,7 +356,7 @@ int main(int argc, char** argv) {
     if (!report_out.empty()) {
       std::ofstream os(report_out);
       if (!os) throw std::runtime_error("cannot open " + report_out);
-      fleet::write_report_json(rep, os);
+      fleet::write_report_json(rep, os, sim.executor_stats());
       std::cout << "wrote merged report to " << report_out << "\n";
     }
 
