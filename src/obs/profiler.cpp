@@ -17,7 +17,7 @@ constexpr const char* kStageNames[kNumStages] = {
     "rng_draws",         "resource_kernels", "contention_resolve",
     "event_queue",       "predictor_decide", "distributor_decide",
     "regulator",         "router",           "shard_barrier",
-    "executor_steal",    "executor_idle",
+    "executor_steal",    "executor_idle",    "fast_forward",
 };
 
 }  // namespace

@@ -50,9 +50,10 @@ enum class Stage : std::uint8_t {
   kShardBarrier,        ///< fleet epoch barrier (pool run + join)
   kExecutorSteal,       ///< steal runner: epochs run off their home worker
   kExecutorIdle,        ///< steal runner: worker wall time with no runnable job
+  kFastForward,         ///< quiescent macro-tick window materialization
 };
 
-inline constexpr std::size_t kNumStages = 11;
+inline constexpr std::size_t kNumStages = 12;
 
 /// Stable snake_case stage name ("rng_draws", ...); used as the JSON key
 /// in every export.

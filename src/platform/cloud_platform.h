@@ -56,6 +56,25 @@ struct PlatformConfig {
   /// one entry per category, in enum order). Empty selects
   /// default_slo_classes().
   std::vector<obs::SloClassConfig> slo_classes;
+  /// Quiescence-aware tick engine (docs/performance.md). When on, each
+  /// server's resolve result is cached and reused while its demand epoch is
+  /// unchanged; turning it off is the always-resolve bit-identity oracle.
+  bool incremental_resolve = true;
+  /// Macro-tick fast-forward: when every session is quiescent and no
+  /// per-tick recorder (noise, trace, util log, harvest) needs real ticks,
+  /// advance session accounting analytically across multi-tick windows and
+  /// skip the intermediate hardware-tick events. Requires
+  /// incremental_resolve; off = per-tick oracle.
+  bool macro_ticks = true;
+};
+
+/// Quiescence engine counters (also exported as metrics counters and in
+/// fleet reports/health heartbeats).
+struct QuiescenceStats {
+  std::uint64_t ticks_skipped = 0;       ///< hw ticks absorbed by windows
+  std::uint64_t fast_forward_windows = 0;
+  std::uint64_t resolve_cache_hits = 0;   ///< per server per tick
+  std::uint64_t resolve_cache_misses = 0;
 };
 
 /// The default SLO class table, one class per game::GameCategory in enum
@@ -221,6 +240,9 @@ class CloudPlatform final : public PlatformView {
   /// obs/slo.h). The fleet merges shard trackers via merge_from.
   const obs::SloTracker& slo_tracker() const { return slo_; }
 
+  /// Quiescence engine counters (zeros when incremental_resolve is off).
+  const QuiescenceStats& quiescence_stats() const { return qstats_; }
+
   /// This platform's stage-profiler snapshot (the obs domain active at
   /// construction; zeros unless obs::set_profiling_enabled(true)).
   obs::StageProfile stage_profile() const { return prof_domain_->profile(); }
@@ -250,16 +272,31 @@ class CloudPlatform final : public PlatformView {
     int outstanding = 0;  ///< queued + running instances
   };
   /// Reusable per-tick buffers. Cleared (capacity retained) every tick, so
-  /// steady-state hardware_tick() never touches the heap.
+  /// steady-state hardware_tick() never touches the heap. Draws and resolve
+  /// buffers live per server in ResolveCache so hits can reuse them.
   struct TickScratch {
-    std::vector<hw::PinnedDraw> draws;
-    std::vector<ActiveSession*> live;   ///< parallel to draws
-    hw::ServerResolveScratch resolve;
+    std::vector<ActiveSession*> live;   ///< parallel to the cache's draws
     std::vector<UtilizationPoint> util; ///< one per GPU of current server
     std::vector<SessionId> done;        ///< finished sessions, pre-sort
   };
+  /// Per-server resolve state. A hit (epoch unchanged since `stamp`) reuses
+  /// `draws` and `resolve.out`/`resolve.lanes` verbatim; a miss (or the
+  /// always-resolve oracle) rebuilds both in place, so hit and miss ticks
+  /// read identical buffers.
+  struct ResolveCache {
+    bool valid = false;
+    std::uint64_t stamp = 0;  ///< server demand epoch at last resolve
+    std::vector<hw::PinnedDraw> draws;
+    hw::ServerResolveScratch resolve;
+  };
 
-  void hardware_tick();
+  /// Runs one hardware tick; returns the delay until the next one —
+  /// tick_ms normally, (w+1)·tick_ms after absorbing a w-tick quiescent
+  /// window analytically.
+  DurationMs hardware_tick();
+  /// Materialize w skipped ticks' worth of session accounting (traces,
+  /// latency stats, counters) at current time t; every cache must be hot.
+  void fast_forward_window(std::int64_t w, TimeMs t);
   void control_tick();
   /// Close (and re-open) a session's ground-truth stage span in the trace.
   void roll_stage_span(ActiveSession& as, SessionId sid, int stage_key,
@@ -280,6 +317,7 @@ class CloudPlatform final : public PlatformView {
   StreamingModel streaming_;
 
   std::vector<hw::Server> servers_;
+  std::vector<ResolveCache> caches_;  ///< parallel to servers_
   /// Dense slot store; deterministic id order is recovered where it matters
   /// (reaping, session_ids) via collect-and-sort.
   SessionTable<ActiveSession> sessions_;
@@ -334,11 +372,19 @@ class CloudPlatform final : public PlatformView {
   /// util-log drops are credited at the drop site.
   obs::Counter obs_trace_dropped_;
   obs::Counter obs_util_dropped_;
+  // Quiescence engine counters: authoritative totals in qstats_ (reports,
+  // health), mirrored to registry counters for the metrics snapshot.
+  QuiescenceStats qstats_;
+  obs::Counter obs_ticks_skipped_;
+  obs::Counter obs_ff_windows_;
+  obs::Counter obs_cache_hits_;
+  obs::Counter obs_cache_misses_;
 
   // Stage profiler: per-tick scopes plus the domain profiler pointer the
   // Perfetto counter track and stage_profile() read.
   obs::StageTimer prof_rng_;
   obs::StageTimer prof_kernels_;
+  obs::StageTimer prof_ff_;
   obs::StageProfiler* prof_domain_ = nullptr;
   obs::StageProfile prev_stage_profile_{};  ///< last counter-track export
   bool stage_track_named_ = false;

@@ -1,0 +1,296 @@
+// Session-level quiescence contract: quiescent_ticks() must count exactly
+// the pure-repetition ticks to the next internal boundary, and
+// fast_forward(w) must land bit-for-bit on the state w per-tick calls
+// would reach — including every floating-point accumulator and the RNG
+// stream (the session draws nothing across a quiescent window).
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "game/library.h"
+#include "game/plan.h"
+#include "game/session.h"
+
+namespace cocg::game {
+namespace {
+
+SessionConfig quiet() {
+  SessionConfig cfg;
+  cfg.spike_prob = 0.0;
+  return cfg;
+}
+
+/// Deterministic three-stage game: jitter-free clusters so demand is a
+/// fixed point between stage boundaries. Loading 6 s, a single-cluster
+/// 40 s level, then a two-cluster 30 s stage exercising rotation.
+GameSpec det_spec() {
+  GameSpec g;
+  g.id = GameId{902};
+  g.name = "DetGame";
+  g.category = GameCategory::kWeb;
+
+  FrameClusterSpec load;
+  load.id = 0;
+  load.name = "load";
+  load.centroid = ResourceVector{30.0, 5.0, 600.0, 400.0};
+  load.fps_base = 0.0;
+  FrameClusterSpec play;
+  play.id = 1;
+  play.name = "play";
+  play.centroid = ResourceVector{12.0, 24.0, 800.0, 440.0};
+  play.fps_base = 60.0;
+  FrameClusterSpec boss;
+  boss.id = 2;
+  boss.name = "boss";
+  boss.centroid = ResourceVector{16.0, 30.0, 820.0, 460.0};
+  boss.fps_base = 60.0;
+  g.clusters = {load, play, boss};
+
+  StageTypeSpec loading;
+  loading.id = 0;
+  loading.name = "loading";
+  loading.kind = StageKind::kLoading;
+  loading.clusters = {0};
+  loading.min_dwell_ms = 6000;
+  loading.max_dwell_ms = 6000;
+  StageTypeSpec level;
+  level.id = 1;
+  level.name = "level";
+  level.kind = StageKind::kExecution;
+  level.clusters = {1};
+  level.min_dwell_ms = 40000;
+  level.max_dwell_ms = 40000;
+  StageTypeSpec fights;
+  fights.id = 2;
+  fights.name = "fights";
+  fights.kind = StageKind::kExecution;
+  fights.clusters = {1, 2};
+  fights.min_dwell_ms = 30000;
+  fights.max_dwell_ms = 30000;
+  fights.shuffle_clusters = false;
+  g.stage_types = {loading, level, fights};
+  g.loading_stage_type = 0;
+
+  ScriptSpec script;
+  script.name = "full";
+  script.segments.push_back(ScriptSegment{1, 1, 1, 0.0});
+  script.segments.push_back(ScriptSegment{2, 1, 1, 0.0});
+  g.scripts = {script};
+  return g;
+}
+
+GameSession make_session(const GameSpec& spec, std::uint64_t seed,
+                         SessionConfig cfg = quiet()) {
+  Rng rng(seed);
+  auto plan = generate_plan(spec, 0, 1, rng);
+  return GameSession(SessionId{1}, &spec, 0, std::move(plan), rng.fork(),
+                     cfg);
+}
+
+/// Every observable accumulator, doubles in hexfloat: two dumps are equal
+/// iff the states are bit-identical.
+std::string dump(const GameSession& s) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << s.elapsed_ms() << '|' << s.execution_ms() << '|' << s.loading_ms()
+     << '|' << s.qos_violation_ms() << '|' << s.loading_extension_ms()
+     << '|' << s.last_fps() << '|' << s.mean_fps() << '|'
+     << s.mean_fps_ratio() << '|' << s.demand_version() << '|'
+     << s.stage_index() << '|' << s.finished();
+  if (s.started() && !s.finished()) {
+    const ResourceVector d = s.demand();
+    for (std::size_t i = 0; i < kNumDims; ++i) os << '|' << d.at(i);
+  }
+  return os.str();
+}
+
+/// Advance to the first execution stage at full supply.
+void reach_execution(GameSession& s, TimeMs& now) {
+  while (!s.finished() && s.stage_kind() == StageKind::kLoading) {
+    s.tick(now, s.demand());
+    now += 1000;
+  }
+  ASSERT_EQ(s.stage_kind(), StageKind::kExecution);
+}
+
+TEST(SessionQuiescence, JitteredClusterIsNeverQuiescent) {
+  static const GameSpec g = make_contra();  // jittered clusters
+  GameSession s = make_session(g, 1);
+  s.begin(0);
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 0);
+}
+
+TEST(SessionQuiescence, LoadingCountsTicksToCompletion) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 2);
+  s.begin(0);
+  // Full supply: 6 s dwell at 1 s ticks → advance on tick 6 → 5 repeats.
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 5);
+  // Half CPU: per-tick progress 500 ms → advance on tick 12 → 11 repeats.
+  ResourceVector half = s.demand();
+  half[Dim::kCpuPct] *= 0.5;
+  EXPECT_EQ(s.quiescent_ticks(half), 11);
+  // The count stays consistent as progress accrues.
+  s.tick(0, s.demand());
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 4);
+}
+
+TEST(SessionQuiescence, HeldOrStarvedLoadingIsUnbounded) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 3);
+  s.begin(0);
+  s.set_loading_hold(true);
+  EXPECT_EQ(s.quiescent_ticks(s.demand()),
+            GameSession::kQuiescentUnbounded);
+  s.set_loading_hold(false);
+  EXPECT_EQ(s.quiescent_ticks(ResourceVector{}),  // zero CPU: no progress
+            GameSession::kQuiescentUnbounded);
+}
+
+TEST(SessionQuiescence, SpikesDisqualifyExecution) {
+  static const GameSpec g = det_spec();
+  SessionConfig cfg;  // default spike_prob > 0
+  GameSession s = make_session(g, 4, cfg);
+  TimeMs now = 0;
+  s.begin(now);
+  reach_execution(s, now);
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 0);
+}
+
+TEST(SessionQuiescence, ExecutionCountsToStageBoundary) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 5);
+  TimeMs now = 0;
+  s.begin(now);
+  reach_execution(s, now);
+  // 40 s single-cluster stage: advance on tick 40 → 39 repeats on entry.
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 39);
+  s.tick(now, s.demand());
+  now += 1000;
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 38);
+}
+
+TEST(SessionQuiescence, ExecutionStopsAtClusterRotation) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 6);
+  TimeMs now = 0;
+  s.begin(now);
+  // Run through the 40 s level (and the interleaved loading stage the
+  // plan inserts) into the two-cluster 30 s stage.
+  while (s.stage_type() != 2) {
+    s.tick(now, s.demand());
+    now += 1000;
+    ASSERT_FALSE(s.finished());
+  }
+  // Share = 15 s per cluster: the rotation tick (15) must run for real, so
+  // only 14 repeats are quiescent at stage entry.
+  EXPECT_EQ(s.quiescent_ticks(s.demand()), 14);
+  const int before = s.current_cluster();
+  for (int k = 0; k < 14; ++k) {
+    s.tick(now, s.demand());
+    now += 1000;
+    EXPECT_EQ(s.current_cluster(), before);
+  }
+  s.tick(now, s.demand());  // the rotation tick
+  now += 1000;
+  EXPECT_NE(s.current_cluster(), before);
+}
+
+TEST(SessionQuiescence, DemandVersionBumpsOnlyOnValueChange) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 7);
+  TimeMs now = 0;
+  s.begin(now);
+  const std::uint64_t v0 = s.demand_version();
+  s.tick(now, s.demand());  // mid-loading: demand is a fixed point
+  now += 1000;
+  EXPECT_EQ(s.demand_version(), v0);
+  reach_execution(s, now);  // stage entry changes the centroid
+  EXPECT_GT(s.demand_version(), v0);
+  const std::uint64_t v1 = s.demand_version();
+  s.tick(now, s.demand());
+  EXPECT_EQ(s.demand_version(), v1);
+}
+
+TEST(SessionQuiescence, FastForwardMatchesTickLoopInExecution) {
+  static const GameSpec g = det_spec();
+  GameSession a = make_session(g, 8);
+  GameSession b = make_session(g, 8);
+  TimeMs now_a = 0;
+  TimeMs now_b = 0;
+  a.begin(now_a);
+  b.begin(now_b);
+  reach_execution(a, now_a);
+  reach_execution(b, now_b);
+  ASSERT_EQ(dump(a), dump(b));
+
+  // Starve the stage so the window accrues degraded FPS, a fractional
+  // fps-ratio and QoS violation time — the accumulators that would drift
+  // first if fast_forward reassociated the arithmetic.
+  ResourceVector supplied = a.demand();
+  supplied *= 0.5;  // realized ≈ 21 fps: below the 30-frame QoS floor
+  const std::int64_t q = a.quiescent_ticks(supplied);
+  ASSERT_GE(q, 2);
+  a.fast_forward(q, supplied);
+  for (std::int64_t k = 0; k < q; ++k) {
+    b.tick(now_b, supplied);
+    now_b += 1000;
+  }
+  now_a += 1000 * q;
+  EXPECT_EQ(dump(a), dump(b));
+
+  // The window is seamless: both sessions continue identically to the end.
+  while (!a.finished()) {
+    a.tick(now_a, a.demand());
+    b.tick(now_b, b.demand());
+    now_a += 1000;
+    now_b += 1000;
+  }
+  EXPECT_TRUE(b.finished());
+  EXPECT_EQ(dump(a), dump(b));
+  EXPECT_EQ(a.end_time() - a.start_time(), b.end_time() - b.start_time());
+}
+
+TEST(SessionQuiescence, FastForwardMatchesTickLoopInLoading) {
+  static const GameSpec g = det_spec();
+  GameSession a = make_session(g, 9);
+  GameSession b = make_session(g, 9);
+  a.begin(0);
+  b.begin(0);
+  // 40% CPU: per-tick progress truncates to 400 ms — the case where
+  // multiply-then-truncate would diverge from truncate-then-multiply.
+  ResourceVector supplied = a.demand();
+  supplied[Dim::kCpuPct] *= 0.4;
+  const std::int64_t q = a.quiescent_ticks(supplied);
+  ASSERT_GE(q, 2);
+  a.fast_forward(q, supplied);
+  TimeMs now = 0;
+  for (std::int64_t k = 0; k < q; ++k) {
+    b.tick(now, supplied);
+    now += 1000;
+  }
+  EXPECT_EQ(dump(a), dump(b));
+  EXPECT_EQ(a.stage_kind(), StageKind::kLoading);
+  // One more tick at that supply crosses the boundary on both.
+  a.tick(1000 * q, supplied);
+  b.tick(now, supplied);
+  EXPECT_EQ(dump(a), dump(b));
+}
+
+TEST(SessionQuiescence, FastForwardRefusesToCrossBoundary) {
+  static const GameSpec g = det_spec();
+  GameSession s = make_session(g, 10);
+  TimeMs now = 0;
+  s.begin(now);
+  reach_execution(s, now);
+  const ResourceVector supplied = s.demand();
+  const std::int64_t q = s.quiescent_ticks(supplied);
+  ASSERT_GE(q, 1);
+  EXPECT_THROW(s.fast_forward(q + 1, supplied), ContractError);
+}
+
+}  // namespace
+}  // namespace cocg::game

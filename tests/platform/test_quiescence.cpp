@@ -1,0 +1,352 @@
+// Quiescence engine vs the always-resolve oracle. incremental_resolve and
+// macro_ticks are pure performance knobs: every observable output —
+// completed runs, per-game stats, throughput, telemetry traces, the
+// utilization log — must be byte-identical with both switches off. These
+// tests run twin platforms through admission/finish churn, migration,
+// regulator holds and recording modes, and compare hexfloat dumps. The
+// suite name is load-bearing: CI's sanitizer job re-runs `Quiescence.*`
+// explicitly.
+#include <gtest/gtest.h>
+
+#include <ios>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "game/library.h"
+#include "obs/obs.h"
+#include "platform/cloud_platform.h"
+
+namespace cocg::platform {
+namespace {
+
+/// Jitter-free two-stage game (6 s load, 90 s level): sessions are
+/// quiescent between stage boundaries, and the closed-loop source restarts
+/// them so admission/finish churn keeps perturbing the resolve caches.
+game::GameSpec det_spec() {
+  game::GameSpec g;
+  g.id = GameId{903};
+  g.name = "DetChurn";
+  g.category = game::GameCategory::kWeb;
+
+  game::FrameClusterSpec load;
+  load.id = 0;
+  load.name = "load";
+  load.centroid = ResourceVector{30.0, 5.0, 600.0, 400.0};
+  load.fps_base = 0.0;
+  game::FrameClusterSpec play;
+  play.id = 1;
+  play.name = "play";
+  play.centroid = ResourceVector{12.0, 24.0, 800.0, 440.0};
+  play.fps_base = 60.0;
+  g.clusters = {load, play};
+
+  game::StageTypeSpec loading;
+  loading.id = 0;
+  loading.name = "loading";
+  loading.kind = game::StageKind::kLoading;
+  loading.clusters = {0};
+  loading.min_dwell_ms = 6000;
+  loading.max_dwell_ms = 6000;
+  game::StageTypeSpec level;
+  level.id = 1;
+  level.name = "level";
+  level.kind = game::StageKind::kExecution;
+  level.clusters = {1};
+  level.min_dwell_ms = 90000;
+  level.max_dwell_ms = 90000;
+  g.stage_types = {loading, level};
+  g.loading_stage_type = 0;
+
+  game::ScriptSpec script;
+  script.name = "level";
+  script.segments.push_back(game::ScriptSegment{1, 1, 1, 0.0});
+  g.scripts = {script};
+  return g;
+}
+
+class GreedyScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::optional<Placement> admit(PlatformView& view,
+                                 const GameRequest&) override {
+    for (ServerId id : view.server_ids()) {
+      const auto& srv = view.server(id);
+      for (int g = 0; g < srv.spec().num_gpus; ++g) {
+        if (alloc_.fits_within(srv.free_on_gpu(g))) {
+          return Placement{id, g, alloc_};
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+ protected:
+  ResourceVector alloc_{40, 45, 2000, 2000};
+};
+
+/// Exercises the two PlatformView mutation paths every control period:
+/// re-allocates the lowest session id between two allocations (the
+/// migration/epoch path) and toggles a loading hold on it (the regulator
+/// path). Deterministic: decisions depend only on view state.
+class MutatingScheduler final : public GreedyScheduler {
+ public:
+  std::string name() const override { return "mutating"; }
+  void control(PlatformView& view) override {
+    const auto ids = view.session_ids();
+    if (ids.empty()) return;
+    const SessionId victim = ids.front();
+    ++calls_;
+    const bool grow = (calls_ % 2) == 0;
+    view.reallocate(victim, grow ? ResourceVector{44, 50, 2200, 2200}
+                                 : ResourceVector{40, 45, 2000, 2000});
+    view.hold_loading(victim, (calls_ % 3) == 0);
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+PlatformConfig det_config(bool quiescence) {
+  PlatformConfig cfg;
+  cfg.seed = 4242;
+  cfg.measurement_noise_rel = 0.0;
+  cfg.streaming.network_jitter_ms = 0.0;
+  cfg.session.spike_prob = 0.0;
+  cfg.incremental_resolve = quiescence;
+  cfg.macro_ticks = quiescence;
+  return cfg;
+}
+
+PlatformConfig noisy_config(bool quiescence) {
+  PlatformConfig cfg;  // default noise, jitter and spikes all on
+  cfg.seed = 4242;
+  cfg.incremental_resolve = quiescence;
+  cfg.macro_ticks = quiescence;
+  return cfg;
+}
+
+/// Everything a completed run reports, doubles in hexfloat: equality of
+/// dumps is bit-identity of results. Deliberately excludes the metrics
+/// registry — event/tick counters legitimately differ across the engines.
+std::string result_dump(const CloudPlatform& p) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& r : p.completed_runs()) {
+    os << r.sid.value << '|' << r.game << '|' << r.script_idx << '|'
+       << r.start << '|' << r.end << '|' << r.duration_ms << '|'
+       << r.wait_ms << '|' << r.qos_violation_ms << '|'
+       << r.loading_extension_ms << '|' << r.mean_fps_ratio << '|'
+       << r.mean_fps << '|' << r.mean_latency_ms << '|' << r.max_latency_ms
+       << '|' << r.latency_violation_ms << '\n';
+  }
+  for (const auto& [game, gs] : p.game_stats()) {
+    os << game << '|' << gs.completed << '|' << gs.total_duration_s << '|'
+       << gs.mean_fps_ratio << '|' << gs.qos_violation_s << '|'
+       << gs.mean_wait_s << '\n';
+  }
+  os << "T=" << p.throughput() << " queued=" << p.queued_requests()
+     << " running=" << p.running_sessions()
+     << " admitted=" << p.sessions_admitted() << '\n';
+  return os.str();
+}
+
+std::string trace_dump(const CloudPlatform& p) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (SessionId sid : p.session_ids()) {
+    os << sid.value << ":\n";
+    for (const auto& s : p.session_trace(sid).samples()) {
+      os << s.t << '|' << s.fps << '|' << s.true_stage_type << '|'
+         << s.true_loading << '|' << s.true_cluster;
+      for (std::size_t d = 0; d < kNumDims; ++d) os << '|' << s.usage.at(d);
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string util_dump(const CloudPlatform& p) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& u : p.utilization_log()) {
+    os << u.t << '|' << u.server.value << '|' << u.gpu_index << '|'
+       << u.max_dim_fraction;
+    for (std::size_t d = 0; d < kNumDims; ++d) {
+      os << '|' << u.total_supplied.at(d);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+struct RunOptions {
+  bool record_util = false;
+  bool mutating_scheduler = false;
+  DurationMs minutes = 12;
+};
+
+std::unique_ptr<CloudPlatform> make_churn_platform(
+    const PlatformConfig& cfg, const game::GameSpec* spec,
+    const RunOptions& opt) {
+  std::unique_ptr<Scheduler> sched;
+  if (opt.mutating_scheduler) {
+    sched = std::make_unique<MutatingScheduler>();
+  } else {
+    sched = std::make_unique<GreedyScheduler>();
+  }
+  auto p = std::make_unique<CloudPlatform>(cfg, std::move(sched));
+  p->add_server(hw::ServerSpec{});
+  p->add_server(hw::ServerSpec{});
+  p->enable_utilization_recording(opt.record_util);
+  p->add_source(SourceConfig{spec, 3, 8});
+  p->add_source(SourceConfig{spec, 2, 8});
+  return p;
+}
+
+std::string run_and_dump(CloudPlatform& p, DurationMs minutes) {
+  p.run(minutes * 60 * 1000);
+  return result_dump(p);
+}
+
+TEST(Quiescence, OracleIdentityUnderChurn) {
+  static const game::GameSpec spec = det_spec();
+  const RunOptions opt;
+  auto fast = make_churn_platform(det_config(true), &spec, opt);
+  auto oracle = make_churn_platform(det_config(false), &spec, opt);
+  const std::string a = run_and_dump(*fast, opt.minutes);
+  const std::string b = run_and_dump(*oracle, opt.minutes);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(fast->completed_runs().size(), 0u);
+
+  // The engine actually engaged: caches hit between boundaries and whole
+  // windows were absorbed. The oracle never touches either path.
+  const QuiescenceStats& q = fast->quiescence_stats();
+  EXPECT_GT(q.resolve_cache_hits, 0u);
+  EXPECT_GT(q.resolve_cache_misses, 0u);
+  EXPECT_GT(q.ticks_skipped, 0u);
+  EXPECT_GT(q.fast_forward_windows, 0u);
+  const QuiescenceStats& qo = oracle->quiescence_stats();
+  EXPECT_EQ(qo.resolve_cache_hits, 0u);
+  EXPECT_EQ(qo.ticks_skipped, 0u);
+}
+
+TEST(Quiescence, OracleIdentityWithNoiseAndSpikes) {
+  // Full stochastic models: measurement noise pins the engine to real
+  // ticks and demand jitter defeats the cache — the engine must degrade
+  // to the oracle gracefully, not incorrectly.
+  static const game::GameSpec contra = game::make_contra();
+  const RunOptions opt;
+  auto fast = make_churn_platform(noisy_config(true), &contra, opt);
+  auto oracle = make_churn_platform(noisy_config(false), &contra, opt);
+  const std::string a = run_and_dump(*fast, opt.minutes);
+  const std::string b = run_and_dump(*oracle, opt.minutes);
+  EXPECT_EQ(a, b);
+  const QuiescenceStats& q = fast->quiescence_stats();
+  EXPECT_EQ(q.fast_forward_windows, 0u);  // noise needs per-tick RNG
+  EXPECT_GT(q.resolve_cache_misses, 0u);  // jitter redraws every tick
+}
+
+TEST(Quiescence, TelemetryTracesMaterializedAcrossWindows) {
+  // Stop mid-run and compare the live sessions' telemetry traces: the
+  // fast-forward path must materialize one sample per skipped tick, not
+  // leave gaps.
+  static const game::GameSpec spec = det_spec();
+  const RunOptions opt;
+  auto fast = make_churn_platform(det_config(true), &spec, opt);
+  auto oracle = make_churn_platform(det_config(false), &spec, opt);
+  const DurationMs horizon = 10 * 60 * 1000;
+  const TimeMs mid = 4 * 60 * 1000 + 3000;  // mid-epoch, not a boundary
+  fast->begin(horizon);
+  oracle->begin(horizon);
+  fast->advance_until(mid);
+  oracle->advance_until(mid);
+  EXPECT_GT(fast->quiescence_stats().ticks_skipped, 0u);
+  EXPECT_EQ(trace_dump(*fast), trace_dump(*oracle));
+  fast->advance_until(horizon);
+  oracle->advance_until(horizon);
+  fast->finish();
+  oracle->finish();
+  EXPECT_EQ(result_dump(*fast), result_dump(*oracle));
+}
+
+TEST(Quiescence, UtilizationRecordingPinsRealTicks) {
+  // The util log needs a snapshot every tick, so recording must disengage
+  // the fast-forward (but the resolve cache still works) — and the logs
+  // must match the oracle point for point.
+  static const game::GameSpec spec = det_spec();
+  RunOptions opt;
+  opt.record_util = true;
+  opt.minutes = 6;
+  auto fast = make_churn_platform(det_config(true), &spec, opt);
+  auto oracle = make_churn_platform(det_config(false), &spec, opt);
+  const std::string a = run_and_dump(*fast, opt.minutes);
+  const std::string b = run_and_dump(*oracle, opt.minutes);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(util_dump(*fast), util_dump(*oracle));
+  EXPECT_GT(fast->utilization_log().size(), 0u);
+  const QuiescenceStats& q = fast->quiescence_stats();
+  EXPECT_EQ(q.fast_forward_windows, 0u);
+  EXPECT_GT(q.resolve_cache_hits, 0u);
+}
+
+TEST(Quiescence, MigrationAndRegulatorPathsInvalidate) {
+  // A scheduler that reallocates and holds loading every control period
+  // hits the two epoch-bump paths that do not go through place/remove.
+  static const game::GameSpec spec = det_spec();
+  RunOptions opt;
+  opt.mutating_scheduler = true;
+  auto fast = make_churn_platform(det_config(true), &spec, opt);
+  auto oracle = make_churn_platform(det_config(false), &spec, opt);
+  const std::string a = run_and_dump(*fast, opt.minutes);
+  const std::string b = run_and_dump(*oracle, opt.minutes);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(fast->completed_runs().size(), 0u);
+  EXPECT_GT(fast->quiescence_stats().resolve_cache_hits, 0u);
+}
+
+TEST(Quiescence, IncrementalOnlyModeMatchesOracle) {
+  // macro_ticks off, incremental_resolve on: the cache path alone.
+  static const game::GameSpec spec = det_spec();
+  PlatformConfig cfg = det_config(true);
+  cfg.macro_ticks = false;
+  const RunOptions opt;
+  auto fast = make_churn_platform(cfg, &spec, opt);
+  auto oracle = make_churn_platform(det_config(false), &spec, opt);
+  const std::string a = run_and_dump(*fast, opt.minutes);
+  const std::string b = run_and_dump(*oracle, opt.minutes);
+  EXPECT_EQ(a, b);
+  const QuiescenceStats& q = fast->quiescence_stats();
+  EXPECT_GT(q.resolve_cache_hits, 0u);
+  EXPECT_EQ(q.fast_forward_windows, 0u);
+}
+
+TEST(Quiescence, CountersExportedToMetricsRegistry) {
+  static const game::GameSpec spec = det_spec();
+  obs::reset();
+  obs::set_enabled(true);
+  const RunOptions opt;
+  auto p = make_churn_platform(det_config(true), &spec, opt);
+  p->run(opt.minutes * 60 * 1000);
+  const QuiescenceStats& q = p->quiescence_stats();
+  std::ostringstream os;
+  obs::metrics().write_json(os);
+  const std::string json = os.str();
+  obs::set_enabled(false);
+  EXPECT_NE(json.find("\"tick.skipped\":" + std::to_string(q.ticks_skipped)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"tick.fast_forward_windows\":" +
+                      std::to_string(q.fast_forward_windows)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"resolve.cache_hits\":" +
+                      std::to_string(q.resolve_cache_hits)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"resolve.cache_misses\":" +
+                      std::to_string(q.resolve_cache_misses)),
+            std::string::npos);
+  EXPECT_GT(q.ticks_skipped, 0u);
+}
+
+}  // namespace
+}  // namespace cocg::platform

@@ -68,5 +68,35 @@ TEST(SchedCorpus, EveryArtifactReproducesItsDeclaredOutcome) {
   }
 }
 
+// Quiescence engine vs oracle on a pinned schedule: strict replay of the
+// clean corpus artifacts must force every decision and produce the same
+// fleet report whether the platform runs the incremental-resolve +
+// macro-tick engine or the always-resolve per-tick oracle.
+TEST(SchedCorpus, CleanArtifactsReplayIdenticallyUnderQuiescenceAndOracle) {
+  namespace fs = std::filesystem;
+  const std::string dir = corpus_dir();
+  for (const char* name : {"lockstep_clean.sched", "steal_clean.sched"}) {
+    SCOPED_TRACE(name);
+    const fs::path path = fs::path(dir) / name;
+    ASSERT_TRUE(fs::exists(path)) << path;
+    const Schedule schedule = load_schedule(path.string());
+
+    Scenario quiesce = scenario_from_meta(schedule);
+    quiesce.quiescence = true;
+    Scenario oracle = quiesce;
+    oracle.quiescence = false;
+
+    const RunOutcome fast = replay_run(quiesce, schedule, /*strict=*/true);
+    const RunOutcome slow = replay_run(oracle, schedule, /*strict=*/true);
+    ASSERT_FALSE(fast.aborted) << describe(fast.violations);
+    ASSERT_FALSE(slow.aborted) << describe(slow.violations);
+    EXPECT_EQ(fast.report, slow.report);
+    EXPECT_EQ(fast.stats.forced, fast.stats.decisions);
+    EXPECT_EQ(slow.stats.forced, slow.stats.decisions);
+    EXPECT_EQ(fast.stats.divergences, 0u);
+    EXPECT_EQ(slow.stats.divergences, 0u);
+  }
+}
+
 }  // namespace
 }  // namespace cocg::schedcheck
